@@ -1,0 +1,76 @@
+"""Performance benchmarks for the analysis substrate.
+
+Microbenchmarks (real timing statistics, multiple rounds) for the four
+hot paths behind every table: exhaustive signatures, detection-table
+construction for both fault models, the worst-case nmin scan, and
+Procedure 1 throughput.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench_suite.registry import get_circuit
+from repro.core.procedure1 import build_random_ndetection_sets
+from repro.core.worst_case import WorstCaseAnalysis
+from repro.faultsim.detection import DetectionTable
+from repro.simulation.exhaustive import line_signatures
+
+CIRCUIT = "beecount"  # mid-size: 60 gates, 6 inputs
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return get_circuit(CIRCUIT)
+
+
+@pytest.fixture(scope="module")
+def tables(circuit):
+    targets = DetectionTable.for_stuck_at(circuit)
+    untargeted = DetectionTable.for_bridging(circuit)
+    return targets, untargeted
+
+
+def test_line_signatures(benchmark, circuit):
+    sigs = benchmark(line_signatures, circuit)
+    assert len(sigs) == len(circuit.lines)
+
+
+def test_stuck_at_table(benchmark, circuit):
+    table = benchmark(DetectionTable.for_stuck_at, circuit)
+    assert len(table) > 0
+
+
+def test_bridging_table(benchmark, circuit):
+    table = benchmark(DetectionTable.for_bridging, circuit)
+    assert len(table) > 0
+
+
+def test_worst_case_scan(benchmark, tables):
+    targets, untargeted = tables
+    analysis = benchmark(WorstCaseAnalysis, targets, untargeted)
+    assert len(analysis) == len(untargeted)
+
+
+def test_procedure1_def1(benchmark, tables):
+    targets, _ = tables
+    family = benchmark.pedantic(
+        build_random_ndetection_sets,
+        args=(targets,),
+        kwargs={"n_max": 5, "num_sets": 50, "seed": 1},
+        rounds=3,
+        iterations=1,
+    )
+    assert family.num_sets == 50
+
+
+def test_procedure1_def2(benchmark, tables):
+    targets, _ = tables
+    family = benchmark.pedantic(
+        build_random_ndetection_sets,
+        args=(targets,),
+        kwargs={"n_max": 3, "num_sets": 10, "seed": 1, "counting": "def2"},
+        rounds=1,
+        iterations=1,
+    )
+    assert family.num_sets == 10

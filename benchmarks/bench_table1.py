@@ -1,0 +1,22 @@
+"""Regenerate Table 1 (example-circuit overlap analysis) and time it.
+
+This is the paper's fully-pinned artifact: the bench asserts the exact
+published values besides timing the analysis.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import run_table1
+
+
+def bench_run():
+    return run_table1()
+
+
+def test_table1(benchmark, save_artifact):
+    result = benchmark.pedantic(bench_run, rounds=3, iterations=1)
+    save_artifact("table1", result.render())
+    assert result.nmin_g == 3
+    assert result.g_vectors == [6, 7]
+    assert [r.index for r in result.rows] == [0, 1, 3, 9, 11, 12, 14]
+    assert [r.nmin for r in result.rows] == [3, 5, 5, 4, 11, 3, 11]

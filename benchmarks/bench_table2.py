@@ -1,0 +1,34 @@
+"""Regenerate Table 2: worst-case coverage percentages over the suite.
+
+Runs the full 35-circuit suite by default (override the circuit list
+with ``REPRO_CIRCUITS=a,b,c``).  The shape assertions encode the paper's
+qualitative claims: coverage is high at n = 1, monotone in n, and the
+small classic machines reach 100% within n <= 10 while the dvram-class
+circuits do not.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table2 import run_table2
+from repro.experiments.common import suite_circuits
+
+
+def test_table2(benchmark, save_artifact):
+    names = suite_circuits()
+    result = benchmark.pedantic(
+        run_table2, args=(names,), rounds=1, iterations=1
+    )
+    save_artifact("table2", result.render())
+
+    rows = {r.circuit: r for r in result.rows}
+    for row in result.rows:
+        assert row.percentages == sorted(row.percentages)
+        assert row.percentages[0] >= 50.0  # high coverage at n = 1
+
+    if "lion" in rows:
+        assert rows["lion"].full_coverage_n() is not None
+    if "dvram" in rows:
+        # Paper: dvram's coverage is flat and below 100% through n = 10.
+        assert rows["dvram"].full_coverage_n() is None
+    if "rie" in rows:
+        assert rows["rie"].full_coverage_n() is None

@@ -1,0 +1,36 @@
+"""Regenerate Table 3: faults needing large n, over the suite.
+
+Shape assertions: only tail circuits appear; the nested threshold counts
+are consistent; the heavy (dvram-class) circuits have nmin >= 100 faults
+while the keyb-class circuits stop at nmin >= 20 — the paper's split.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import suite_circuits
+from repro.experiments.table3 import run_table3
+
+HEAVY = {"dvram", "fetch", "log", "rie", "s1a"}
+
+
+def test_table3(benchmark, save_artifact):
+    names = suite_circuits()
+    result = benchmark.pedantic(
+        run_table3, args=(names,), rounds=1, iterations=1
+    )
+    save_artifact("table3", result.render())
+
+    reported = {r.circuit for r in result.rows}
+    for row in result.rows:
+        ge100, ge20, ge11 = row.counts
+        assert ge100 <= ge20 <= ge11
+        assert ge11 >= 1
+
+    if HEAVY <= set(names):
+        heavy_reported = HEAVY & reported
+        assert heavy_reported, "no heavy-tail circuit reported"
+        for row in result.rows:
+            if row.circuit in HEAVY:
+                assert row.counts[0] > 0, (
+                    f"{row.circuit} lost its nmin >= 100 tail"
+                )

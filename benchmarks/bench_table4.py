@@ -1,0 +1,17 @@
+"""Regenerate Table 4: K = 10 random 1-/2-detection sets (example circuit)."""
+
+from __future__ import annotations
+
+from repro.experiments.table4 import run_table4
+
+
+def test_table4(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        run_table4, kwargs={"num_sets": 10, "seed": 2005},
+        rounds=3, iterations=1,
+    )
+    save_artifact("table4", result.render())
+    fam = result.family
+    assert fam.num_sets == 10
+    for k in range(10):
+        assert set(fam.test_set(1, k)) <= set(fam.test_set(2, k))

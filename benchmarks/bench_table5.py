@@ -1,0 +1,33 @@
+"""Regenerate Table 5: average-case p(10, g) histograms (Definition 1).
+
+Default K = 200 random test sets per circuit (paper: 10 000); raise with
+``REPRO_K`` for tighter estimates — the bucket structure is stable from
+K ≈ 100 up.  Circuits default to the paper's Table 5 list (only those
+with nmin >= 11 faults produce rows).
+"""
+
+from __future__ import annotations
+
+from conftest import env_int
+
+from repro.experiments.common import PAPER_TABLE5_CIRCUITS, suite_circuits
+from repro.experiments.table5 import run_table5
+
+
+def test_table5(benchmark, save_artifact):
+    names = suite_circuits(PAPER_TABLE5_CIRCUITS)
+    k = env_int("REPRO_K", 200)
+    result = benchmark.pedantic(
+        run_table5, args=(names,), kwargs={"k": k, "seed": 2005},
+        rounds=1, iterations=1,
+    )
+    save_artifact("table5", result.render())
+
+    assert result.rows, "no circuit produced a Table 5 row"
+    for row in result.rows:
+        # Histogram counts grow toward lower thresholds and saturate.
+        assert row.histogram == sorted(row.histogram)
+        assert row.histogram[-1] == row.num_faults
+        # Paper: many hard faults still have high detection probability.
+        at_09 = row.histogram[1]
+        assert at_09 >= row.num_faults * 0.2, row.circuit

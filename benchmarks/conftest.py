@@ -1,0 +1,46 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every ``bench_table*.py`` / ``bench_figure*.py`` regenerates one paper
+artifact: it times the experiment once (``benchmark.pedantic`` with a
+single round — these are minutes-scale analyses, not microbenchmarks)
+and writes the rendered table to ``benchmarks/out/<name>.txt`` so the
+rows can be compared against the paper (see EXPERIMENTS.md).
+
+Heavyweight parameters honour the same environment overrides as the
+experiment layer: ``REPRO_K``, ``REPRO_NMAX``, ``REPRO_CIRCUITS``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def save_artifact(artifact_dir):
+    """Write a rendered table/figure to benchmarks/out/<name>.txt."""
+
+    def save(name: str, text: str) -> None:
+        path = artifact_dir / f"{name}.txt"
+        path.write_text(text)
+        sys.stdout.write(f"\n[artifact] {path}\n{text}\n")
+
+    return save
+
+
+def env_int(var: str, default: int) -> int:
+    raw = os.environ.get(var)
+    return int(raw) if raw else default

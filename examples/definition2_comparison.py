@@ -1,0 +1,87 @@
+"""Definition 1 vs Definition 2 n-detection test sets (Section 4, Table 6).
+
+Under Definition 2, two tests only count as two detections of a target
+fault when their common-bits vector does NOT detect it under 3-valued
+simulation — the tests must differ in the conditions they use.  This
+example builds test-set families under both counting rules and compares
+the detection probabilities of the hard bridging faults.
+
+Run:  python examples/definition2_comparison.py [circuit] [K]
+"""
+
+import sys
+import time
+
+from repro.bench_suite.registry import get_circuit
+from repro.core.average_case import AverageCaseAnalysis
+from repro.core.procedure1 import build_random_ndetection_sets
+from repro.core.worst_case import WorstCaseAnalysis
+from repro.faults.universe import FaultUniverse
+
+
+def main(argv: list[str]) -> int:
+    name = argv[0] if argv else "bbara"
+    num_sets = int(argv[1]) if len(argv) > 1 else 100
+    n_max = 10
+
+    circuit = get_circuit(name)
+    universe = FaultUniverse(circuit)
+    worst = WorstCaseAnalysis(
+        universe.target_table, universe.untargeted_table
+    )
+    hard = worst.indices_at_least(n_max + 1)
+    if not hard:
+        hard = worst.indices_at_least(4)  # fall back to a softer tail
+    if not hard:
+        # Easy circuit: every fault is guaranteed by n <= 3.  Compare the
+        # definitions over the whole untargeted universe instead.
+        hard = list(range(len(worst)))
+    print(
+        f"{name}: comparing Definition 1 vs Definition 2 on "
+        f"{len(hard)} hard bridging faults (K={num_sets})\n"
+    )
+
+    results = {}
+    for counting in ("def1", "def2"):
+        start = time.time()
+        family = build_random_ndetection_sets(
+            universe.target_table,
+            n_max=n_max,
+            num_sets=num_sets,
+            seed=2005,
+            counting=counting,
+        )
+        avg = AverageCaseAnalysis(
+            family, universe.untargeted_table, fault_indices=hard
+        )
+        probs = avg.probabilities(n_max)
+        sizes = family.sizes(n_max)
+        results[counting] = probs
+        print(
+            f"{counting}: mean p({n_max},g) = "
+            f"{sum(probs) / len(probs):.4f}   "
+            f"#p=1: {sum(1 for p in probs if p >= 1.0)}/{len(probs)}   "
+            f"avg |T| = {sum(sizes) / len(sizes):.1f}   "
+            f"[{time.time() - start:.1f}s]"
+        )
+
+    improved = sum(
+        1 for a, b in zip(results["def1"], results["def2"]) if b > a
+    )
+    worsened = sum(
+        1 for a, b in zip(results["def1"], results["def2"]) if b < a
+    )
+    print(
+        f"\nPer-fault change under Definition 2: "
+        f"{improved} improved, {worsened} worsened, "
+        f"{len(hard) - improved - worsened} unchanged"
+    )
+    print(
+        "(the paper's Table 6 shows the same effect: Definition 2 shifts "
+        "probability mass upward)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

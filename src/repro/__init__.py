@@ -1,0 +1,45 @@
+"""repro — reproduction of Pomeranz & Reddy, DATE 2005.
+
+*Worst-Case and Average-Case Analysis of n-Detection Test Sets.*
+
+Public API highlights
+---------------------
+* :func:`repro.bench_suite.get_circuit` — benchmark circuits by name
+  (``"paper_example"``, ``"keyb"``, ...).
+* :class:`repro.faults.FaultUniverse` — target stuck-at faults ``F`` and
+  untargeted four-way bridging faults ``G`` with detection tables.
+* :class:`repro.core.WorstCaseAnalysis` — ``nmin(g)`` per untargeted
+  fault (Section 2).
+* :func:`repro.core.build_random_ndetection_sets` — Procedure 1 under
+  Definition 1 or Definition 2 (Sections 3-4).
+* :class:`repro.core.AverageCaseAnalysis` — ``p(n, g)`` estimates and the
+  Table 5/6 histograms.
+* :mod:`repro.experiments` — regeneration of every table and figure.
+"""
+
+from repro.circuit import Circuit, CircuitBuilder, GateType
+from repro.core import (
+    AverageCaseAnalysis,
+    NDetectionFamily,
+    WorstCaseAnalysis,
+    build_random_ndetection_sets,
+)
+from repro.faults import BridgingFault, FaultUniverse, StuckAtFault
+from repro.faultsim import DetectionTable
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "CircuitBuilder",
+    "GateType",
+    "AverageCaseAnalysis",
+    "NDetectionFamily",
+    "WorstCaseAnalysis",
+    "build_random_ndetection_sets",
+    "BridgingFault",
+    "FaultUniverse",
+    "StuckAtFault",
+    "DetectionTable",
+    "__version__",
+]

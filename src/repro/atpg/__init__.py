@@ -1,0 +1,28 @@
+"""Deterministic test generation (the substrate the paper's motivation assumes).
+
+``podem``
+    A classic PODEM implementation over 5-valued (D-calculus) simulation:
+    objective selection, backtrace to a primary input, implication by
+    forward simulation, D-frontier tracking, and backtracking with a
+    bound.  Used to decide detectability without exhausting the input
+    space and to generate compact deterministic tests.
+``ndetect``
+    n-detection test-set generation: a greedy set-multicover generator
+    over exhaustive detection tables (optimal-ish and exact for small
+    circuits) and a PODEM-based generator for circuits where exhaustive
+    tables are unavailable.
+"""
+
+from repro.atpg.podem import PodemResult, generate_test, is_detectable
+from repro.atpg.ndetect import (
+    greedy_ndetection_set,
+    podem_ndetection_set,
+)
+
+__all__ = [
+    "PodemResult",
+    "generate_test",
+    "is_detectable",
+    "greedy_ndetection_set",
+    "podem_ndetection_set",
+]

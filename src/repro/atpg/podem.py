@@ -1,0 +1,290 @@
+"""PODEM test generation for single stuck-at faults.
+
+A faithful textbook PODEM: the only decision variables are primary
+inputs.  The engine repeatedly
+
+1. picks an *objective* — activate the fault, or advance the D-frontier;
+2. *backtraces* the objective to an unassigned primary input through the
+   easiest path (level-based controllability);
+3. assigns the input and *implies* by 3-valued good/faulty simulation;
+4. on conflict (fault unactivatable or empty D-frontier) backtracks —
+   flips the last decision, then pops exhausted decisions.
+
+The good and faulty machines are simulated as a pair of 3-valued
+simulations (the composite is the classic D-calculus: ``D = (1, 0)``,
+``D̄ = (0, 1)``).  With an unbounded backtrack budget the result
+``undetectable`` is exact; a bounded run may return ``aborted``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.circuit.gate import GateType
+from repro.circuit.netlist import Circuit, LineKind
+from repro.errors import AtpgError
+from repro.faults.stuck_at import StuckAtFault
+from repro.logic.cube import Cube
+from repro.logic.values import ONE, X, ZERO
+from repro.simulation.threeval import simulate_cube
+
+DETECTED = "detected"
+UNDETECTABLE = "undetectable"
+ABORTED = "aborted"
+
+
+@dataclass(frozen=True)
+class PodemResult:
+    """Outcome of one PODEM run."""
+
+    status: str
+    cube: Cube | None
+
+    def vector(self, rng: random.Random | None = None) -> int:
+        """A fully-specified test (random completion of the cube)."""
+        if self.cube is None:
+            raise AtpgError(f"no test cube (status={self.status})")
+        completions = None
+        if rng is None:
+            # Deterministic: zero-fill the unspecified bits.
+            return self.cube.value
+        completions = self.cube.completions()
+        return completions[rng.randrange(len(completions))]
+
+
+class _Podem:
+    def __init__(self, circuit: Circuit, fault: StuckAtFault):
+        self.circuit = circuit
+        self.fault = fault
+        self.num_inputs = circuit.num_inputs
+        self.assignment: dict[int, int] = {}  # input position -> 0/1
+        self.good: list[int] = []
+        self.faulty: list[int] = []
+        self._input_pos = {
+            lid: pos for pos, lid in enumerate(circuit.inputs)
+        }
+
+    # -- implication -----------------------------------------------------
+    def _imply(self) -> None:
+        cube = Cube.empty(self.num_inputs)
+        for pos, val in self.assignment.items():
+            cube = cube.with_input(pos, val)
+        self.good = simulate_cube(self.circuit, cube)
+        self.faulty = simulate_cube(
+            self.circuit, cube, forced={self.fault.lid: self.fault.value}
+        )
+
+    def _detected(self) -> bool:
+        for o in self.circuit.outputs:
+            g, f = self.good[o], self.faulty[o]
+            if g != X and f != X and g != f:
+                return True
+        return False
+
+    def _activated(self) -> bool:
+        return self.good[self.fault.lid] == (self.fault.value ^ 1)
+
+    def _activation_impossible(self) -> bool:
+        return self.good[self.fault.lid] == self.fault.value
+
+    def _d_frontier(self) -> list[int]:
+        """Gate lines with a D/D' input and an undetermined output."""
+        frontier = []
+        for line in self.circuit.lines:
+            if line.kind is not LineKind.GATE:
+                continue
+            if not (self.good[line.lid] == X or self.faulty[line.lid] == X):
+                continue
+            for src in line.fanin:
+                g, f = self.good[src], self.faulty[src]
+                if g != X and f != X and g != f:
+                    frontier.append(line.lid)
+                    break
+        return frontier
+
+    # -- backtrace -------------------------------------------------------
+    def _easiest_x_input(self, lid: int) -> int | None:
+        line = self.circuit.lines[lid]
+        best = None
+        for src in line.fanin:
+            if self.good[src] == X:
+                if best is None or self.circuit.level[src] < self.circuit.level[best]:
+                    best = src
+        return best
+
+    def _hardest_x_input(self, lid: int) -> int | None:
+        line = self.circuit.lines[lid]
+        best = None
+        for src in line.fanin:
+            if self.good[src] == X:
+                if best is None or self.circuit.level[src] > self.circuit.level[best]:
+                    best = src
+        return best
+
+    def _backtrace(self, lid: int, value: int) -> tuple[int, int] | None:
+        """Map an objective to an unassigned-PI assignment, or None."""
+        seen = 0
+        while True:
+            seen += 1
+            if seen > 4 * len(self.circuit.lines):  # pragma: no cover
+                raise AtpgError("backtrace loop; circuit is not acyclic?")
+            line = self.circuit.lines[lid]
+            if line.kind is LineKind.INPUT:
+                pos = self._input_pos[lid]
+                if pos in self.assignment:
+                    return None
+                return pos, value
+            if line.kind is LineKind.BRANCH:
+                lid = line.fanin[0]
+                continue
+            gt = line.gate_type
+            if gt in (GateType.CONST0, GateType.CONST1):
+                return None
+            if gt in (GateType.NOT, GateType.NAND, GateType.NOR, GateType.XNOR):
+                value ^= 1
+            if gt in (GateType.NOT, GateType.BUF):
+                lid = line.fanin[0]
+                continue
+            if gt in (GateType.AND, GateType.NAND, GateType.OR, GateType.NOR):
+                controlling = 0 if gt in (GateType.AND, GateType.NAND) else 1
+                if value == (controlling ^ 1):
+                    # All inputs must be non-controlling: take the hardest.
+                    nxt = self._hardest_x_input(lid)
+                else:
+                    # One controlling input suffices: take the easiest.
+                    nxt = self._easiest_x_input(lid)
+                if nxt is None:
+                    return None
+                if value == (controlling ^ 1):
+                    lid, value = nxt, controlling ^ 1
+                else:
+                    lid, value = nxt, controlling
+                continue
+            # XOR/XNOR: aim the first X input at the parity still needed.
+            nxt = self._easiest_x_input(lid)
+            if nxt is None:
+                return None
+            parity = value
+            for src in line.fanin:
+                if src != nxt and self.good[src] == ONE:
+                    parity ^= 1
+            lid, value = nxt, parity
+
+    # -- objective -------------------------------------------------------
+    def _objective(self) -> tuple[int, int] | None:
+        if not self._activated():
+            return self.fault.lid, self.fault.value ^ 1
+        frontier = self._d_frontier()
+        if not frontier:
+            return None
+        # Try every frontier gate, closest to the outputs first.  An
+        # input may be undetermined in the good machine, the faulty
+        # machine, or both — any of them is a usable objective (the
+        # faulty-only case arises when the fault effect reconverges;
+        # missing it made early versions declare spurious conflicts).
+        for lid in sorted(
+            frontier, key=lambda g: self.circuit.level[g], reverse=True
+        ):
+            line = self.circuit.lines[lid]
+            controlling = line.gate_type.controlling_value
+            target: int | None = None
+            for src in line.fanin:
+                if self.good[src] == X or self.faulty[src] == X:
+                    target = src
+                    break
+            if target is None:
+                continue
+            if controlling is None:
+                return target, ZERO  # XOR: any definite value sensitizes
+            return target, controlling ^ 1
+        return None
+
+    def _fallback_decision(self) -> tuple[int, int] | None:
+        """Any unassigned PI (lowest position), value 0 first.
+
+        Used when the structured objective/backtrace cannot name a PI
+        (e.g. the undetermined values sit only in the faulty machine):
+        deciding an arbitrary input keeps the search complete — a
+        spurious conflict here would wrongly prune live subtrees.
+        """
+        for pos in range(self.num_inputs):
+            if pos not in self.assignment:
+                return pos, 0
+        return None
+
+    # -- main loop --------------------------------------------------------
+    def run(self, backtrack_limit: int) -> PodemResult:
+        self._imply()
+        if self._detected():  # constant-free circuits cannot be pre-detected
+            return PodemResult(DETECTED, self._cube())
+        decisions: list[tuple[int, int, bool]] = []  # (pos, value, flipped)
+        backtracks = 0
+        while True:
+            conflict = (
+                self._activation_impossible()
+                or (self._activated() and not self._d_frontier())
+            )
+            if not conflict:
+                step = None
+                objective = self._objective()
+                if objective is not None:
+                    step = self._backtrace(*objective)
+                if step is None:
+                    step = self._fallback_decision()
+                if step is None:
+                    conflict = True  # fully assigned and still undecided
+                else:
+                    pos, val = step
+                    self.assignment[pos] = val
+                    decisions.append((pos, val, False))
+                    self._imply()
+                    if self._detected():
+                        return PodemResult(DETECTED, self._cube())
+                    continue
+            # Backtrack.
+            while decisions:
+                pos, val, flipped = decisions.pop()
+                del self.assignment[pos]
+                if not flipped:
+                    backtracks += 1
+                    if backtrack_limit and backtracks > backtrack_limit:
+                        return PodemResult(ABORTED, None)
+                    self.assignment[pos] = val ^ 1
+                    decisions.append((pos, val ^ 1, True))
+                    break
+            else:
+                return PodemResult(UNDETECTABLE, None)
+            self._imply()
+            if self._detected():
+                return PodemResult(DETECTED, self._cube())
+
+    def _cube(self) -> Cube:
+        cube = Cube.empty(self.num_inputs)
+        for pos, val in self.assignment.items():
+            cube = cube.with_input(pos, val)
+        return cube
+
+
+def generate_test(
+    circuit: Circuit,
+    fault: StuckAtFault,
+    backtrack_limit: int = 10_000,
+) -> PodemResult:
+    """Run PODEM for one stuck-at fault.
+
+    ``backtrack_limit = 0`` means unbounded (exact undetectability).
+    """
+    if fault.value not in (0, 1):
+        raise AtpgError(f"bad stuck value {fault.value!r}")
+    return _Podem(circuit, fault).run(backtrack_limit)
+
+
+def is_detectable(
+    circuit: Circuit, fault: StuckAtFault, backtrack_limit: int = 0
+) -> bool:
+    """Exact detectability via PODEM (unbounded backtracking by default)."""
+    result = generate_test(circuit, fault, backtrack_limit)
+    if result.status == ABORTED:
+        raise AtpgError("PODEM aborted; raise backtrack_limit")
+    return result.status == DETECTED

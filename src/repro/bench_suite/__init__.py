@@ -1,0 +1,44 @@
+"""Benchmark circuits: the paper's example plus the MCNC-style FSM suite.
+
+``example``
+    The paper's Figure 1 circuit (exact reconstruction, line numbering
+    included) and a few classic small combinational circuits.
+``mcnc``
+    Embedded KISS2 sources for the 35 finite-state machines the paper's
+    evaluation uses, synthesized to combinational logic.  Small classic
+    machines are hand-written reconstructions; the rest are deterministic
+    seeded FSMs matching the published interface sizes (see DESIGN.md for
+    the substitution rationale).
+``synthetic``
+    The deterministic FSM generator behind the reconstructed entries.
+``registry``
+    Name-based access with caching: ``get_circuit("keyb")``.
+"""
+
+from repro.bench_suite.example import (
+    and_or_example,
+    c17,
+    majority,
+    paper_example,
+    xor_tree,
+)
+from repro.bench_suite.randlogic import random_circuit
+from repro.bench_suite.registry import (
+    circuit_names,
+    get_circuit,
+    get_fsm,
+    suite_table_groups,
+)
+
+__all__ = [
+    "random_circuit",
+    "and_or_example",
+    "c17",
+    "majority",
+    "paper_example",
+    "xor_tree",
+    "circuit_names",
+    "get_circuit",
+    "get_fsm",
+    "suite_table_groups",
+]

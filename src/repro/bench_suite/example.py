@@ -1,0 +1,138 @@
+"""Hand-built example circuits, including the paper's Figure 1.
+
+The Figure 1 circuit was reverse-engineered from the published data of
+Table 1 (the detection sets ``T(f)``), the bridging fault ``g0`` with
+``T(g0) = {6, 7}``, and ``T(11/0)``:
+
+* inputs 1-4 (input 1 is the vector MSB);
+* input 2 fans out through branch lines 5 and 6;
+* input 3 fans out through branch lines 7 and 8;
+* line 9 = AND(1, 5) — primary output;
+* line 10 = AND(6, 7) — primary output;
+* line 11 = OR(8, 4) — primary output.
+
+Every published quantity is enforced by the test suite: the seven
+``T(fi)`` rows of Table 1, the collapsed-fault indices, ``nmin(g0) = 3``
+and ``nmin(g6) = 4`` with ``T(g6) = {12}``.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.gate import GateType
+from repro.circuit.netlist import Circuit
+
+
+def paper_example() -> Circuit:
+    """The paper's Figure 1 circuit with its exact line numbering."""
+    b = CircuitBuilder("paper_example")
+    for name in ("1", "2", "3", "4"):
+        b.input(name)
+    b.branch("5", of="2")
+    b.branch("6", of="2")
+    b.branch("7", of="3")
+    b.branch("8", of="3")
+    b.gate("9", GateType.AND, ["1", "5"])
+    b.gate("10", GateType.AND, ["6", "7"])
+    b.gate("11", GateType.OR, ["8", "4"])
+    for name in ("9", "10", "11"):
+        b.output(name)
+    return b.build(auto_branch=False)
+
+
+def paper_example_ascii() -> str:
+    """ASCII rendering of Figure 1 for the CLI."""
+    return "\n".join(
+        [
+            "1 ----------------&",
+            "        5         | 9   (output)",
+            "2 --+----------- &",
+            "    |   6",
+            "    +----------- &",
+            "        7         | 10  (output)",
+            "3 --+----------- &",
+            "    |   8",
+            "    +----------- +",
+            "                  | 11  (output)",
+            "4 -------------- +",
+        ]
+    )
+
+
+def c17() -> Circuit:
+    """The ISCAS-85 c17 benchmark (6 NAND gates, 5 inputs, 2 outputs)."""
+    b = CircuitBuilder("c17")
+    for name in ("1", "2", "3", "6", "7"):
+        b.input(name)
+    b.gate("10", GateType.NAND, ["1", "3~0"])
+    b.gate("11", GateType.NAND, ["3~1", "6"])
+    b.gate("16", GateType.NAND, ["2", "11~0"])
+    b.gate("19", GateType.NAND, ["11~1", "7"])
+    b.gate("22", GateType.NAND, ["10", "16~0"])
+    b.gate("23", GateType.NAND, ["16~1", "19"])
+    b.branch("3~0", of="3")
+    b.branch("3~1", of="3")
+    b.branch("11~0", of="11")
+    b.branch("11~1", of="11")
+    b.branch("16~0", of="16")
+    b.branch("16~1", of="16")
+    b.output("22")
+    b.output("23")
+    return b.build(auto_branch=False)
+
+
+def and_or_example(width: int = 3) -> Circuit:
+    """AND-OR two-level circuit: OR of ``width`` 2-input ANDs."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = CircuitBuilder(f"and_or_{width}")
+    terms = []
+    for i in range(width):
+        x = f"x{i}"
+        y = f"y{i}"
+        b.input(x)
+        b.input(y)
+        t = f"t{i}"
+        b.gate(t, GateType.AND, [x, y])
+        terms.append(t)
+    if width == 1:
+        b.output(terms[0])
+    else:
+        b.gate("out", GateType.OR, terms)
+        b.output("out")
+    return b.build(auto_branch=True)
+
+
+def xor_tree(depth: int = 3) -> Circuit:
+    """Balanced XOR tree with ``2**depth`` inputs (no fault equivalences)."""
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    b = CircuitBuilder(f"xor_tree_{depth}")
+    level = [b.input(f"x{i}") for i in range(1 << depth)]
+    counter = 0
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level), 2):
+            name = f"n{counter}"
+            counter += 1
+            b.gate(name, GateType.XOR, [level[i], level[i + 1]])
+            nxt.append(name)
+        level = nxt
+    b.output(level[0])
+    return b.build(auto_branch=True)
+
+
+def majority() -> Circuit:
+    """3-input majority: OR of the three 2-input ANDs (with fanout)."""
+    b = CircuitBuilder("majority3")
+    for name in ("a", "b", "c"):
+        b.input(name)
+    b.gate("ab", GateType.AND, ["a~0", "b~0"])
+    b.gate("bc", GateType.AND, ["b~1", "c~0"])
+    b.gate("ac", GateType.AND, ["a~1", "c~1"])
+    for stem in ("a", "b", "c"):
+        b.branch(f"{stem}~0", of=stem)
+        b.branch(f"{stem}~1", of=stem)
+    b.gate("maj", GateType.OR, ["ab", "bc", "ac"])
+    b.output("maj")
+    return b.build(auto_branch=False)

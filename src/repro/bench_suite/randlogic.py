@@ -1,0 +1,93 @@
+"""Seeded random multilevel combinational circuits.
+
+A library-grade version of the generator used by the property-based
+tests: deterministic (seeded) random netlists with controllable size and
+structure, useful as extra analysis targets, for the partitioning demo,
+and for fuzzing new fault models.  All gates end up observable (dangling
+gate lines are promoted to outputs), and the result is normal-form.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.gate import GateType
+from repro.circuit.netlist import Circuit
+from repro.errors import ReproError
+
+_DEFAULT_GATES = (
+    GateType.AND,
+    GateType.OR,
+    GateType.NAND,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.NOT,
+)
+
+
+def random_circuit(
+    seed: int,
+    num_inputs: int = 8,
+    num_gates: int = 40,
+    max_arity: int = 3,
+    gate_types: tuple[GateType, ...] = _DEFAULT_GATES,
+    locality: float = 0.6,
+    name: str | None = None,
+) -> Circuit:
+    """Deterministic random combinational circuit.
+
+    Parameters
+    ----------
+    seed:
+        Same seed → byte-identical circuit.
+    num_inputs, num_gates:
+        Interface and body size.
+    max_arity:
+        Upper bound on gate fanin (>= 2; NOT gates take one input).
+    gate_types:
+        Palette to draw from.
+    locality:
+        Probability that a gate draws its inputs from the most recent
+        quarter of existing lines (higher = deeper, narrower circuits;
+        lower = wide, shallow ones).
+    """
+    if num_inputs < 1:
+        raise ReproError("need at least one input")
+    if num_gates < 1:
+        raise ReproError("need at least one gate")
+    if max_arity < 2:
+        raise ReproError("max_arity must be >= 2")
+    if not 0.0 <= locality <= 1.0:
+        raise ReproError("locality must be within [0, 1]")
+    rng = random.Random(seed)
+    builder = CircuitBuilder(name or f"rand_{seed}")
+    lines = [builder.input(f"x{i}") for i in range(num_inputs)]
+    consumed: set[str] = set()
+
+    def pick_sources(count: int) -> list[str]:
+        if rng.random() < locality and len(lines) > 4:
+            window = lines[-max(4, len(lines) // 4):]
+        else:
+            window = lines
+        picked = rng.sample(window, min(count, len(window)))
+        consumed.update(picked)
+        return picked
+
+    gate_names = []
+    for g in range(num_gates):
+        gt = rng.choice(gate_types)
+        if gt in (GateType.NOT, GateType.BUF):
+            fanin = pick_sources(1)
+        else:
+            fanin = pick_sources(rng.randint(2, max_arity))
+        nm = builder.gate(f"g{g}", gt, fanin)
+        lines.append(nm)
+        gate_names.append(nm)
+
+    # Every gate line must reach an output: the ones nothing consumes
+    # become the primary outputs.
+    for nm in gate_names:
+        if nm not in consumed:
+            builder.output(nm)
+    return builder.build(auto_branch=True)

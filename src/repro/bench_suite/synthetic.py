@@ -1,0 +1,88 @@
+"""Deterministic synthetic FSM generation.
+
+The original MCNC ``.kiss2`` sources are not redistributable in this
+repository, so suite entries without a hand-written reconstruction are
+generated: a seeded (by circuit name) random FSM with the *published
+interface sizes* (inputs/outputs/states) of its MCNC namesake.  The
+generator guarantees a deterministic machine: each state's input cubes
+are produced by recursively splitting the input space, so they are
+disjoint and complete by construction.
+
+The same seed always yields byte-identical KISS2 text, which keeps every
+analysis in this repository reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FsmSpec:
+    """Interface sizes for a generated FSM."""
+
+    name: str
+    inputs: int
+    outputs: int
+    states: int
+    # Average input-space splits per state (1 split = 2 cubes).  Deeper
+    # splitting yields terms with more literals — rarer activation
+    # conditions, and therefore heavier nmin tails (see DESIGN.md §2).
+    split_depth: int = 2
+
+
+def _split_cubes(num_inputs: int, depth: int, rng: random.Random) -> list[str]:
+    """Disjoint, complete input cubes by recursive variable splitting."""
+    def split(cube: list[str], d: int) -> list[str]:
+        free = [i for i, ch in enumerate(cube) if ch == "-"]
+        if d <= 0 or not free or rng.random() < 0.25:
+            return ["".join(cube)]
+        var = rng.choice(free)
+        out: list[str] = []
+        for bit in "01":
+            child = list(cube)
+            child[var] = bit
+            out.extend(split(child, d - 1))
+        return out
+
+    return split(["-"] * num_inputs, depth)
+
+
+def _output_bits(num_outputs: int, rng: random.Random) -> str:
+    chars = []
+    for _ in range(num_outputs):
+        r = rng.random()
+        if r < 0.40:
+            chars.append("1")
+        elif r < 0.92:
+            chars.append("0")
+        else:
+            chars.append("-")
+    return "".join(chars)
+
+
+def generate_kiss2(spec: FsmSpec) -> str:
+    """Deterministic KISS2 text for a spec (seeded by the circuit name)."""
+    seed = zlib.crc32(spec.name.encode("utf-8"))
+    rng = random.Random(seed)
+    states = [f"st{i}" for i in range(spec.states)]
+    rows: list[str] = []
+    for si, state in enumerate(states):
+        cubes = _split_cubes(spec.inputs, spec.split_depth, rng)
+        for ci, cube in enumerate(cubes):
+            if ci == 0:
+                nxt = states[(si + 1) % spec.states]  # keep a reachable cycle
+            else:
+                nxt = states[rng.randrange(spec.states)]
+            out = _output_bits(spec.outputs, rng)
+            rows.append(f"{cube} {state} {nxt} {out}")
+    header = [
+        f".i {spec.inputs}",
+        f".o {spec.outputs}",
+        f".p {len(rows)}",
+        f".s {len(states)}",
+        f".r {states[0]}",
+    ]
+    return "\n".join(header + rows + [".e"]) + "\n"

@@ -1,0 +1,37 @@
+"""Gate-level combinational netlist model.
+
+The model follows the line-numbering style of the paper: every *line* of
+the circuit is a first-class object with an integer id.  Fanout is explicit:
+a line that drives more than one gate input does so through dedicated
+*branch* lines (one per sink), exactly like lines 5/6 (branches of input 2)
+and 7/8 (branches of input 3) in the paper's Figure 1.  Branch lines are
+distinct stuck-at fault sites, which is what makes the paper's collapsed
+fault list come out right.
+"""
+
+from repro.circuit.gate import GateType, eval_signature, eval_scalar3, eval_dualrail
+from repro.circuit.netlist import Circuit, Line, LineKind
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.validate import validate_circuit
+from repro.circuit.transform import (
+    extract_cone,
+    output_partitions,
+    rename_lines,
+    strip_unused_lines,
+)
+
+__all__ = [
+    "GateType",
+    "eval_signature",
+    "eval_scalar3",
+    "eval_dualrail",
+    "Circuit",
+    "Line",
+    "LineKind",
+    "CircuitBuilder",
+    "validate_circuit",
+    "extract_cone",
+    "output_partitions",
+    "rename_lines",
+    "strip_unused_lines",
+]

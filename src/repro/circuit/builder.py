@@ -1,0 +1,240 @@
+"""Fluent construction of :class:`~repro.circuit.netlist.Circuit` objects.
+
+The builder accepts gates in any order (forward references allowed),
+resolves names at :meth:`CircuitBuilder.build` time, optionally inserts
+fanout branch lines to reach normal form, and returns an immutable
+:class:`Circuit`.
+
+Example — the paper's Figure 1 circuit with its exact line numbering::
+
+    b = CircuitBuilder("paper_example")
+    for name in "1234":
+        b.input(name)
+    b.branch("5", of="2")
+    b.branch("6", of="2")
+    b.branch("7", of="3")
+    b.branch("8", of="3")
+    b.gate("9", GateType.AND, ["1", "5"])
+    b.gate("10", GateType.AND, ["6", "7"])
+    b.gate("11", GateType.OR, ["8", "4"])
+    for name in ("9", "10", "11"):
+        b.output(name)
+    circuit = b.build()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.gate import GateType
+from repro.circuit.netlist import Circuit, Line, LineKind
+from repro.errors import CircuitError
+
+
+@dataclass
+class _PendingLine:
+    name: str
+    kind: LineKind
+    gate_type: GateType | None = None
+    fanin_names: list[str] = field(default_factory=list)
+    stem_name: str | None = None
+
+
+class CircuitBuilder:
+    """Accumulates lines and produces a normal-form :class:`Circuit`."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise CircuitError("circuit name must be non-empty")
+        self.name = name
+        self._pending: dict[str, _PendingLine] = {}
+        self._order: list[str] = []
+        self._input_order: list[str] = []
+        self._output_order: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Declaration API
+    # ------------------------------------------------------------------
+    def _declare(self, pending: _PendingLine) -> str:
+        if pending.name in self._pending:
+            raise CircuitError(f"duplicate line name: {pending.name!r}")
+        if not pending.name:
+            raise CircuitError("line name must be non-empty")
+        self._pending[pending.name] = pending
+        self._order.append(pending.name)
+        return pending.name
+
+    def input(self, name: str) -> str:
+        """Declare a primary input line."""
+        self._input_order.append(name)
+        return self._declare(_PendingLine(name, LineKind.INPUT))
+
+    def gate(
+        self, name: str, gate_type: GateType, fanin: list[str] | tuple[str, ...]
+    ) -> str:
+        """Declare a gate whose output line is ``name``."""
+        gate_type.check_arity(len(fanin))
+        return self._declare(
+            _PendingLine(
+                name, LineKind.GATE, gate_type=gate_type, fanin_names=list(fanin)
+            )
+        )
+
+    def const(self, name: str, value: int) -> str:
+        """Declare a constant line (value 0 or 1)."""
+        if value not in (0, 1):
+            raise CircuitError(f"constant value must be 0 or 1, got {value!r}")
+        gt = GateType.CONST1 if value else GateType.CONST0
+        return self._declare(_PendingLine(name, LineKind.GATE, gate_type=gt))
+
+    def branch(self, name: str, of: str) -> str:
+        """Declare an explicit fanout branch of stem line ``of``."""
+        return self._declare(_PendingLine(name, LineKind.BRANCH, stem_name=of))
+
+    def output(self, name: str) -> None:
+        """Mark a (possibly not yet declared) line as a primary output."""
+        if name in self._output_order:
+            raise CircuitError(f"line {name!r} already marked as output")
+        self._output_order.append(name)
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def build(self, auto_branch: bool = True) -> Circuit:
+        """Resolve names, normalize fanout, and freeze the circuit.
+
+        Parameters
+        ----------
+        auto_branch:
+            When True (default), a line that directly feeds more than one
+            gate input gets one inserted BRANCH line per sink (named
+            ``<stem>~<k>``).  When False such a line raises
+            :class:`CircuitError`.
+        """
+        self._check_references()
+        self._normalize_fanout(auto_branch)
+        return self._freeze()
+
+    def _check_references(self) -> None:
+        for p in self._pending.values():
+            for ref in p.fanin_names:
+                if ref not in self._pending:
+                    raise CircuitError(
+                        f"gate {p.name!r} references undeclared line {ref!r}"
+                    )
+            if p.kind is LineKind.BRANCH:
+                stem = self._pending.get(p.stem_name or "")
+                if stem is None:
+                    raise CircuitError(
+                        f"branch {p.name!r} references undeclared stem "
+                        f"{p.stem_name!r}"
+                    )
+                if stem.kind is LineKind.BRANCH:
+                    raise CircuitError(
+                        f"branch {p.name!r} stems from branch {stem.name!r}; "
+                        "branches of branches are not allowed"
+                    )
+        for name in self._output_order:
+            if name not in self._pending:
+                raise CircuitError(f"output {name!r} is not a declared line")
+        if not self._input_order:
+            raise CircuitError(f"circuit {self.name!r} has no inputs")
+        if not self._output_order:
+            raise CircuitError(f"circuit {self.name!r} has no outputs")
+
+    def _direct_gate_sinks(self) -> dict[str, list[tuple[str, int]]]:
+        """Map line name -> [(gate name, fanin position)] for direct feeds."""
+        sinks: dict[str, list[tuple[str, int]]] = {n: [] for n in self._pending}
+        for p in self._pending.values():
+            source_names = p.fanin_names if p.kind is LineKind.GATE else (
+                [p.stem_name] if p.kind is LineKind.BRANCH else []
+            )
+            for pos, src in enumerate(source_names):
+                sinks[src].append((p.name, pos))
+        return sinks
+
+    def _normalize_fanout(self, auto_branch: bool) -> None:
+        sinks = self._direct_gate_sinks()
+        for name in list(self._order):
+            p = self._pending[name]
+            consumer_entries = sinks[name]
+            branch_children = [
+                c for c, _pos in consumer_entries
+                if self._pending[c].kind is LineKind.BRANCH
+            ]
+            gate_children = [
+                (c, pos) for c, pos in consumer_entries
+                if self._pending[c].kind is not LineKind.BRANCH
+            ]
+            if branch_children and gate_children:
+                raise CircuitError(
+                    f"line {name!r} drives both explicit branches "
+                    f"({branch_children}) and direct gate inputs "
+                    f"({[c for c, _ in gate_children]}); route all sinks "
+                    "through branches"
+                )
+            if p.kind is LineKind.BRANCH and len(consumer_entries) > 1:
+                raise CircuitError(
+                    f"branch {name!r} drives {len(consumer_entries)} sinks; "
+                    "a branch must feed exactly one gate input"
+                )
+            if len(gate_children) > 1:
+                if not auto_branch:
+                    raise CircuitError(
+                        f"line {name!r} drives {len(gate_children)} gate "
+                        "inputs without explicit branches "
+                        "(pass auto_branch=True to insert them)"
+                    )
+                for k, (consumer, pos) in enumerate(gate_children):
+                    branch_name = f"{name}~{k}"
+                    while branch_name in self._pending:
+                        branch_name += "'"
+                    self._declare(
+                        _PendingLine(
+                            branch_name, LineKind.BRANCH, stem_name=name
+                        )
+                    )
+                    cp = self._pending[consumer]
+                    if cp.kind is LineKind.BRANCH:
+                        raise CircuitError(
+                            f"line {name!r} feeds branch {consumer!r} and "
+                            "gates simultaneously"
+                        )
+                    cp.fanin_names[pos] = branch_name
+
+    def _freeze(self) -> Circuit:
+        name_to_lid = {n: i for i, n in enumerate(self._order)}
+        fanout_lists: dict[str, list[int]] = {n: [] for n in self._order}
+        for p in self._pending.values():
+            if p.kind is LineKind.GATE:
+                for src in p.fanin_names:
+                    fanout_lists[src].append(name_to_lid[p.name])
+            elif p.kind is LineKind.BRANCH:
+                fanout_lists[p.stem_name].append(name_to_lid[p.name])
+        output_set = set(self._output_order)
+        lines: list[Line] = []
+        for lid, n in enumerate(self._order):
+            p = self._pending[n]
+            if p.kind is LineKind.GATE:
+                fanin = tuple(name_to_lid[s] for s in p.fanin_names)
+            elif p.kind is LineKind.BRANCH:
+                fanin = (name_to_lid[p.stem_name],)
+            else:
+                fanin = ()
+            lines.append(
+                Line(
+                    lid=lid,
+                    name=n,
+                    kind=p.kind,
+                    gate_type=p.gate_type,
+                    fanin=fanin,
+                    fanout=tuple(sorted(fanout_lists[n])),
+                    is_output=n in output_set,
+                )
+            )
+        return Circuit(
+            name=self.name,
+            lines=lines,
+            inputs=[name_to_lid[n] for n in self._input_order],
+            outputs=[name_to_lid[n] for n in self._output_order],
+        )

@@ -1,0 +1,208 @@
+"""Gate types and their evaluation in the three value domains.
+
+Each gate type can be evaluated:
+
+* over *signatures* — arbitrary-precision ints holding one bit per input
+  vector of the whole input space (used by the exhaustive simulator and
+  fault simulator);
+* over scalar 3-valued values (0/1/X) — used by the scalar simulator;
+* over *dual-rail lane words* — pairs of ints ``(ones, zeros)`` where bit
+  ``L`` of ``ones`` says "lane L is definitely 1" and bit ``L`` of
+  ``zeros`` says "lane L is definitely 0"; a lane with neither bit set is
+  X.  This is the batched 3-valued representation used by Definition 2's
+  ``tij`` simulations (many partial vectors per call).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from functools import reduce
+
+from repro.errors import CircuitError
+from repro.logic.values import ONE, ZERO, v3_and, v3_not, v3_or, v3_xor
+
+
+class GateType(Enum):
+    """Supported combinational gate functions."""
+
+    AND = "and"
+    OR = "or"
+    NAND = "nand"
+    NOR = "nor"
+    NOT = "not"
+    BUF = "buf"
+    XOR = "xor"
+    XNOR = "xnor"
+    CONST0 = "const0"
+    CONST1 = "const1"
+
+    @property
+    def min_arity(self) -> int:
+        if self in (GateType.CONST0, GateType.CONST1):
+            return 0
+        if self in (GateType.NOT, GateType.BUF):
+            return 1
+        return 1
+
+    @property
+    def max_arity(self) -> int | None:
+        if self in (GateType.CONST0, GateType.CONST1):
+            return 0
+        if self in (GateType.NOT, GateType.BUF):
+            return 1
+        return None
+
+    @property
+    def is_inverting(self) -> bool:
+        """True when the gate complements its base function (NAND/NOR/NOT/XNOR)."""
+        return self in (GateType.NAND, GateType.NOR, GateType.NOT, GateType.XNOR)
+
+    @property
+    def controlling_value(self) -> int | None:
+        """Input value that determines the output alone, if any."""
+        if self in (GateType.AND, GateType.NAND):
+            return 0
+        if self in (GateType.OR, GateType.NOR):
+            return 1
+        return None
+
+    @property
+    def controlled_output(self) -> int | None:
+        """Output value produced by a controlling input."""
+        c = self.controlling_value
+        if c is None:
+            return None
+        base = c  # AND with a 0 -> 0; OR with a 1 -> 1
+        return base ^ 1 if self.is_inverting else base
+
+    def check_arity(self, arity: int) -> None:
+        if arity < self.min_arity:
+            raise CircuitError(
+                f"{self.name} gate needs >= {self.min_arity} inputs, got {arity}"
+            )
+        if self.max_arity is not None and arity > self.max_arity:
+            raise CircuitError(
+                f"{self.name} gate takes <= {self.max_arity} inputs, got {arity}"
+            )
+
+
+def eval_signature(gate_type: GateType, inputs: list[int], mask: int) -> int:
+    """Evaluate a gate over full-space signatures.
+
+    ``mask`` is the all-ones signature for the circuit's input count; it
+    bounds the complement for inverting gates.
+    """
+    gt = gate_type
+    if gt is GateType.CONST0:
+        return 0
+    if gt is GateType.CONST1:
+        return mask
+    if not inputs:
+        raise CircuitError(f"{gt.name} gate evaluated with no inputs")
+    if gt is GateType.BUF:
+        return inputs[0]
+    if gt is GateType.NOT:
+        return ~inputs[0] & mask
+    if gt is GateType.AND:
+        return reduce(lambda a, b: a & b, inputs)
+    if gt is GateType.NAND:
+        return ~reduce(lambda a, b: a & b, inputs) & mask
+    if gt is GateType.OR:
+        return reduce(lambda a, b: a | b, inputs)
+    if gt is GateType.NOR:
+        return ~reduce(lambda a, b: a | b, inputs) & mask
+    if gt is GateType.XOR:
+        return reduce(lambda a, b: a ^ b, inputs)
+    if gt is GateType.XNOR:
+        return ~reduce(lambda a, b: a ^ b, inputs) & mask
+    raise CircuitError(f"unknown gate type: {gt!r}")
+
+
+def eval_scalar3(gate_type: GateType, inputs: list[int]) -> int:
+    """Evaluate a gate over scalar 3-valued inputs (0/1/X)."""
+    gt = gate_type
+    if gt is GateType.CONST0:
+        return ZERO
+    if gt is GateType.CONST1:
+        return ONE
+    if not inputs:
+        raise CircuitError(f"{gt.name} gate evaluated with no inputs")
+    if gt is GateType.BUF:
+        return inputs[0]
+    if gt is GateType.NOT:
+        return v3_not(inputs[0])
+    if gt in (GateType.AND, GateType.NAND):
+        out = reduce(v3_and, inputs)
+        return v3_not(out) if gt is GateType.NAND else out
+    if gt in (GateType.OR, GateType.NOR):
+        out = reduce(v3_or, inputs)
+        return v3_not(out) if gt is GateType.NOR else out
+    if gt in (GateType.XOR, GateType.XNOR):
+        out = reduce(v3_xor, inputs)
+        return v3_not(out) if gt is GateType.XNOR else out
+    raise CircuitError(f"unknown gate type: {gt!r}")
+
+
+def eval_dualrail(
+    gate_type: GateType,
+    ones: list[int],
+    zeros: list[int],
+    lane_mask: int,
+) -> tuple[int, int]:
+    """Evaluate a gate over dual-rail lane words.
+
+    Parameters
+    ----------
+    ones, zeros:
+        Parallel lists (one entry per gate input) of lane words: bit L of
+        ``ones[i]`` means input i is definitely 1 in lane L.
+    lane_mask:
+        All-lanes mask bounding complements.
+
+    Returns ``(out_ones, out_zeros)``.
+    """
+    gt = gate_type
+    if gt is GateType.CONST0:
+        return 0, lane_mask
+    if gt is GateType.CONST1:
+        return lane_mask, 0
+    if not ones:
+        raise CircuitError(f"{gt.name} gate evaluated with no inputs")
+    if gt is GateType.BUF:
+        return ones[0], zeros[0]
+    if gt is GateType.NOT:
+        return zeros[0], ones[0]
+    if gt in (GateType.AND, GateType.NAND):
+        o = reduce(lambda a, b: a & b, ones)
+        z = reduce(lambda a, b: a | b, zeros)
+        return (z, o) if gt is GateType.NAND else (o, z)
+    if gt in (GateType.OR, GateType.NOR):
+        o = reduce(lambda a, b: a | b, ones)
+        z = reduce(lambda a, b: a & b, zeros)
+        return (z, o) if gt is GateType.NOR else (o, z)
+    if gt in (GateType.XOR, GateType.XNOR):
+        o, z = ones[0], zeros[0]
+        for i in range(1, len(ones)):
+            o, z = (o & zeros[i]) | (z & ones[i]), (o & ones[i]) | (z & zeros[i])
+        return (z, o) if gt is GateType.XNOR else (o, z)
+    raise CircuitError(f"unknown gate type: {gt!r}")
+
+
+_NAME_TO_GATE = {gt.value: gt for gt in GateType}
+_NAME_TO_GATE.update({gt.name: gt for gt in GateType})
+_NAME_TO_GATE.update(
+    {
+        "inv": GateType.NOT,
+        "INV": GateType.NOT,
+        "buff": GateType.BUF,
+        "BUFF": GateType.BUF,
+    }
+)
+
+
+def gate_type_from_name(name: str) -> GateType:
+    """Parse a gate-type name as used by ``.bench`` files (case-insensitive)."""
+    gt = _NAME_TO_GATE.get(name) or _NAME_TO_GATE.get(name.lower())
+    if gt is None:
+        raise CircuitError(f"unknown gate type name: {name!r}")
+    return gt

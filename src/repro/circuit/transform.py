@@ -1,0 +1,145 @@
+"""Circuit transformations: cone extraction, partitioning, renaming.
+
+Section 4 of the paper notes that the exhaustive analysis can be applied
+to large designs by partitioning them into output cones with small input
+support and analyzing each cone separately.  :func:`extract_cone` builds
+the sub-circuit feeding a chosen set of outputs and
+:func:`output_partitions` greedily groups outputs into cones whose
+combined input support stays below a bound.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Circuit, LineKind
+from repro.errors import CircuitError
+
+
+def _rebuild(
+    circuit: Circuit,
+    keep: set[int],
+    outputs: list[int],
+    name: str,
+) -> Circuit:
+    """Rebuild a sub-circuit containing exactly the ``keep`` lines.
+
+    Every non-input line in ``keep`` must retain at least one sink or be
+    a declared output; inputs may end up dangling (they preserve the
+    input space of the original circuit).
+    """
+    builder = CircuitBuilder(name)
+    for lid in sorted(keep):
+        line = circuit.lines[lid]
+        if line.kind is LineKind.INPUT:
+            builder.input(line.name)
+        elif line.kind is LineKind.BRANCH:
+            builder.branch(line.name, of=circuit.lines[line.fanin[0]].name)
+        else:
+            builder.gate(
+                line.name,
+                line.gate_type,
+                [circuit.lines[f].name for f in line.fanin],
+            )
+    for lid in outputs:
+        builder.output(circuit.lines[lid].name)
+    return builder.build(auto_branch=True)
+
+
+def extract_cone(
+    circuit: Circuit, output_names: list[str], name: str | None = None
+) -> Circuit:
+    """Sub-circuit driving the named outputs (their transitive fanin).
+
+    The chosen lines become the sub-circuit's primary outputs; all lines
+    keep their names, so faults in the cone map one-to-one onto faults of
+    the original circuit.  Inputs outside the cones' support are dropped,
+    which shrinks the input space the exhaustive analysis must cover.
+    """
+    if not output_names:
+        raise CircuitError("extract_cone needs at least one output name")
+    out_lids = [circuit.lid_of(n) for n in output_names]
+    keep: set[int] = set(out_lids)
+    for lid in out_lids:
+        keep |= circuit.transitive_fanin(lid)
+    sub_name = name or f"{circuit.name}~cone"
+    return _rebuild(circuit, keep, out_lids, sub_name)
+
+
+def cone_support(circuit: Circuit, output_name: str) -> set[int]:
+    """Primary-input lids in the transitive fanin of one output."""
+    lid = circuit.lid_of(output_name)
+    cone = circuit.transitive_fanin(lid)
+    cone.add(lid)
+    return {i for i in circuit.inputs if i in cone}
+
+
+def output_partitions(circuit: Circuit, max_inputs: int) -> list[Circuit]:
+    """Greedily group outputs into cones with bounded input support.
+
+    Outputs are sorted by decreasing support size and placed first-fit
+    into the first group whose combined support stays within
+    ``max_inputs``.  Each group becomes an independent sub-circuit via
+    :func:`extract_cone`.  Raises when a single output's support already
+    exceeds the bound.
+    """
+    if max_inputs < 1:
+        raise CircuitError("max_inputs must be >= 1")
+    supports: list[tuple[str, set[int]]] = []
+    for lid in circuit.outputs:
+        nm = circuit.lines[lid].name
+        sup = cone_support(circuit, nm)
+        if len(sup) > max_inputs:
+            raise CircuitError(
+                f"output {nm!r} depends on {len(sup)} inputs "
+                f"(> max_inputs={max_inputs}); cannot partition"
+            )
+        supports.append((nm, sup))
+    supports.sort(key=lambda item: (-len(item[1]), item[0]))
+    groups: list[tuple[list[str], set[int]]] = []
+    for nm, sup in supports:
+        for names, combined in groups:
+            if len(combined | sup) <= max_inputs:
+                names.append(nm)
+                combined |= sup
+                break
+        else:
+            groups.append(([nm], set(sup)))
+    return [
+        extract_cone(circuit, names, name=f"{circuit.name}~part{i}")
+        for i, (names, _sup) in enumerate(groups)
+    ]
+
+
+def rename_lines(circuit: Circuit, prefix: str = "") -> Circuit:
+    """Renumber lines 1..L in id order (paper-style numeric names)."""
+    mapping = {line.name: f"{prefix}{line.lid + 1}" for line in circuit.lines}
+    builder = CircuitBuilder(circuit.name)
+    for line in circuit.lines:
+        nm = mapping[line.name]
+        if line.kind is LineKind.INPUT:
+            builder.input(nm)
+        elif line.kind is LineKind.BRANCH:
+            builder.branch(nm, of=mapping[circuit.lines[line.fanin[0]].name])
+        else:
+            builder.gate(
+                nm,
+                line.gate_type,
+                [mapping[circuit.lines[f].name] for f in line.fanin],
+            )
+    for lid in circuit.outputs:
+        builder.output(mapping[circuit.lines[lid].name])
+    return builder.build(auto_branch=True)
+
+
+def strip_unused_lines(circuit: Circuit) -> Circuit:
+    """Drop gate/branch lines that feed no primary output (dead logic).
+
+    Primary inputs are always kept — even when their whole fanout is
+    dropped — so the input space and decimal vector numbering of the
+    original circuit are preserved.
+    """
+    keep: set[int] = set(circuit.outputs)
+    for lid in circuit.outputs:
+        keep |= circuit.transitive_fanin(lid)
+    keep.update(circuit.inputs)
+    return _rebuild(circuit, keep, list(circuit.outputs), circuit.name)

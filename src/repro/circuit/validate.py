@@ -1,0 +1,118 @@
+"""Structural validation of circuits (normal-form and connectivity checks).
+
+:func:`validate_circuit` returns a list of human-readable issue strings;
+an empty list means the circuit is well-formed.  ``strict=True`` raises
+:class:`~repro.errors.CircuitError` on the first batch of issues instead.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.netlist import Circuit, LineKind
+from repro.errors import CircuitError
+
+
+def validate_circuit(circuit: Circuit, strict: bool = False) -> list[str]:
+    """Check normal form, connectivity, and arity of a circuit.
+
+    Checks performed:
+
+    * fanin/fanout cross-consistency (each edge recorded on both sides);
+    * gate arities are legal for the gate type;
+    * BRANCH lines have exactly one stem and at most one sink;
+    * no line feeds more than one gate input directly (normal form);
+    * a stem with explicit branches has no direct gate sinks;
+    * inputs have no fanin; gates/branches have fanin;
+    * every line except primary outputs reaches at least one sink
+      (dangling lines are reported);
+    * declared inputs/outputs exist with the right kinds.
+    """
+    issues: list[str] = []
+    n = len(circuit.lines)
+
+    for line in circuit.lines:
+        # Kind-specific shape.
+        if line.kind is LineKind.INPUT:
+            if line.fanin:
+                issues.append(f"input {line.name!r} has fanin")
+            if line.gate_type is not None:
+                issues.append(f"input {line.name!r} carries a gate type")
+        elif line.kind is LineKind.GATE:
+            if line.gate_type is None:
+                issues.append(f"gate line {line.name!r} has no gate type")
+            else:
+                try:
+                    line.gate_type.check_arity(len(line.fanin))
+                except CircuitError as exc:
+                    issues.append(f"gate {line.name!r}: {exc}")
+        elif line.kind is LineKind.BRANCH:
+            if len(line.fanin) != 1:
+                issues.append(
+                    f"branch {line.name!r} has {len(line.fanin)} stems"
+                )
+            if len(line.fanout) > 1:
+                issues.append(
+                    f"branch {line.name!r} drives {len(line.fanout)} sinks"
+                )
+            if line.fanin and circuit.lines[line.fanin[0]].kind is LineKind.BRANCH:
+                issues.append(f"branch {line.name!r} stems from a branch")
+
+        # Edge consistency.
+        for src in line.fanin:
+            if not 0 <= src < n:
+                issues.append(f"line {line.name!r} fanin id {src} out of range")
+            elif line.lid not in circuit.lines[src].fanout:
+                issues.append(
+                    f"edge {circuit.lines[src].name!r}->{line.name!r} missing "
+                    "from source fanout"
+                )
+        for dst in line.fanout:
+            if not 0 <= dst < n:
+                issues.append(f"line {line.name!r} fanout id {dst} out of range")
+            elif line.lid not in circuit.lines[dst].fanin:
+                issues.append(
+                    f"edge {line.name!r}->{circuit.lines[dst].name!r} missing "
+                    "from sink fanin"
+                )
+
+        # Normal form: at most one direct gate sink unless all sinks are
+        # branches.
+        gate_sinks = [
+            d for d in line.fanout
+            if circuit.lines[d].kind is not LineKind.BRANCH
+        ]
+        branch_sinks = [
+            d for d in line.fanout
+            if circuit.lines[d].kind is LineKind.BRANCH
+        ]
+        if branch_sinks and gate_sinks:
+            issues.append(
+                f"line {line.name!r} mixes branch and direct gate sinks"
+            )
+        if len(gate_sinks) > 1:
+            issues.append(
+                f"line {line.name!r} feeds {len(gate_sinks)} gate inputs "
+                "directly (not in normal form)"
+            )
+
+        # Dangling lines.
+        if not line.fanout and not line.is_output:
+            issues.append(f"line {line.name!r} is dangling (no sink, not PO)")
+
+    input_set = set(circuit.inputs)
+    for lid in circuit.inputs:
+        if circuit.lines[lid].kind is not LineKind.INPUT:
+            issues.append(f"declared input {circuit.lines[lid].name!r} is not INPUT")
+    for line in circuit.lines:
+        if line.kind is LineKind.INPUT and line.lid not in input_set:
+            issues.append(f"INPUT line {line.name!r} missing from input list")
+    for lid in circuit.outputs:
+        if not circuit.lines[lid].is_output:
+            issues.append(
+                f"declared output {circuit.lines[lid].name!r} lacks output flag"
+            )
+
+    if strict and issues:
+        raise CircuitError(
+            f"circuit {circuit.name!r} failed validation:\n  " + "\n  ".join(issues)
+        )
+    return issues

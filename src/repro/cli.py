@@ -1,0 +1,285 @@
+"""Command-line interface: ``repro <command>`` / ``python -m repro``.
+
+Commands regenerate the paper's artifacts::
+
+    repro table1                     # example-circuit overlap analysis
+    repro table2 [--circuits a,b]    # worst-case coverage, small n
+    repro table3                     # worst-case tails, large n
+    repro table4 [--k 10]            # example random test sets
+    repro table5 [--k 1000]          # average-case histograms (Def. 1)
+    repro table6 [--k 200]           # Definition 1 vs Definition 2
+    repro figure2 [--circuit dvram]  # nmin distribution
+    repro suite                      # circuit inventory with fault counts
+    repro show-example               # Figure 1 circuit
+    repro partition CIRCUIT          # Section 4 cone-partitioned analysis
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench_suite.example import paper_example_ascii
+from repro.bench_suite.registry import circuit_names, get_circuit
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--circuits",
+        help="comma-separated circuit subset (default: paper's list)",
+    )
+    parser.add_argument("--seed", type=int, default=2005)
+    _add_format(parser)
+
+
+def _add_format(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--format",
+        choices=["text", "csv", "markdown"],
+        default="text",
+        help="output format (text mirrors the paper's layout)",
+    )
+
+
+def _format_result(result, fmt: str) -> str:
+    if fmt == "text":
+        return result.render()
+    from repro.experiments.export import to_csv, to_markdown
+
+    return to_csv(result) if fmt == "csv" else to_markdown(result)
+
+
+def _circuit_list(args: argparse.Namespace) -> list[str] | None:
+    if getattr(args, "circuits", None):
+        return [c.strip() for c in args.circuits.split(",") if c.strip()]
+    return None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Pomeranz & Reddy, 'Worst-Case and "
+            "Average-Case Analysis of n-Detection Test Sets' (DATE 2005)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="Table 1 (example circuit)")
+    p.add_argument("--fault", type=int, default=0, help="index of g in G")
+    _add_format(p)
+
+    p = sub.add_parser("table2", help="Table 2 (worst case, small n)")
+    _add_common(p)
+
+    p = sub.add_parser("table3", help="Table 3 (worst case, large n)")
+    _add_common(p)
+
+    p = sub.add_parser("table4", help="Table 4 (example test sets)")
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--seed", type=int, default=2005)
+    _add_format(p)
+
+    p = sub.add_parser("table5", help="Table 5 (average case, Def. 1)")
+    _add_common(p)
+    p.add_argument("--k", type=int, default=None)
+    p.add_argument("--nmax", type=int, default=None)
+
+    p = sub.add_parser("table6", help="Table 6 (Def. 1 vs Def. 2)")
+    _add_common(p)
+    p.add_argument("--k", type=int, default=None)
+    p.add_argument("--nmax", type=int, default=None)
+
+    p = sub.add_parser("figure2", help="Figure 2 (nmin distribution)")
+    p.add_argument("--circuit", default="dvram")
+    p.add_argument("--min", type=int, default=100, dest="minimum")
+    _add_format(p)
+
+    sub.add_parser("suite", help="circuit inventory with fault counts")
+    sub.add_parser("show-example", help="print the Figure 1 circuit")
+
+    p = sub.add_parser("partition", help="Section 4 cone-partitioned analysis")
+    p.add_argument("circuit")
+    p.add_argument("--max-inputs", type=int, default=12)
+
+    p = sub.add_parser(
+        "gen-tests", help="generate a compact n-detection test set"
+    )
+    p.add_argument("circuit")
+    p.add_argument("--n", type=int, default=1)
+    p.add_argument(
+        "--method", choices=["greedy", "podem"], default="greedy"
+    )
+    p.add_argument("--out", help="write vectors to this file")
+    p.add_argument("--seed", type=int, default=2005)
+
+    p = sub.add_parser(
+        "escape", help="expected untargeted-fault escapes vs n"
+    )
+    p.add_argument("circuit")
+    p.add_argument("--k", type=int, default=200)
+    p.add_argument("--nmax", type=int, default=10)
+    p.add_argument("--seed", type=int, default=2005)
+    return parser
+
+
+def _cmd_suite() -> str:
+    from repro.experiments.common import render_rows
+    from repro.faults.universe import FaultUniverse
+
+    rows = []
+    for name in circuit_names():
+        c = get_circuit(name)
+        stats = c.stats()
+        u = FaultUniverse(c)
+        rows.append(
+            [
+                name,
+                str(stats["inputs"]),
+                str(stats["outputs"]),
+                str(stats["gates"]),
+                str(stats["lines"]),
+                str(len(u.target_faults)),
+                str(len(u.untargeted_faults)),
+            ]
+        )
+    header = ["circuit", "PI", "PO", "gates", "lines", "|F|", "|G raw|"]
+    return render_rows(header, rows) + "\n"
+
+
+def _cmd_partition(name: str, max_inputs: int) -> str:
+    from repro.core.partition import PartitionedAnalysis
+
+    circuit = get_circuit(name)
+    analysis = PartitionedAnalysis(circuit, max_inputs=max_inputs)
+    lines = [f"Cone-partitioned analysis of {name} (max {max_inputs} inputs)"]
+    for key, value in analysis.summary().items():
+        lines.append(f"  {key}: {value}")
+    for cone in analysis.cones:
+        g = cone.analysis.guaranteed_n()
+        lines.append(
+            f"  cone {cone.circuit.name}: inputs={cone.circuit.num_inputs} "
+            f"faults={len(cone.analysis)} guaranteed_n={g}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _cmd_gen_tests(args: argparse.Namespace) -> str:
+    import random
+
+    from repro.atpg.ndetect import greedy_ndetection_set, podem_ndetection_set
+    from repro.faults.universe import FaultUniverse
+    from repro.io_formats.vectors import write_vectors
+
+    circuit = get_circuit(args.circuit)
+    universe = FaultUniverse(circuit)
+    if args.method == "greedy":
+        tests = greedy_ndetection_set(
+            universe.target_table, args.n, rng=random.Random(args.seed)
+        )
+    else:
+        tests = podem_ndetection_set(
+            circuit, universe.target_faults, args.n, seed=args.seed
+        )
+    text = write_vectors(
+        sorted(tests),
+        circuit.num_inputs,
+        comment=(
+            f"{args.n}-detection test set for {args.circuit} "
+            f"({args.method}, {len(tests)} vectors)"
+        ),
+    )
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        return f"wrote {len(tests)} vectors to {args.out}\n"
+    return text
+
+
+def _cmd_escape(args: argparse.Namespace) -> str:
+    from repro.core.average_case import AverageCaseAnalysis
+    from repro.core.escape import EscapeAnalysis
+    from repro.core.procedure1 import build_random_ndetection_sets
+    from repro.core.worst_case import WorstCaseAnalysis
+    from repro.faults.universe import FaultUniverse
+
+    circuit = get_circuit(args.circuit)
+    universe = FaultUniverse(circuit)
+    worst = WorstCaseAnalysis(
+        universe.target_table, universe.untargeted_table
+    )
+    family = build_random_ndetection_sets(
+        universe.target_table,
+        n_max=args.nmax,
+        num_sets=args.k,
+        seed=args.seed,
+    )
+    avg = AverageCaseAnalysis(family, universe.untargeted_table)
+    escape = EscapeAnalysis(worst, avg)
+    head = (
+        f"Escape analysis of {args.circuit} "
+        f"({len(worst)} untargeted faults, K={args.k}):\n"
+    )
+    return head + escape.render() + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    # Imports are deferred: experiment modules pull in the whole analysis
+    # stack, which only some commands need.
+    if args.command == "table1":
+        from repro.experiments.table1 import run_table1
+
+        out = _format_result(run_table1(args.fault), args.format)
+    elif args.command == "table2":
+        from repro.experiments.table2 import run_table2
+
+        out = _format_result(run_table2(_circuit_list(args)), args.format)
+    elif args.command == "table3":
+        from repro.experiments.table3 import run_table3
+
+        out = _format_result(run_table3(_circuit_list(args)), args.format)
+    elif args.command == "table4":
+        from repro.experiments.table4 import run_table4
+
+        out = _format_result(
+            run_table4(num_sets=args.k, seed=args.seed), args.format
+        )
+    elif args.command == "table5":
+        from repro.experiments.table5 import run_table5
+
+        result = run_table5(
+            _circuit_list(args), k=args.k, n_max=args.nmax, seed=args.seed
+        )
+        out = _format_result(result, args.format)
+    elif args.command == "table6":
+        from repro.experiments.table6 import run_table6
+
+        result = run_table6(
+            _circuit_list(args), k=args.k, n_max=args.nmax, seed=args.seed
+        )
+        out = _format_result(result, args.format)
+    elif args.command == "figure2":
+        from repro.experiments.figure2 import run_figure2
+
+        out = _format_result(
+            run_figure2(args.circuit, minimum=args.minimum), args.format
+        )
+    elif args.command == "suite":
+        out = _cmd_suite()
+    elif args.command == "show-example":
+        out = paper_example_ascii() + "\n"
+    elif args.command == "partition":
+        out = _cmd_partition(args.circuit, args.max_inputs)
+    elif args.command == "gen-tests":
+        out = _cmd_gen_tests(args)
+    elif args.command == "escape":
+        out = _cmd_escape(args)
+    else:  # pragma: no cover - argparse enforces the choices
+        raise SystemExit(2)
+    sys.stdout.write(out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

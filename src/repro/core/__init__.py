@@ -1,0 +1,58 @@
+"""The paper's contribution: worst-case and average-case n-detection analysis.
+
+``worst_case``
+    Section 2 — ``nmin(g, f)``, ``nmin(g)``, coverage-vs-n statistics.
+``procedure1``
+    Section 3 — Procedure 1: random construction of K n-detection test
+    sets for n = 1..nmax, under Definition 1 or Definition 2 counting.
+``average_case``
+    Section 3 — detection probabilities ``p(n, g)`` estimated over the K
+    test sets, plus the probability histograms of Tables 5/6.
+``definitions``
+    Section 4 — Definition 1 / Definition 2 detection counting for a
+    given test set and fault.
+``distribution``
+    Figure 2 — the distribution of ``nmin(g)`` values.
+``partition``
+    Section 4 — applying the analysis to large designs via output-cone
+    partitioning.
+"""
+
+from repro.core.worst_case import (
+    NminRecord,
+    WorstCaseAnalysis,
+    nmin_for_untargeted_fault,
+)
+from repro.core.procedure1 import (
+    NDetectionFamily,
+    build_random_ndetection_sets,
+)
+from repro.core.average_case import (
+    AverageCaseAnalysis,
+    probability_histogram,
+)
+from repro.core.definitions import (
+    count_detections_def1,
+    count_detections_def2,
+    count_detections_def2_exact,
+)
+from repro.core.distribution import nmin_distribution
+from repro.core.escape import EscapeAnalysis, EscapeReport
+from repro.core.partition import PartitionedAnalysis
+
+__all__ = [
+    "EscapeAnalysis",
+    "EscapeReport",
+    "NminRecord",
+    "WorstCaseAnalysis",
+    "nmin_for_untargeted_fault",
+    "NDetectionFamily",
+    "build_random_ndetection_sets",
+    "AverageCaseAnalysis",
+    "probability_histogram",
+    "count_detections_def1",
+    "count_detections_def2",
+    "count_detections_def2_exact",
+    "nmin_distribution",
+    "PartitionedAnalysis",
+]

@@ -1,0 +1,112 @@
+"""Detection-count definitions (Section 4 of the paper).
+
+Definition 1: a fault ``f`` is detected ``n`` times by a test set ``T``
+when ``T`` contains ``n`` tests that detect ``f``.
+
+Definition 2: tests only count as distinct detections when they are
+pairwise "sufficiently different" — for every counted pair ``(ti, tj)``
+the common-bits vector ``tij`` must NOT detect ``f`` (3-valued
+simulation).  The paper's procedures evaluate this greedily in test
+order; :func:`count_detections_def2` mirrors that.  The exact maximum —
+the largest pairwise-different subset, i.e. a maximum clique in the
+"different" graph — is provided by :func:`count_detections_def2_exact`
+for small instances (ablation: how much does greediness undercount?).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.circuit.netlist import Circuit
+from repro.faults.stuck_at import StuckAtFault
+from repro.faultsim.threeval_detect import pair_checks_batch
+
+
+def count_detections_def1(fault_signature: int, test_signature: int) -> int:
+    """``|T ∩ T(f)|`` — Definition 1 detection count."""
+    return (fault_signature & test_signature).bit_count()
+
+
+def _detecting_tests(
+    fault_signature: int, tests_in_order: Sequence[int]
+) -> list[int]:
+    return [t for t in tests_in_order if (fault_signature >> t) & 1]
+
+
+def count_detections_def2(
+    circuit: Circuit,
+    fault: StuckAtFault,
+    fault_signature: int,
+    tests_in_order: Sequence[int],
+) -> int:
+    """Greedy Definition 2 detection count (test insertion order).
+
+    Walks the detecting tests in order and accepts a test when its
+    ``tij`` with every previously accepted test does not detect the
+    fault.  All pair checks for one candidate are batched into a single
+    dual-rail simulation pass.
+    """
+    accepted: list[int] = []
+    for t in _detecting_tests(fault_signature, tests_in_order):
+        if not accepted:
+            accepted.append(t)
+            continue
+        verdicts = pair_checks_batch(
+            circuit, fault, [(t, a) for a in accepted]
+        )
+        if not any(verdicts):
+            accepted.append(t)
+    return len(accepted)
+
+
+def count_detections_def2_exact(
+    circuit: Circuit,
+    fault: StuckAtFault,
+    fault_signature: int,
+    tests: Sequence[int],
+    max_tests: int = 24,
+) -> int:
+    """Exact Definition 2 count: maximum pairwise-different subset.
+
+    Builds the full pairwise "similar" matrix and finds a maximum clique
+    of the complement graph by branch and bound.  Exponential in the
+    worst case — guarded by ``max_tests``.
+    """
+    detecting = _detecting_tests(fault_signature, tests)
+    m = len(detecting)
+    if m > max_tests:
+        raise ValueError(
+            f"{m} detecting tests exceed max_tests={max_tests}; "
+            "exact Definition 2 counting is for small instances only"
+        )
+    if m <= 1:
+        return m
+    pairs = [
+        (detecting[i], detecting[j])
+        for i in range(m)
+        for j in range(i + 1, m)
+    ]
+    verdicts = pair_checks_batch(circuit, fault, pairs)
+    different = [[False] * m for _ in range(m)]
+    it = iter(verdicts)
+    for i in range(m):
+        for j in range(i + 1, m):
+            ok = not next(it)
+            different[i][j] = different[j][i] = ok
+
+    best = 0
+
+    def extend(chosen: list[int], candidates: list[int]) -> None:
+        nonlocal best
+        if len(chosen) > best:
+            best = len(chosen)
+        if len(chosen) + len(candidates) <= best:
+            return
+        for idx, c in enumerate(candidates):
+            extend(
+                chosen + [c],
+                [d for d in candidates[idx + 1:] if different[c][d]],
+            )
+
+    extend([], list(range(m)))
+    return best

@@ -1,0 +1,54 @@
+"""Distribution of ``nmin(g)`` values (Figure 2 of the paper).
+
+The paper plots, for the circuit ``dvram``, the number of untargeted
+faults at each ``nmin`` value of at least 100.  :func:`nmin_distribution`
+produces the underlying ``(nmin, count)`` series and
+:func:`render_ascii_histogram` draws it as a log-scaled ASCII bar chart
+for the CLI and the experiment harness.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Sequence
+
+
+def nmin_distribution(
+    nmin_values: Sequence[int | None],
+    minimum: int = 100,
+) -> list[tuple[int, int]]:
+    """Sorted ``(nmin, count)`` pairs for values ``>= minimum``.
+
+    ``None`` entries (faults with no guarantee at any ``n``) are excluded
+    from the series — they have no finite ``nmin`` to plot; callers that
+    need them can count them separately.
+    """
+    counter = Counter(
+        v for v in nmin_values if v is not None and v >= minimum
+    )
+    return sorted(counter.items())
+
+
+def render_ascii_histogram(
+    series: Sequence[tuple[int, int]],
+    width: int = 50,
+    log_scale: bool = True,
+) -> str:
+    """ASCII bar chart of an ``(x, count)`` series (Figure 2 rendering)."""
+    if not series:
+        return "(empty distribution)"
+    max_count = max(count for _x, count in series)
+
+    def bar_len(count: int) -> int:
+        if count <= 0:
+            return 0
+        if not log_scale or max_count <= 1:
+            return max(1, round(width * count / max_count))
+        return max(1, round(width * math.log1p(count) / math.log1p(max_count)))
+
+    lines = ["  nmin | #faults"]
+    lines.append("-" * (width + 18))
+    for x, count in series:
+        lines.append(f"{x:>6} | {count:>7} {'#' * bar_len(count)}")
+    return "\n".join(lines)

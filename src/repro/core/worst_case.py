@@ -1,0 +1,170 @@
+"""Worst-case analysis (Section 2 of the paper).
+
+For a target fault ``f`` and an untargeted fault ``g``::
+
+    nmin(g, f) = N(f) - M(g, f) + 1
+
+is the smallest number of detections of ``f`` that *forces* a test of
+``g`` into the test set: ``f`` can be detected ``N(f) - M(g, f)`` times
+using only vectors outside ``T(g)``, and one more detection must use a
+vector in ``T(f) ∩ T(g)``.  Minimizing over all target faults that
+overlap ``g``::
+
+    nmin(g) = min { nmin(g, f) : f ∈ F(g) },   F(g) = {f : T(f) ∩ T(g) ≠ ∅}
+
+is the smallest ``n`` such that **every** n-detection test set for ``F``
+is guaranteed to detect ``g``.  When ``F(g)`` is empty no value of ``n``
+gives a guarantee; ``nmin(g)`` is recorded as ``None`` (treated as +∞ by
+all threshold queries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.faultsim.detection import DetectionTable
+
+
+@dataclass(frozen=True, slots=True)
+class NminRecord:
+    """Worst-case result for one untargeted fault.
+
+    ``nmin`` is ``None`` when no target fault overlaps ``g`` (no guarantee
+    at any ``n``).  ``witness`` is the index (into the target table) of a
+    target fault achieving the minimum, and ``witness_overlap`` its
+    ``M(g, f)``.
+    """
+
+    fault_index: int
+    nmin: int | None
+    witness: int | None
+    witness_overlap: int
+
+
+def nmin_for_untargeted_fault(
+    target_table: DetectionTable,
+    g_signature: int,
+    target_counts: list[int] | None = None,
+    sorted_order: list[int] | None = None,
+) -> tuple[int | None, int | None, int]:
+    """``(nmin(g), witness index, witness overlap)`` for one fault.
+
+    ``target_counts`` lets callers pass the precomputed ``N(f)`` list;
+    ``sorted_order`` the target indices sorted by ascending ``N(f)``.
+    Scanning targets in ascending ``N(f)`` allows a sharp early exit:
+    since ``M(g, f) <= min(N(f), N(g))``, every target satisfies
+    ``nmin(g, f) >= N(f) - N(g) + 1``, so once that bound reaches the
+    best value found, no later (larger-``N``) target can improve it.
+    """
+    if g_signature == 0:
+        raise AnalysisError("nmin is undefined for an undetectable fault")
+    counts = target_counts or target_table.counts()
+    if sorted_order is None:
+        sorted_order = sorted(range(len(counts)), key=counts.__getitem__)
+    n_g = g_signature.bit_count()
+    best: int | None = None
+    best_idx: int | None = None
+    best_overlap = 0
+    signatures = target_table.signatures
+    for idx in sorted_order:
+        n_f = counts[idx]
+        if best is not None and n_f - n_g + 1 >= best:
+            break
+        overlap = (signatures[idx] & g_signature).bit_count()
+        if overlap == 0:
+            continue
+        candidate = n_f - overlap + 1
+        if best is None or candidate < best:
+            best = candidate
+            best_idx = idx
+            best_overlap = overlap
+            if best == 1:
+                break  # cannot improve
+    return best, best_idx, best_overlap
+
+
+class WorstCaseAnalysis:
+    """Worst-case ``nmin`` records for every untargeted fault.
+
+    Parameters
+    ----------
+    target_table:
+        Detection table of the target faults ``F`` (stuck-at).
+    untargeted_table:
+        Detection table of the untargeted faults ``G`` (bridging);
+        must contain detectable faults only.
+    """
+
+    def __init__(
+        self,
+        target_table: DetectionTable,
+        untargeted_table: DetectionTable,
+    ):
+        if any(sig == 0 for sig in untargeted_table.signatures):
+            raise AnalysisError(
+                "untargeted table contains undetectable faults; build it "
+                "with drop_undetectable=True"
+            )
+        self.target_table = target_table
+        self.untargeted_table = untargeted_table
+        counts = target_table.counts()
+        order = sorted(range(len(counts)), key=counts.__getitem__)
+        self.records: list[NminRecord] = []
+        for j, g_sig in enumerate(untargeted_table.signatures):
+            nmin, witness, overlap = nmin_for_untargeted_fault(
+                target_table, g_sig, target_counts=counts, sorted_order=order
+            )
+            self.records.append(NminRecord(j, nmin, witness, overlap))
+
+    # ------------------------------------------------------------------
+    # Threshold queries (Tables 2 and 3)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def nmin_values(self) -> list[int | None]:
+        return [r.nmin for r in self.records]
+
+    def count_within(self, n: int) -> int:
+        """Number of faults with ``nmin(g) <= n`` (guaranteed detection)."""
+        return sum(
+            1 for r in self.records if r.nmin is not None and r.nmin <= n
+        )
+
+    def fraction_within(self, n: int) -> float:
+        """Fraction of ``G`` guaranteed detected by any n-detection set."""
+        if not self.records:
+            return 1.0
+        return self.count_within(n) / len(self.records)
+
+    def count_at_least(self, n: int) -> int:
+        """Number of faults with ``nmin(g) >= n`` (``None`` counts)."""
+        return sum(
+            1 for r in self.records if r.nmin is None or r.nmin >= n
+        )
+
+    def indices_at_least(self, n: int) -> list[int]:
+        """Untargeted-fault indices with ``nmin(g) >= n``."""
+        return [
+            r.fault_index
+            for r in self.records
+            if r.nmin is None or r.nmin >= n
+        ]
+
+    def guaranteed_n(self) -> int | None:
+        """Smallest ``n`` guaranteeing detection of *all* of ``G``.
+
+        ``None`` when some fault has no guarantee at any ``n``.
+        """
+        worst = 0
+        for r in self.records:
+            if r.nmin is None:
+                return None
+            if r.nmin > worst:
+                worst = r.nmin
+        return worst
+
+    def coverage_curve(self, n_values: list[int]) -> list[float]:
+        """Percent of ``G`` guaranteed detected for each ``n`` (Table 2 row)."""
+        return [100.0 * self.fraction_within(n) for n in n_values]

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch a single base class.  The
+subclasses partition failures by subsystem: circuit construction, file
+parsing, simulation, fault handling, and analysis configuration.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CircuitError(ReproError):
+    """Structural problem in a circuit (bad connectivity, duplicate names...)."""
+
+
+class CircuitCycleError(CircuitError):
+    """The combinational netlist contains a cycle."""
+
+    def __init__(self, cycle_lines: list[str]):
+        self.cycle_lines = list(cycle_lines)
+        super().__init__(
+            "combinational cycle through lines: " + " -> ".join(self.cycle_lines)
+        )
+
+
+class ParseError(ReproError):
+    """A netlist / FSM file could not be parsed."""
+
+    def __init__(self, message: str, line_no: int | None = None):
+        self.line_no = line_no
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+
+
+class SimulationError(ReproError):
+    """Invalid simulation request (wrong vector width, unknown line...)."""
+
+
+class FaultError(ReproError):
+    """Invalid fault specification (unknown line, bad stuck value...)."""
+
+
+class AnalysisError(ReproError):
+    """Invalid analysis configuration (e.g. nmax < 1, empty fault set)."""
+
+
+class AtpgError(ReproError):
+    """ATPG engine failure (undetectable target treated as detectable...)."""

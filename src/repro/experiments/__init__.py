@@ -1,0 +1,45 @@
+"""Regeneration of every table and figure of the paper.
+
+One module per artifact:
+
+========= ===========================================================
+module    paper artifact
+========= ===========================================================
+table1    Table 1 — example-circuit overlap analysis for ``g0``
+table2    Table 2 — worst-case % detected for small ``n`` (suite)
+table3    Table 3 — worst-case counts for large ``n`` (suite)
+table4    Table 4 — K=10 random 1-/2-detection sets (example circuit)
+table5    Table 5 — average-case ``p(10, g)`` histograms (Def. 1)
+table6    Table 6 — Definition 1 vs Definition 2 histograms
+figure2   Figure 2 — distribution of ``nmin(g)`` (heavy-tail circuit)
+========= ===========================================================
+
+Every experiment returns a structured result object with a ``render()``
+method producing a text table in the paper's row format; the benches in
+``benchmarks/`` and the CLI both go through these entry points.
+"""
+
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.table2 import Table2Result, run_table2
+from repro.experiments.table3 import Table3Result, run_table3
+from repro.experiments.table4 import Table4Result, run_table4
+from repro.experiments.table5 import Table5Result, run_table5
+from repro.experiments.table6 import Table6Result, run_table6
+from repro.experiments.figure2 import Figure2Result, run_figure2
+
+__all__ = [
+    "Table1Result",
+    "run_table1",
+    "Table2Result",
+    "run_table2",
+    "Table3Result",
+    "run_table3",
+    "Table4Result",
+    "run_table4",
+    "Table5Result",
+    "run_table5",
+    "Table6Result",
+    "run_table6",
+    "Figure2Result",
+    "run_figure2",
+]

@@ -1,0 +1,117 @@
+"""Shared infrastructure for the experiment harness.
+
+Universes and worst-case analyses are memoized per circuit name with a
+small LRU (detection tables of the largest suite circuits weigh tens of
+megabytes, so an unbounded cache is not an option).  Default circuit
+lists mirror the paper's tables; heavyweight parameters (``K``, ``nmax``)
+accept environment overrides so benches can run quick while the CLI can
+reproduce the full-size experiment:
+
+``REPRO_K``          overrides the number of random test sets.
+``REPRO_NMAX``       overrides nmax (paper: 10).
+``REPRO_CIRCUITS``   comma-separated circuit subset for suite tables.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from repro.bench_suite.registry import get_circuit, suite_table_groups
+from repro.core.worst_case import WorstCaseAnalysis
+from repro.faults.universe import FaultUniverse
+
+#: The paper reports Tables 3/5/6 only for circuits that have faults with
+#: nmin >= 11; these are the Table 5 rows of the paper (the analogues in
+#: our suite are discovered dynamically, but the defaults start here).
+PAPER_TABLE5_CIRCUITS: tuple[str, ...] = (
+    "beecount",
+    "ex2",
+    "ex3",
+    "ex6",
+    "mark1",
+    "bbara",
+    "ex4",
+    "keyb",
+    "opus",
+    "bbsse",
+    "cse",
+    "dvram",
+    "fetch",
+    "log",
+    "rie",
+    "s1a",
+)
+
+#: Table 6 of the paper uses the same circuits with K = 1000.
+PAPER_TABLE6_CIRCUITS = PAPER_TABLE5_CIRCUITS
+
+NMAX_DEFAULT = 10
+THRESHOLD_NOT_GUARANTEED = 11  # faults with nmin >= 11 escape a 10-detection set
+
+
+@lru_cache(maxsize=40)
+def get_universe(name: str) -> FaultUniverse:
+    """Fault universe (with detection tables) for a suite circuit.
+
+    The cache is sized to hold the whole 35-circuit suite: suite-wide
+    tables (2, 3, 5) revisit every circuit, and rebuilding the biggest
+    detection tables costs ~10 s each.  Total footprint stays within a
+    few GB (the two largest tables are ~400 MB each).
+    """
+    universe = FaultUniverse(get_circuit(name))
+    # Touch the tables so the cache holds fully-built universes.
+    universe.target_table
+    universe.untargeted_table
+    return universe
+
+
+@lru_cache(maxsize=40)
+def get_worst_case(name: str) -> WorstCaseAnalysis:
+    """Worst-case analysis for a suite circuit (cached)."""
+    u = get_universe(name)
+    return WorstCaseAnalysis(u.target_table, u.untargeted_table)
+
+
+def env_int(var: str, default: int) -> int:
+    """Integer environment override with a fallback."""
+    raw = os.environ.get(var)
+    if raw is None:
+        return default
+    return int(raw)
+
+
+def suite_circuits(default: tuple[str, ...] | None = None) -> list[str]:
+    """Circuit list for suite-wide tables (REPRO_CIRCUITS override)."""
+    raw = os.environ.get("REPRO_CIRCUITS")
+    if raw:
+        return [c.strip() for c in raw.split(",") if c.strip()]
+    if default is not None:
+        return list(default)
+    return list(suite_table_groups())
+
+
+def render_rows(
+    header: list[str], rows: list[list[str]], indent: str = ""
+) -> str:
+    """Fixed-width text table (right-aligned data columns)."""
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    lines.append(
+        indent
+        + "  ".join(h.ljust(widths[i]) if i == 0 else h.rjust(widths[i])
+                    for i, h in enumerate(header))
+    )
+    lines.append(indent + "-" * (sum(widths) + 2 * (len(widths) - 1)))
+    for row in rows:
+        lines.append(
+            indent
+            + "  ".join(
+                cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+                for i, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)

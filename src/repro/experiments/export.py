@@ -1,0 +1,150 @@
+"""Structured exports of experiment results (CSV and Markdown).
+
+The text renderers in each experiment module mirror the paper's layout;
+downstream users usually want the data machine-readable instead.  Every
+result object gets a ``(header, rows)`` extraction here, plus generic
+CSV/Markdown serializers used by the CLI's ``--format`` option.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Sequence
+
+from repro.core.average_case import TABLE5_THRESHOLDS
+from repro.errors import ReproError
+from repro.experiments.figure2 import Figure2Result
+from repro.experiments.table1 import Table1Result
+from repro.experiments.table2 import N_COLUMNS, Table2Result
+from repro.experiments.table3 import THRESHOLDS, Table3Result
+from repro.experiments.table4 import Table4Result
+from repro.experiments.table5 import Table5Result
+from repro.experiments.table6 import Table6Result
+
+Rows = tuple[list[str], list[list[str]]]
+
+
+def _table1_rows(result: Table1Result) -> Rows:
+    header = ["index", "fault", "vectors", "nmin"]
+    rows = [
+        [str(r.index), r.fault, " ".join(map(str, r.vectors)), str(r.nmin)]
+        for r in result.rows
+    ]
+    return header, rows
+
+
+def _table2_rows(result: Table2Result) -> Rows:
+    header = ["circuit", "faults"] + [f"pct_le_{n}" for n in N_COLUMNS]
+    rows = [
+        [r.circuit, str(r.num_faults)]
+        + [f"{p:.4f}" for p in r.percentages]
+        for r in result.rows
+    ]
+    return header, rows
+
+
+def _table3_rows(result: Table3Result) -> Rows:
+    header = ["circuit", "faults"] + [f"count_ge_{t}" for t in THRESHOLDS]
+    rows = [
+        [r.circuit, str(r.num_faults)] + [str(c) for c in r.counts]
+        for r in result.rows
+    ]
+    return header, rows
+
+
+def _table4_rows(result: Table4Result) -> Rows:
+    header = ["k", "n", "tests"]
+    rows = []
+    fam = result.family
+    for k in range(fam.num_sets):
+        for n in range(1, fam.n_max + 1):
+            rows.append(
+                [str(k), str(n), " ".join(map(str, fam.test_set(n, k)))]
+            )
+    return header, rows
+
+
+def _table5_rows(result: Table5Result) -> Rows:
+    header = ["circuit", "faults"] + [
+        f"count_p_ge_{t:g}" for t in TABLE5_THRESHOLDS
+    ]
+    rows = [
+        [r.circuit, str(r.num_faults)] + [str(c) for c in r.histogram]
+        for r in result.rows
+    ]
+    return header, rows
+
+
+def _table6_rows(result: Table6Result) -> Rows:
+    header = ["circuit", "faults", "definition"] + [
+        f"count_p_ge_{t:g}" for t in TABLE5_THRESHOLDS
+    ]
+    rows = []
+    for r in result.rows:
+        rows.append(
+            [r.circuit, str(r.num_faults), "1"]
+            + [str(c) for c in r.def1.histogram]
+        )
+        rows.append(
+            [r.circuit, str(r.num_faults), "2"]
+            + [str(c) for c in r.def2.histogram]
+        )
+    return header, rows
+
+
+def _figure2_rows(result: Figure2Result) -> Rows:
+    header = ["nmin", "count"]
+    rows = [[str(v), str(c)] for v, c in result.series]
+    return header, rows
+
+
+_EXTRACTORS = {
+    Table1Result: _table1_rows,
+    Table2Result: _table2_rows,
+    Table3Result: _table3_rows,
+    Table4Result: _table4_rows,
+    Table5Result: _table5_rows,
+    Table6Result: _table6_rows,
+    Figure2Result: _figure2_rows,
+}
+
+
+def result_rows(result) -> Rows:
+    """(header, rows) for any experiment result object."""
+    extractor = _EXTRACTORS.get(type(result))
+    if extractor is None:
+        raise ReproError(
+            f"no exporter for result type {type(result).__name__}"
+        )
+    return extractor(result)
+
+
+def to_csv(result) -> str:
+    """Serialize an experiment result as CSV text."""
+    header, rows = result_rows(result)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(header)
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def to_markdown(result) -> str:
+    """Serialize an experiment result as a Markdown table."""
+    header, rows = result_rows(result)
+    return render_markdown_table(header, rows)
+
+
+def render_markdown_table(
+    header: Sequence[str], rows: Sequence[Sequence[str]]
+) -> str:
+    """Generic GitHub-flavoured Markdown table."""
+    def esc(cell: str) -> str:
+        return cell.replace("|", "\\|")
+
+    lines = ["| " + " | ".join(esc(h) for h in header) + " |"]
+    lines.append("|" + "|".join(" --- " for _ in header) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(esc(c) for c in row) + " |")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,86 @@
+"""The combined fault universe of one analysis run.
+
+:class:`FaultUniverse` bundles a circuit with the paper's two fault sets
+and their detection tables:
+
+* ``F`` — collapsed single stuck-at faults (targets of n-detection test
+  generation), undetectable members kept (they never constrain a test
+  set, matching the paper);
+* ``G`` — detectable non-feedback four-way bridging faults between
+  outputs of multi-input gates (the untargeted faults the analysis
+  evaluates).
+
+Everything is built lazily and cached, so experiments can share one
+universe per circuit.
+"""
+
+from __future__ import annotations
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import TYPE_CHECKING
+
+from repro.circuit.netlist import Circuit
+from repro.faults.bridging import BridgingFault, four_way_bridging_faults
+from repro.faults.stuck_at import StuckAtFault, collapsed_stuck_at_faults
+from repro.simulation.exhaustive import line_signatures
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (see below)
+    from repro.faultsim.detection import DetectionTable
+
+# NOTE: repro.faultsim.detection imports the fault dataclasses from this
+# package, so the DetectionTable import happens lazily inside the cached
+# properties to avoid a circular import at package load time.
+
+
+class FaultUniverse:
+    """Targets ``F``, untargeted ``G``, and their detection tables."""
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+
+    @cached_property
+    def base_signatures(self) -> list[int]:
+        """Fault-free line signatures over the complete input space."""
+        return line_signatures(self.circuit)
+
+    @cached_property
+    def target_faults(self) -> list[StuckAtFault]:
+        """``F`` — the collapsed stuck-at fault list."""
+        return collapsed_stuck_at_faults(self.circuit)
+
+    @cached_property
+    def untargeted_faults(self) -> list[BridgingFault]:
+        """Raw four-way bridging universe (before detectability filter)."""
+        return four_way_bridging_faults(self.circuit)
+
+    @cached_property
+    def target_table(self) -> "DetectionTable":
+        """Detection table for ``F``."""
+        from repro.faultsim.detection import DetectionTable
+
+        return DetectionTable.for_stuck_at(
+            self.circuit,
+            faults=self.target_faults,
+            base_signatures=self.base_signatures,
+        )
+
+    @cached_property
+    def untargeted_table(self) -> "DetectionTable":
+        """Detection table for ``G`` (detectable bridging faults only)."""
+        from repro.faultsim.detection import DetectionTable
+
+        return DetectionTable.for_bridging(
+            self.circuit,
+            faults=self.untargeted_faults,
+            base_signatures=self.base_signatures,
+            drop_undetectable=True,
+        )
+
+    def summary(self) -> dict[str, int]:
+        """Size summary for reports: circuit stats plus fault counts."""
+        info = dict(self.circuit.stats())
+        info["target_faults"] = len(self.target_faults)
+        info["untargeted_faults"] = len(self.untargeted_table)
+        return info

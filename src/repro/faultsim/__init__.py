@@ -1,0 +1,43 @@
+"""Fault simulation engines and detection tables.
+
+``detection``
+    Exhaustive detection tables: ``T(f)`` for every fault over the whole
+    input space, via cone-limited signature re-simulation.
+``serial``
+    Per-vector serial fault simulation (independent slow path used for
+    cross-validation and for simulating explicit test sets).
+``threeval_detect``
+    3-valued detection checks of partially-specified vectors (the ``tij``
+    tests of Definition 2), scalar and batched.
+``dictionary``
+    Fault dictionaries over explicit test sets: pass/fail diagnosis and
+    diagnostic-resolution metrics.
+"""
+
+from repro.faultsim.detection import (
+    DetectionTable,
+    bridging_detection_signature,
+    stuck_at_detection_signature,
+)
+from repro.faultsim.serial import (
+    detects_stuck_at,
+    detects_bridging,
+    test_set_coverage,
+)
+from repro.faultsim.threeval_detect import (
+    cube_detects_stuck_at,
+    pair_checks_batch,
+)
+from repro.faultsim.dictionary import FaultDictionary
+
+__all__ = [
+    "DetectionTable",
+    "bridging_detection_signature",
+    "stuck_at_detection_signature",
+    "detects_stuck_at",
+    "detects_bridging",
+    "test_set_coverage",
+    "cube_detects_stuck_at",
+    "pair_checks_batch",
+    "FaultDictionary",
+]

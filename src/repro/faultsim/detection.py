@@ -1,0 +1,234 @@
+"""Exhaustive detection tables: ``T(f)`` for every fault, over all of ``U``.
+
+The paper's analysis needs, for every fault ``h`` in ``F ∪ G``, the set
+``T(h) ⊆ U`` of input vectors that detect ``h``.  A
+:class:`DetectionTable` holds those sets as signatures (one int per
+fault, bit ``v`` = "vector ``v`` detects the fault") and provides the
+popcount quantities the worst-case analysis is built from.
+
+Detection signatures are computed by forcing the fault site's signature
+and re-simulating only the site's fanout cone — the standard
+"single-fault propagation" trick lifted to full-space signatures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.circuit.netlist import Circuit
+from repro.errors import FaultError
+from repro.faults.bridging import BridgingFault, four_way_bridging_faults
+from repro.faults.stuck_at import StuckAtFault, collapsed_stuck_at_faults
+from repro.logic.bitops import all_ones_mask, set_bits
+from repro.simulation.exhaustive import (
+    detection_signature,
+    line_signatures,
+    resimulate_cone,
+)
+
+Fault = Union[StuckAtFault, BridgingFault]
+
+
+def stuck_at_detection_signature(
+    circuit: Circuit,
+    base_signatures: list[int],
+    fault: StuckAtFault,
+    mask: int | None = None,
+    cone_order: list[int] | None = None,
+) -> int:
+    """``T(f)`` for a stuck-at fault (signature over ``U``)."""
+    if mask is None:
+        mask = all_ones_mask(circuit.num_inputs)
+    forced = {fault.lid: mask if fault.value else 0}
+    changed = resimulate_cone(
+        circuit, base_signatures, forced, mask, cone_order=cone_order
+    )
+    return detection_signature(circuit, base_signatures, changed)
+
+
+def bridging_detection_signature(
+    circuit: Circuit,
+    base_signatures: list[int],
+    fault: BridgingFault,
+    mask: int | None = None,
+    cone_order: list[int] | None = None,
+) -> int:
+    """``T(g)`` for a four-way bridging fault.
+
+    Activation requires fault-free ``l1 = a1`` and ``l2 = a2``; on the
+    activated vectors the victim's value flips (XOR with the activation
+    set).  Non-feedback pairs guarantee the aggressor's value is
+    unaffected by the flip.
+    """
+    if mask is None:
+        mask = all_ones_mask(circuit.num_inputs)
+    s1 = base_signatures[fault.victim]
+    s2 = base_signatures[fault.aggressor]
+    m1 = s1 if fault.victim_value else ~s1 & mask
+    m2 = s2 if fault.aggressor_value else ~s2 & mask
+    activated = m1 & m2
+    if not activated:
+        return 0
+    forced = {fault.victim: s1 ^ activated}
+    changed = resimulate_cone(
+        circuit, base_signatures, forced, mask, cone_order=cone_order
+    )
+    return detection_signature(circuit, base_signatures, changed)
+
+
+@dataclass
+class DetectionTable:
+    """Detection sets ``T(f)`` for an ordered fault list.
+
+    Attributes
+    ----------
+    circuit:
+        The analyzed circuit.
+    faults:
+        Fault objects, in table order.
+    signatures:
+        ``signatures[i]`` is ``T(faults[i])`` as a bit-signature over
+        ``U``; undetectable faults (if kept) have signature 0.
+    """
+
+    circuit: Circuit
+    faults: list[Fault]
+    signatures: list[int]
+    _vector_cache: dict[int, list[int]] = field(
+        init=False, default_factory=dict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if len(self.faults) != len(self.signatures):
+            raise FaultError("faults and signatures length mismatch")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_stuck_at(
+        cls,
+        circuit: Circuit,
+        faults: list[StuckAtFault] | None = None,
+        base_signatures: list[int] | None = None,
+        drop_undetectable: bool = False,
+    ) -> "DetectionTable":
+        """Table for the collapsed stuck-at set (the paper's ``F``).
+
+        The paper keeps undetectable target faults in ``F`` — they simply
+        never force any test into the set — so ``drop_undetectable``
+        defaults to False.
+        """
+        if faults is None:
+            faults = collapsed_stuck_at_faults(circuit)
+        sigs = base_signatures or line_signatures(circuit)
+        mask = all_ones_mask(circuit.num_inputs)
+        cone_cache: dict[int, list[int]] = {}
+        table = []
+        for f in faults:
+            cone = cone_cache.get(f.lid)
+            if cone is None:
+                cone = circuit.fanout_cone_order(f.lid)
+                cone_cache[f.lid] = cone
+            table.append(
+                stuck_at_detection_signature(
+                    circuit, sigs, f, mask=mask, cone_order=cone
+                )
+            )
+        if drop_undetectable:
+            kept = [(f, t) for f, t in zip(faults, table) if t]
+            faults = [f for f, _ in kept]
+            table = [t for _, t in kept]
+        return cls(circuit, list(faults), table)
+
+    @classmethod
+    def for_bridging(
+        cls,
+        circuit: Circuit,
+        faults: list[BridgingFault] | None = None,
+        base_signatures: list[int] | None = None,
+        drop_undetectable: bool = True,
+    ) -> "DetectionTable":
+        """Table for four-way bridging faults (the paper's ``G``).
+
+        The paper's ``G`` contains only *detectable* bridging faults, so
+        ``drop_undetectable`` defaults to True.
+        """
+        if faults is None:
+            faults = four_way_bridging_faults(circuit)
+        sigs = base_signatures or line_signatures(circuit)
+        mask = all_ones_mask(circuit.num_inputs)
+        cone_cache: dict[int, list[int]] = {}
+        table = []
+        for g in faults:
+            cone = cone_cache.get(g.victim)
+            if cone is None:
+                cone = circuit.fanout_cone_order(g.victim)
+                cone_cache[g.victim] = cone
+            table.append(
+                bridging_detection_signature(
+                    circuit, sigs, g, mask=mask, cone_order=cone
+                )
+            )
+        if drop_undetectable:
+            kept = [(g, t) for g, t in zip(faults, table) if t]
+            faults = [g for g, _ in kept]
+            table = [t for _, t in kept]
+        return cls(circuit, list(faults), table)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def count(self, index: int) -> int:
+        """``N(f)`` — number of vectors detecting fault ``index``."""
+        return self.signatures[index].bit_count()
+
+    def counts(self) -> list[int]:
+        """``N(f)`` for every fault."""
+        return [sig.bit_count() for sig in self.signatures]
+
+    def vectors(self, index: int) -> list[int]:
+        """Sorted list of detecting vectors (cached)."""
+        vecs = self._vector_cache.get(index)
+        if vecs is None:
+            vecs = set_bits(self.signatures[index])
+            self._vector_cache[index] = vecs
+        return vecs
+
+    def detectable_indices(self) -> list[int]:
+        """Indices of faults with at least one detecting vector."""
+        return [i for i, sig in enumerate(self.signatures) if sig]
+
+    def num_detectable(self) -> int:
+        return sum(1 for sig in self.signatures if sig)
+
+    def detected_by(self, test_signature: int) -> list[int]:
+        """Indices of faults detected by a test set (bitset over ``U``)."""
+        return [
+            i
+            for i, sig in enumerate(self.signatures)
+            if sig & test_signature
+        ]
+
+    def coverage(self, test_signature: int) -> float:
+        """Fraction of *detectable* faults detected by the test set."""
+        detectable = self.num_detectable()
+        if detectable == 0:
+            return 1.0
+        hit = sum(
+            1 for sig in self.signatures if sig and sig & test_signature
+        )
+        return hit / detectable
+
+    def detection_counts(self, test_signature: int) -> list[int]:
+        """Detection multiplicity of every fault under a test set."""
+        return [
+            (sig & test_signature).bit_count() for sig in self.signatures
+        ]
+
+    def fault_name(self, index: int) -> str:
+        return self.faults[index].name(self.circuit)

@@ -1,0 +1,90 @@
+"""3-valued detection of stuck-at faults under partial vectors.
+
+Definition 2 asks whether the partial vector ``tij`` (common bits of two
+tests) detects a target fault ``f``.  Detection under a partial vector is
+the pessimistic fault-simulator notion: simulate the fault-free and the
+faulty circuit 3-valued; the fault is detected when some primary output
+has a *definite* value in both simulations and the values differ.  (A
+definite difference under ``tij`` implies every completion of ``tij``
+detects ``f``.)
+
+Two entry points:
+
+* :func:`cube_detects_stuck_at` — scalar check for one cube;
+* :func:`pair_checks_batch` — the hot path: many ``(ti, tj)`` pairs for
+  the *same* fault are packed into dual-rail lanes and simulated in one
+  pass over the circuit (twice: fault-free and faulty).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.circuit.netlist import Circuit
+from repro.faults.stuck_at import StuckAtFault
+from repro.logic.cube import Cube, common_cube
+from repro.simulation.threeval import simulate_cube, simulate_cubes_dualrail
+
+
+def cube_detects_stuck_at(
+    circuit: Circuit, fault: StuckAtFault, cube: Cube
+) -> bool:
+    """Scalar 3-valued detection check of one partial vector."""
+    good = simulate_cube(circuit, cube)
+    faulty = simulate_cube(circuit, cube, forced={fault.lid: fault.value})
+    for o in circuit.outputs:
+        g, f = good[o], faulty[o]
+        if g != f and g != 2 and f != 2:
+            return True
+    return False
+
+
+def cubes_detect_stuck_at(
+    circuit: Circuit,
+    fault: StuckAtFault,
+    cubes: Sequence[Cube],
+    cone_order: list[int] | None = None,
+) -> list[bool]:
+    """Batched 3-valued detection: one dual-rail good pass + cone resim.
+
+    The faulty machine differs from the fault-free one only in the fault
+    site's fanout cone, so the faulty pass re-evaluates just that cone
+    (``cone_order`` may be passed pre-computed by hot callers).
+    """
+    if not cubes:
+        return []
+    from repro.simulation.threeval import _eval_lines
+
+    g_ones, g_zeros = simulate_cubes_dualrail(circuit, cubes)
+    lane_mask = (1 << len(cubes)) - 1
+    f_ones = list(g_ones)
+    f_zeros = list(g_zeros)
+    if fault.value:
+        f_ones[fault.lid], f_zeros[fault.lid] = lane_mask, 0
+    else:
+        f_ones[fault.lid], f_zeros[fault.lid] = 0, lane_mask
+    if cone_order is None:
+        cone_order = circuit.fanout_cone_order(fault.lid)
+    _eval_lines(circuit, cone_order, f_ones, f_zeros, lane_mask)
+    detected = 0
+    for o in circuit.outputs:
+        detected |= (g_ones[o] & f_zeros[o]) | (g_zeros[o] & f_ones[o])
+    return [bool((detected >> lane) & 1) for lane in range(len(cubes))]
+
+
+def pair_checks_batch(
+    circuit: Circuit,
+    fault: StuckAtFault,
+    pairs: Sequence[tuple[int, int]],
+    cone_order: list[int] | None = None,
+) -> list[bool]:
+    """For each test pair ``(ti, tj)``: does ``tij`` detect the fault?
+
+    ``True`` means the two tests are *similar* for this fault under
+    Definition 2 (their common bits suffice to detect it), so they count
+    as a single detection.
+    """
+    cubes = [
+        common_cube(ti, tj, circuit.num_inputs) for ti, tj in pairs
+    ]
+    return cubes_detect_stuck_at(circuit, fault, cubes, cone_order=cone_order)

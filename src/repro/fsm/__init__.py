@@ -1,0 +1,41 @@
+"""Finite-state machines and their synthesis to combinational logic.
+
+The paper evaluates "the combinational logic of MCNC finite-state machine
+benchmarks": the FSM's next-state and output functions realized as a
+gate-level circuit whose primary inputs are the FSM inputs plus the
+present-state bits.  This package provides the FSM model
+(:mod:`machine`), state encodings (:mod:`encoding`), PLA-cover cleanup
+and exact two-level minimization (:mod:`minimize`), and the synthesis
+into a normal-form :class:`~repro.circuit.netlist.Circuit`
+(:mod:`synthesis`).
+"""
+
+from repro.fsm.machine import Fsm, Transition
+from repro.fsm.encoding import StateEncoding, encode_states
+from repro.fsm.minimize import (
+    SopCube,
+    merge_cover,
+    quine_mccluskey,
+)
+from repro.fsm.simulate import (
+    Trajectory,
+    simulate_circuit_sequence,
+    simulate_fsm_sequence,
+    trajectories_match,
+)
+from repro.fsm.synthesis import synthesize_fsm
+
+__all__ = [
+    "Fsm",
+    "Transition",
+    "StateEncoding",
+    "encode_states",
+    "SopCube",
+    "merge_cover",
+    "quine_mccluskey",
+    "Trajectory",
+    "simulate_circuit_sequence",
+    "simulate_fsm_sequence",
+    "trajectories_match",
+    "synthesize_fsm",
+]

@@ -1,0 +1,146 @@
+"""Finite-state-machine model (KISS2 semantics).
+
+An :class:`Fsm` is a PLA-style cover: each :class:`Transition` row fires
+when the present state matches and the input vector lies inside the
+row's input cube.  Deterministic machines have, for every state, pairwise
+disjoint input cubes; :meth:`Fsm.validate` checks this (the synthesized
+combinational logic of a non-deterministic cover would OR the next-state
+codes of the overlapping rows, which is almost never intended).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True, slots=True)
+class Transition:
+    """One KISS2 row: ``input_cube present next output``."""
+
+    input_cube: str
+    present: str
+    next: str
+    output: str
+
+    def matches(self, input_vector: int, num_inputs: int) -> bool:
+        """Does the (MSB-first) input vector lie inside the input cube?"""
+        for pos, ch in enumerate(self.input_cube):
+            if ch == "-":
+                continue
+            bit = (input_vector >> (num_inputs - 1 - pos)) & 1
+            if bit != int(ch):
+                return False
+        return True
+
+
+def _cubes_intersect(a: str, b: str) -> bool:
+    return all(
+        ca == "-" or cb == "-" or ca == cb for ca, cb in zip(a, b)
+    )
+
+
+@dataclass
+class Fsm:
+    """A finite-state machine as a KISS2 cover."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    states: list[str]
+    reset_state: str
+    transitions: list[Transition]
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self, require_deterministic: bool = True) -> list[str]:
+        """Structural checks; returns a list of issue strings."""
+        issues: list[str] = []
+        known = set(self.states)
+        if self.reset_state not in known:
+            issues.append(f"reset state {self.reset_state!r} unknown")
+        for t in self.transitions:
+            if len(t.input_cube) != self.num_inputs:
+                issues.append(f"cube {t.input_cube!r} has wrong width")
+            if len(t.output) != self.num_outputs:
+                issues.append(f"output {t.output!r} has wrong width")
+            if t.present not in known:
+                issues.append(f"unknown present state {t.present!r}")
+            if t.next not in known:
+                issues.append(f"unknown next state {t.next!r}")
+        if require_deterministic:
+            by_state: dict[str, list[Transition]] = {}
+            for t in self.transitions:
+                by_state.setdefault(t.present, []).append(t)
+            for state, rows in by_state.items():
+                for i, a in enumerate(rows):
+                    for b in rows[i + 1:]:
+                        if _cubes_intersect(a.input_cube, b.input_cube):
+                            issues.append(
+                                f"state {state!r}: overlapping cubes "
+                                f"{a.input_cube!r} and {b.input_cube!r}"
+                            )
+        return issues
+
+    def check(self) -> None:
+        """Raise :class:`ReproError` when :meth:`validate` finds issues."""
+        issues = self.validate()
+        if issues:
+            raise ReproError(
+                f"FSM {self.name!r} invalid:\n  " + "\n  ".join(issues)
+            )
+
+    # ------------------------------------------------------------------
+    # Behavioral simulation (reference semantics for synthesis tests)
+    # ------------------------------------------------------------------
+    def step(self, state: str, input_vector: int) -> tuple[str, str]:
+        """(next state, output bits) for one input vector.
+
+        PLA semantics: when no row matches, the next-state code and the
+        outputs are all-0 (which the decoder maps to ``states[...]`` with
+        code 0 — see :mod:`repro.fsm.encoding`).  Output ``-`` bits read
+        as 0.  When several rows match (non-deterministic cover) the
+        outputs and next-state codes are OR-ed, mirroring the hardware.
+        """
+        matching = [
+            t
+            for t in self.transitions
+            if t.present == state and t.matches(input_vector, self.num_inputs)
+        ]
+        if not matching:
+            return ("", "0" * self.num_outputs)
+        if len(matching) == 1:
+            t = matching[0]
+            out = t.output.replace("-", "0")
+            return (t.next, out)
+        # OR rows together (only reachable for non-deterministic covers).
+        out_bits = [0] * self.num_outputs
+        next_states = {t.next for t in matching}
+        for t in matching:
+            for i, ch in enumerate(t.output):
+                if ch == "1":
+                    out_bits[i] = 1
+        nxt = matching[0].next if len(next_states) == 1 else ""
+        return (nxt, "".join(str(b) for b in out_bits))
+
+    def reachable_states(self) -> set[str]:
+        """States reachable from reset by any input sequence."""
+        frontier = [self.reset_state]
+        seen = {self.reset_state}
+        while frontier:
+            state = frontier.pop()
+            for t in self.transitions:
+                if t.present == state and t.next not in seen:
+                    seen.add(t.next)
+                    frontier.append(t.next)
+        return seen
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "inputs": self.num_inputs,
+            "outputs": self.num_outputs,
+            "states": len(self.states),
+            "terms": len(self.transitions),
+        }

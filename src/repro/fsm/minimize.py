@@ -1,0 +1,216 @@
+"""Two-level (SOP) cover utilities and exact minimization.
+
+Synthesis uses :func:`merge_cover` — a light, structure-preserving
+cleanup of a PLA cover (duplicate removal, containment removal,
+distance-1 merging).  :func:`quine_mccluskey` is an exact two-level
+minimizer with don't-care support for small variable counts; it backs
+the minimization tests and the synthesis-quality ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True, slots=True)
+class SopCube:
+    """A product term over ``width`` variables.
+
+    ``care`` selects bound variables (bit ``width-1-i`` = variable ``i``,
+    MSB-first like everything else); ``value`` holds their polarities.
+    """
+
+    width: int
+    care: int
+    value: int
+
+    def __post_init__(self) -> None:
+        mask = (1 << self.width) - 1
+        if self.care & ~mask:
+            raise ReproError("cube care mask wider than declared width")
+        if self.value & ~self.care:
+            object.__setattr__(self, "value", self.value & self.care)
+
+    @classmethod
+    def from_string(cls, text: str) -> "SopCube":
+        care = value = 0
+        for ch in text:
+            care <<= 1
+            value <<= 1
+            if ch == "1":
+                care |= 1
+                value |= 1
+            elif ch == "0":
+                care |= 1
+            elif ch != "-":
+                raise ReproError(f"bad cube character {ch!r}")
+        return cls(len(text), care, value)
+
+    def to_string(self) -> str:
+        chars = []
+        for i in range(self.width - 1, -1, -1):
+            if not (self.care >> i) & 1:
+                chars.append("-")
+            else:
+                chars.append("1" if (self.value >> i) & 1 else "0")
+        return "".join(chars)
+
+    def contains(self, other: "SopCube") -> bool:
+        """True when every minterm of ``other`` is inside ``self``."""
+        if (self.care & other.care) != self.care:
+            return False
+        return (other.value & self.care) == self.value
+
+    def covers_minterm(self, minterm: int) -> bool:
+        return (minterm & self.care) == self.value
+
+    def num_literals(self) -> int:
+        return self.care.bit_count()
+
+    def minterms(self) -> list[int]:
+        free = [
+            b for b in range(self.width) if not (self.care >> b) & 1
+        ]
+        out = []
+        for combo in range(1 << len(free)):
+            v = self.value
+            for i, b in enumerate(free):
+                if (combo >> i) & 1:
+                    v |= 1 << b
+            out.append(v)
+        return sorted(out)
+
+
+def _try_merge(a: SopCube, b: SopCube) -> SopCube | None:
+    """Merge two cubes differing in exactly one bound literal."""
+    if a.care != b.care:
+        return None
+    diff = a.value ^ b.value
+    if diff.bit_count() != 1:
+        return None
+    return SopCube(a.width, a.care & ~diff, a.value & ~diff)
+
+
+def merge_cover(cubes: list[SopCube]) -> list[SopCube]:
+    """Cheap cover cleanup: dedupe, drop contained cubes, merge pairs.
+
+    Iterates distance-1 merging to a fixed point.  The result covers
+    exactly the same minterms as the input (no don't-care expansion), so
+    it is safe as a pre-synthesis cleanup.
+    """
+    cover = list(dict.fromkeys(cubes))
+    changed = True
+    while changed:
+        changed = False
+        merged: list[SopCube] = []
+        used = [False] * len(cover)
+        for i, a in enumerate(cover):
+            if used[i]:
+                continue
+            for j in range(i + 1, len(cover)):
+                if used[j]:
+                    continue
+                m = _try_merge(a, cover[j])
+                if m is not None:
+                    merged.append(m)
+                    used[i] = used[j] = True
+                    changed = True
+                    break
+            if not used[i]:
+                merged.append(a)
+                used[i] = True
+        # Containment removal.
+        cover = []
+        for c in merged:
+            if not any(
+                other is not c and other.contains(c) for other in merged
+            ):
+                if c not in cover:
+                    cover.append(c)
+    return cover
+
+
+def quine_mccluskey(
+    width: int,
+    minterms: list[int],
+    dont_cares: list[int] | None = None,
+    max_width: int = 14,
+) -> list[SopCube]:
+    """Exact two-level minimization (primes + essential + greedy cover).
+
+    Returns a minimal-ish cover of ``minterms`` (don't-cares may be used
+    by the primes but need not be covered).  Exact prime generation with
+    a greedy set cover after essential primes — the classic textbook
+    compromise.
+    """
+    if width > max_width:
+        raise ReproError(
+            f"quine_mccluskey limited to {max_width} variables, got {width}"
+        )
+    limit = 1 << width
+    onset = sorted(set(minterms))
+    dcset = sorted(set(dont_cares or []))
+    for m in onset + dcset:
+        if not 0 <= m < limit:
+            raise ReproError(f"minterm {m} out of range for width {width}")
+    if not onset:
+        return []
+    if len(onset) + len(dcset) == limit:
+        return [SopCube(width, 0, 0)]  # tautology
+
+    full_care = limit - 1
+    current = {(full_care, m) for m in onset + dcset}
+    primes: set[tuple[int, int]] = set()
+    while current:
+        nxt: set[tuple[int, int]] = set()
+        combined: set[tuple[int, int]] = set()
+        items = sorted(current)
+        by_care: dict[int, list[int]] = {}
+        for care, value in items:
+            by_care.setdefault(care, []).append(value)
+        for care, values in by_care.items():
+            vset = set(values)
+            for value in values:
+                for b in range(width):
+                    bit = 1 << b
+                    if not care & bit:
+                        continue
+                    partner = value ^ bit
+                    if partner in vset:
+                        nxt.add((care & ~bit, value & ~bit))
+                        combined.add((care, value))
+                        combined.add((care, partner))
+        for item in items:
+            if item not in combined:
+                primes.add(item)
+        current = nxt
+
+    prime_cubes = [SopCube(width, care, value) for care, value in sorted(primes)]
+    # Essential primes, then greedy cover of the rest.
+    remaining = set(onset)
+    cover: list[SopCube] = []
+    coverage = {
+        i: {m for m in onset if c.covers_minterm(m)}
+        for i, c in enumerate(prime_cubes)
+    }
+    for m in onset:
+        covering = [i for i, ms in coverage.items() if m in ms]
+        if len(covering) == 1:
+            i = covering[0]
+            if prime_cubes[i] not in cover:
+                cover.append(prime_cubes[i])
+                remaining -= coverage[i]
+    while remaining:
+        best = max(
+            coverage,
+            key=lambda i: (len(coverage[i] & remaining), -prime_cubes[i].num_literals()),
+        )
+        gain = coverage[best] & remaining
+        if not gain:
+            raise ReproError("internal error: uncoverable minterms")
+        if prime_cubes[best] not in cover:
+            cover.append(prime_cubes[best])
+        remaining -= gain
+    return cover

@@ -1,0 +1,109 @@
+"""Sequential (closed-loop) FSM simulation.
+
+The analysis itself treats the FSM's combinational logic with the state
+bits as free primary inputs, but validating the synthesis end-to-end
+needs the *sequential* view: feed an input sequence, loop the next-state
+outputs back into the state inputs, and compare against the behavioral
+:meth:`~repro.fsm.machine.Fsm.step` trajectory.
+
+:func:`simulate_fsm_sequence` runs the behavioral model;
+:func:`simulate_circuit_sequence` runs the synthesized circuit with
+state feedback; :func:`trajectories_match` cross-checks them (used by
+tests and by the synthesis confidence checks in examples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.netlist import Circuit
+from repro.errors import SimulationError
+from repro.fsm.encoding import StateEncoding, encode_states
+from repro.fsm.machine import Fsm
+from repro.simulation.twoval import output_values
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """States visited and outputs produced by an input sequence."""
+
+    states: tuple[str, ...]   # length = len(inputs) + 1 (includes start)
+    outputs: tuple[str, ...]  # length = len(inputs)
+
+
+def simulate_fsm_sequence(
+    fsm: Fsm, inputs: list[int], start: str | None = None
+) -> Trajectory:
+    """Behavioral trajectory from the KISS2 cover.
+
+    An unmatched (state, input) pair follows PLA semantics: the next
+    state is the all-zero code (decoded through a binary encoding this
+    is the first state) and outputs are 0.
+    """
+    state = start or fsm.reset_state
+    if state not in fsm.states:
+        raise SimulationError(f"unknown start state {state!r}")
+    enc = encode_states(fsm.states, "binary")
+    states = [state]
+    outputs = []
+    for x in inputs:
+        if not 0 <= x < (1 << fsm.num_inputs):
+            raise SimulationError(f"input {x} out of range")
+        nxt, out = fsm.step(state, x)
+        if nxt == "":
+            nxt = enc.decode(0) or fsm.states[0]
+        outputs.append(out)
+        state = nxt
+        states.append(state)
+    return Trajectory(tuple(states), tuple(outputs))
+
+
+def simulate_circuit_sequence(
+    circuit: Circuit,
+    fsm: Fsm,
+    inputs: list[int],
+    encoding: StateEncoding | None = None,
+    start: str | None = None,
+) -> Trajectory:
+    """Trajectory of the synthesized combinational logic with feedback.
+
+    The circuit must follow the synthesis conventions: primary inputs
+    ``x0..x{i-1}, s0..s{b-1}``; outputs ``ns0..ns{b-1}, z0..z{o-1}``.
+    Unused next-state codes decode to the first state (code 0 under the
+    binary encoding), matching the PLA semantics of the behavioral model.
+    """
+    enc = encoding or encode_states(fsm.states, "binary")
+    b = enc.num_bits
+    state = start or fsm.reset_state
+    code = enc.codes[state]
+    states = [state]
+    outputs = []
+    for x in inputs:
+        vector = (x << b) | code
+        response = output_values(circuit, vector)
+        ns_bits = response[:b]
+        z_bits = response[b : b + fsm.num_outputs]
+        code = 0
+        for bit in ns_bits:
+            code = (code << 1) | bit
+        state = enc.decode(code)
+        if state is None:
+            state = enc.decode(0) or fsm.states[0]
+            code = enc.codes[state]
+        outputs.append("".join(map(str, z_bits)))
+        states.append(state)
+    return Trajectory(tuple(states), tuple(outputs))
+
+
+def trajectories_match(
+    fsm: Fsm,
+    circuit: Circuit,
+    inputs: list[int],
+    encoding: StateEncoding | None = None,
+) -> bool:
+    """True when behavioral and gate-level trajectories agree."""
+    behavioral = simulate_fsm_sequence(fsm, inputs)
+    gate_level = simulate_circuit_sequence(
+        circuit, fsm, inputs, encoding=encoding
+    )
+    return behavioral == gate_level

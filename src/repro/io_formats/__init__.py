@@ -1,0 +1,32 @@
+"""Netlist / FSM / vector file formats.
+
+``bench``
+    ISCAS-style ``.bench`` (INPUT/OUTPUT/gate assignments).
+``blif``
+    Combinational BLIF subset (.model/.inputs/.outputs/.names).
+``kiss2``
+    KISS2 finite-state-machine covers (the MCNC benchmark format).
+``verilog``
+    Structural Verilog gate-primitive subset.
+``vectors``
+    Plain-text test-vector files (one MSB-first binary row per test).
+"""
+
+from repro.io_formats.bench import parse_bench, write_bench
+from repro.io_formats.blif import parse_blif, write_blif
+from repro.io_formats.kiss2 import parse_kiss2, write_kiss2
+from repro.io_formats.verilog import parse_verilog, write_verilog
+from repro.io_formats.vectors import parse_vectors, write_vectors
+
+__all__ = [
+    "parse_bench",
+    "write_bench",
+    "parse_blif",
+    "write_blif",
+    "parse_kiss2",
+    "write_kiss2",
+    "parse_verilog",
+    "write_verilog",
+    "parse_vectors",
+    "write_vectors",
+]

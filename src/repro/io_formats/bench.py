@@ -1,0 +1,86 @@
+""".bench (ISCAS-85/89 style) netlist format.
+
+Grammar subset::
+
+    # comment
+    INPUT(a)
+    OUTPUT(y)
+    y = NAND(a, b)
+    z = NOT(y)
+
+Gate names: AND, OR, NAND, NOR, NOT/INV, BUF/BUFF, XOR, XNOR.  Fanout
+branches are inserted automatically on read (``stem~k`` names); on write,
+branch lines are collapsed back to their stems, so write→parse round-trips
+to a structurally equivalent circuit.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.gate import gate_type_from_name
+from repro.circuit.netlist import Circuit, LineKind
+from repro.errors import ParseError
+
+_INPUT_RE = re.compile(r"^INPUT\s*\(\s*([^)\s]+)\s*\)$", re.IGNORECASE)
+_OUTPUT_RE = re.compile(r"^OUTPUT\s*\(\s*([^)\s]+)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(
+    r"^([^=\s]+)\s*=\s*([A-Za-z0-9_]+)\s*\(\s*(.*?)\s*\)$"
+)
+
+
+def parse_bench(text: str, name: str = "bench") -> Circuit:
+    """Parse ``.bench`` text into a normal-form circuit."""
+    builder = CircuitBuilder(name)
+    outputs: list[str] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        m = _INPUT_RE.match(line)
+        if m:
+            builder.input(m.group(1))
+            continue
+        m = _OUTPUT_RE.match(line)
+        if m:
+            outputs.append(m.group(1))
+            continue
+        m = _GATE_RE.match(line)
+        if m:
+            out, gate_name, args = m.groups()
+            fanin = [a.strip() for a in args.split(",") if a.strip()]
+            try:
+                gt = gate_type_from_name(gate_name)
+            except Exception as exc:
+                raise ParseError(str(exc), line_no) from exc
+            builder.gate(out, gt, fanin)
+            continue
+        raise ParseError(f"unrecognized line: {raw!r}", line_no)
+    if not outputs:
+        raise ParseError("no OUTPUT(...) declarations")
+    for out in outputs:
+        builder.output(out)
+    return builder.build(auto_branch=True)
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Serialize a circuit to ``.bench`` text (branches collapsed)."""
+
+    def stem_name(lid: int) -> str:
+        line = circuit.lines[lid]
+        if line.kind is LineKind.BRANCH:
+            return circuit.lines[line.fanin[0]].name
+        return line.name
+
+    lines = [f"# {circuit.name}"]
+    for lid in circuit.inputs:
+        lines.append(f"INPUT({circuit.lines[lid].name})")
+    for lid in circuit.outputs:
+        lines.append(f"OUTPUT({circuit.lines[lid].name})")
+    for line in circuit.lines:
+        if line.kind is not LineKind.GATE:
+            continue
+        args = ", ".join(stem_name(f) for f in line.fanin)
+        lines.append(f"{line.name} = {line.gate_type.name}({args})")
+    return "\n".join(lines) + "\n"

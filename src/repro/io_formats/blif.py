@@ -1,0 +1,263 @@
+"""Combinational BLIF subset.
+
+Supported directives: ``.model``, ``.inputs``, ``.outputs``, ``.names``,
+``.end`` (with ``\\`` line continuations and ``#`` comments).  Each
+``.names`` block is a single-output SOP cover; ON-set covers (rows ending
+in 1) map to AND-OR logic, OFF-set covers (rows ending in 0) to
+AND-OR-NOT.  Latch/clock directives are rejected — the analysis operates
+on combinational logic only (the FSM benchmarks enter through KISS2).
+"""
+
+from __future__ import annotations
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.gate import GateType
+from repro.circuit.netlist import Circuit, LineKind
+from repro.errors import ParseError
+
+
+def _logical_lines(text: str) -> list[tuple[int, str]]:
+    """Join continuations, strip comments; returns (line_no, text) pairs."""
+    out: list[tuple[int, str]] = []
+    pending = ""
+    pending_no = 0
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].rstrip()
+        if not pending:
+            pending_no = line_no
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        pending += line
+        if pending.strip():
+            out.append((pending_no, pending.strip()))
+        pending = ""
+    if pending.strip():
+        out.append((pending_no, pending.strip()))
+    return out
+
+
+class _NamesBlock:
+    def __init__(self, signals: list[str], line_no: int):
+        if not signals:
+            raise ParseError(".names needs at least one signal", line_no)
+        self.inputs = signals[:-1]
+        self.output = signals[-1]
+        self.rows: list[tuple[str, str]] = []
+        self.line_no = line_no
+
+
+def parse_blif(text: str, name: str | None = None) -> Circuit:
+    """Parse a combinational BLIF model into a normal-form circuit."""
+    model_name = name or "blif"
+    inputs: list[str] = []
+    outputs: list[str] = []
+    blocks: list[_NamesBlock] = []
+    current: _NamesBlock | None = None
+
+    for line_no, line in _logical_lines(text):
+        if line.startswith("."):
+            parts = line.split()
+            directive = parts[0]
+            if directive == ".model":
+                if len(parts) > 1 and name is None:
+                    model_name = parts[1]
+                current = None
+            elif directive == ".inputs":
+                inputs.extend(parts[1:])
+                current = None
+            elif directive == ".outputs":
+                outputs.extend(parts[1:])
+                current = None
+            elif directive == ".names":
+                current = _NamesBlock(parts[1:], line_no)
+                blocks.append(current)
+            elif directive == ".end":
+                break
+            elif directive in (".latch", ".clock"):
+                raise ParseError(
+                    f"{directive} unsupported (combinational subset only)",
+                    line_no,
+                )
+            else:
+                raise ParseError(f"unknown directive {directive!r}", line_no)
+            continue
+        if current is None:
+            raise ParseError(f"cover row outside .names: {line!r}", line_no)
+        fields = line.split()
+        if len(current.inputs) == 0:
+            if len(fields) != 1 or fields[0] not in ("0", "1"):
+                raise ParseError(f"bad constant row {line!r}", line_no)
+            current.rows.append(("", fields[0]))
+        else:
+            if len(fields) != 2:
+                raise ParseError(f"bad cover row {line!r}", line_no)
+            cube, value = fields
+            if len(cube) != len(current.inputs):
+                raise ParseError(
+                    f"cube {cube!r} width != {len(current.inputs)} inputs",
+                    line_no,
+                )
+            if any(c not in "01-" for c in cube) or value not in "01":
+                raise ParseError(f"bad cover row {line!r}", line_no)
+            current.rows.append((cube, value))
+
+    if not inputs:
+        raise ParseError("missing .inputs")
+    if not outputs:
+        raise ParseError("missing .outputs")
+
+    builder = CircuitBuilder(model_name)
+    for nm in inputs:
+        builder.input(nm)
+
+    # Auxiliary names must not collide with any signal of the parsed
+    # model (a model written by write_blif may itself contain names from
+    # an earlier parse's fresh() counter).
+    taken: set[str] = set(inputs) | set(outputs)
+    for block in blocks:
+        taken.add(block.output)
+        taken.update(block.inputs)
+    aux = 0
+
+    def fresh(prefix: str) -> str:
+        nonlocal aux
+        while True:
+            aux += 1
+            name = f"_{prefix}{aux}"
+            if name not in taken:
+                taken.add(name)
+                return name
+
+    inverters: dict[str, str] = {}
+
+    def inverted(signal: str) -> str:
+        inv = inverters.get(signal)
+        if inv is None:
+            inv = fresh("inv_")
+            builder.gate(inv, GateType.NOT, [signal])
+            inverters[signal] = inv
+        return inv
+
+    def row_literals(block: _NamesBlock, cube: str) -> list[str] | None:
+        """Literal lines bound by a cube row; None for a tautology row."""
+        literals = []
+        for pos, ch in enumerate(cube):
+            if ch == "1":
+                literals.append(block.inputs[pos])
+            elif ch == "0":
+                literals.append(inverted(block.inputs[pos]))
+        return literals or None
+
+    for block in blocks:
+        if not block.rows:
+            builder.const(block.output, 0)
+            continue
+        polarities = {v for _c, v in block.rows}
+        if len(polarities) > 1:
+            raise ParseError(
+                f".names {block.output}: mixed ON/OFF rows", block.line_no
+            )
+        polarity = polarities.pop()
+        if not block.inputs:
+            builder.const(block.output, int(polarity))
+            continue
+        onset = polarity == "1"
+        if len(block.rows) == 1:
+            # Single-row covers map straight onto one gate named as the
+            # block output — no auxiliary wrapping, so writer output
+            # re-parses to the identical structure (idempotent
+            # round-trips).
+            cube = block.rows[0][0]
+            if len(block.inputs) == 1 and cube in ("0", "1"):
+                invert = (cube == "1") != onset
+                builder.gate(
+                    block.output,
+                    GateType.NOT if invert else GateType.BUF,
+                    [block.inputs[0]],
+                )
+                continue
+            literals = row_literals(block, cube)
+            if literals is None:
+                builder.const(block.output, 1 if onset else 0)
+            elif len(literals) == 1:
+                gt = GateType.BUF if onset else GateType.NOT
+                builder.gate(block.output, gt, [literals[0]])
+            else:
+                gt = GateType.AND if onset else GateType.NAND
+                builder.gate(block.output, gt, literals)
+            continue
+        terms: list[str] = []
+        tautology = False
+        for cube, _v in block.rows:
+            literals = row_literals(block, cube)
+            if literals is None:
+                tautology = True
+                break
+            if len(literals) == 1:
+                terms.append(literals[0])
+            else:
+                t = fresh("t")
+                builder.gate(t, GateType.AND, literals)
+                terms.append(t)
+        if tautology:
+            builder.const(block.output, 1 if onset else 0)
+            continue
+        gt = GateType.OR if onset else GateType.NOR
+        builder.gate(block.output, gt, terms)
+    for nm in outputs:
+        builder.output(nm)
+    return builder.build(auto_branch=True)
+
+
+def write_blif(circuit: Circuit) -> str:
+    """Serialize a circuit to BLIF (one .names per gate, branches collapsed)."""
+
+    def stem_name(lid: int) -> str:
+        line = circuit.lines[lid]
+        if line.kind is LineKind.BRANCH:
+            return circuit.lines[line.fanin[0]].name
+        return line.name
+
+    out = [f".model {circuit.name}"]
+    out.append(
+        ".inputs " + " ".join(circuit.lines[i].name for i in circuit.inputs)
+    )
+    out.append(
+        ".outputs " + " ".join(circuit.lines[o].name for o in circuit.outputs)
+    )
+    for line in circuit.lines:
+        if line.kind is not LineKind.GATE:
+            continue
+        fanin_names = [stem_name(f) for f in line.fanin]
+        sig = " ".join(fanin_names + [line.name])
+        gt = line.gate_type
+        k = len(fanin_names)
+        out.append(f".names {sig}")
+        if gt is GateType.CONST0:
+            pass
+        elif gt is GateType.CONST1:
+            out.append("1")
+        elif gt is GateType.BUF:
+            out.append("1 1")
+        elif gt is GateType.NOT:
+            out.append("0 1")
+        elif gt is GateType.AND:
+            out.append("1" * k + " 1")
+        elif gt is GateType.NAND:
+            out.append("1" * k + " 0")
+        elif gt is GateType.OR:
+            for i in range(k):
+                out.append("-" * i + "1" + "-" * (k - i - 1) + " 1")
+        elif gt is GateType.NOR:
+            out.append("0" * k + " 1")
+        elif gt in (GateType.XOR, GateType.XNOR):
+            want = 1 if gt is GateType.XOR else 0
+            for m in range(1 << k):
+                bits = [(m >> (k - 1 - i)) & 1 for i in range(k)]
+                if sum(bits) % 2 == want:
+                    out.append("".join(map(str, bits)) + " 1")
+        else:  # pragma: no cover - future gate types
+            raise ParseError(f"cannot serialize gate type {gt!r}")
+    out.append(".end")
+    return "\n".join(out) + "\n"

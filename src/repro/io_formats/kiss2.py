@@ -1,0 +1,125 @@
+"""KISS2 finite-state-machine format (the MCNC benchmark interchange).
+
+A KISS2 file is a PLA-style cover of an FSM::
+
+    .i 2          # input bits
+    .o 1          # output bits
+    .p 11         # number of product terms (rows)
+    .s 4          # number of states
+    .r s0         # reset state
+    -0 s0 s1 0    # input-cube  present-state  next-state  output-bits
+    ...
+    .e
+
+Input cubes use ``0``/``1``/``-``; output bits use ``0``/``1``/``-``
+(a ``-`` output is synthesized as 0, the usual PLA reading).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.fsm.machine import Fsm, Transition
+
+
+def parse_kiss2(text: str, name: str = "fsm") -> Fsm:
+    """Parse KISS2 text into an :class:`~repro.fsm.machine.Fsm`."""
+    num_inputs = num_outputs = None
+    declared_terms = declared_states = None
+    reset_state = None
+    transitions: list[Transition] = []
+    state_order: list[str] = []
+    seen_states: set[str] = set()
+
+    def note_state(s: str) -> None:
+        if s not in seen_states:
+            seen_states.add(s)
+            state_order.append(s)
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split()
+            directive = parts[0]
+            if directive == ".e":
+                break
+            if len(parts) < 2:
+                raise ParseError(f"directive {directive} needs a value", line_no)
+            if directive == ".i":
+                num_inputs = int(parts[1])
+            elif directive == ".o":
+                num_outputs = int(parts[1])
+            elif directive == ".p":
+                declared_terms = int(parts[1])
+            elif directive == ".s":
+                declared_states = int(parts[1])
+            elif directive == ".r":
+                reset_state = parts[1]
+            else:
+                raise ParseError(f"unknown directive {directive!r}", line_no)
+            continue
+        fields = line.split()
+        if len(fields) != 4:
+            raise ParseError(
+                f"transition row needs 4 fields, got {len(fields)}", line_no
+            )
+        cube, present, nxt, output = fields
+        if num_inputs is None or num_outputs is None:
+            raise ParseError(".i/.o must precede transition rows", line_no)
+        if len(cube) != num_inputs:
+            raise ParseError(
+                f"input cube {cube!r} width != .i {num_inputs}", line_no
+            )
+        if len(output) != num_outputs:
+            raise ParseError(
+                f"output {output!r} width != .o {num_outputs}", line_no
+            )
+        if any(c not in "01-" for c in cube):
+            raise ParseError(f"bad input cube {cube!r}", line_no)
+        if any(c not in "01-" for c in output):
+            raise ParseError(f"bad output bits {output!r}", line_no)
+        note_state(present)
+        note_state(nxt)
+        transitions.append(Transition(cube, present, nxt, output))
+
+    if num_inputs is None or num_outputs is None:
+        raise ParseError("missing .i or .o directive")
+    if not transitions:
+        raise ParseError("no transition rows")
+    if declared_terms is not None and declared_terms != len(transitions):
+        raise ParseError(
+            f".p declares {declared_terms} terms, file has {len(transitions)}"
+        )
+    if declared_states is not None and declared_states != len(state_order):
+        raise ParseError(
+            f".s declares {declared_states} states, file uses "
+            f"{len(state_order)}"
+        )
+    if reset_state is None:
+        reset_state = transitions[0].present
+    elif reset_state not in seen_states:
+        raise ParseError(f"reset state {reset_state!r} never appears")
+    return Fsm(
+        name=name,
+        num_inputs=num_inputs,
+        num_outputs=num_outputs,
+        states=state_order,
+        reset_state=reset_state,
+        transitions=transitions,
+    )
+
+
+def write_kiss2(fsm: Fsm) -> str:
+    """Serialize an FSM back to KISS2 text (round-trips with the parser)."""
+    lines = [
+        f".i {fsm.num_inputs}",
+        f".o {fsm.num_outputs}",
+        f".p {len(fsm.transitions)}",
+        f".s {len(fsm.states)}",
+        f".r {fsm.reset_state}",
+    ]
+    for t in fsm.transitions:
+        lines.append(f"{t.input_cube} {t.present} {t.next} {t.output}")
+    lines.append(".e")
+    return "\n".join(lines) + "\n"

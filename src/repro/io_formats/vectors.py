@@ -1,0 +1,62 @@
+"""Test-vector files (the tester-facing artifact of n-detection sets).
+
+Plain text, one binary vector per line (MSB = input 1, matching the
+library's decimal convention), ``#`` comments, blank lines ignored::
+
+    # n=3 detection test set for keyb (12 inputs)
+    000101001101
+    111000110010
+
+:func:`write_vectors` / :func:`parse_vectors` round-trip; the CLI's
+``gen-tests`` command uses them to export generated test sets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import ParseError
+
+
+def write_vectors(
+    vectors: Iterable[int],
+    num_inputs: int,
+    comment: str | None = None,
+) -> str:
+    """Render decimal vectors as an MSB-first binary vector file."""
+    lines = []
+    if comment:
+        for part in comment.splitlines():
+            lines.append(f"# {part}")
+    limit = 1 << num_inputs
+    for v in vectors:
+        if not 0 <= v < limit:
+            raise ParseError(
+                f"vector {v} out of range for {num_inputs} inputs"
+            )
+        lines.append(format(v, f"0{num_inputs}b"))
+    return "\n".join(lines) + "\n"
+
+
+def parse_vectors(text: str, num_inputs: int | None = None) -> list[int]:
+    """Parse a vector file; returns decimal vectors in file order.
+
+    When ``num_inputs`` is given every row must have that width;
+    otherwise the first row fixes the width.
+    """
+    vectors: list[int] = []
+    width = num_inputs
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        row = raw.split("#", 1)[0].strip()
+        if not row:
+            continue
+        if any(ch not in "01" for ch in row):
+            raise ParseError(f"bad vector row {row!r}", line_no)
+        if width is None:
+            width = len(row)
+        elif len(row) != width:
+            raise ParseError(
+                f"vector width {len(row)} != expected {width}", line_no
+            )
+        vectors.append(int(row, 2))
+    return vectors

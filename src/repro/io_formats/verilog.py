@@ -1,0 +1,137 @@
+"""Structural Verilog (gate-primitive subset).
+
+Writer and reader for the 1995-style structural netlists EDA flows
+exchange: one module, ``input``/``output``/``wire`` declarations, and
+gate-primitive instantiations (``and``, ``or``, ``nand``, ``nor``,
+``not``, ``buf``, ``xor``, ``xnor``) whose first terminal is the output.
+Constants are emitted as ``assign`` of ``1'b0`` / ``1'b1``.
+
+Like the other writers, fanout branch lines are collapsed to their stems
+on write and re-inserted by the builder on read, so write→parse
+round-trips to a functionally identical normal-form circuit.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.gate import GateType
+from repro.circuit.netlist import Circuit, LineKind
+from repro.errors import ParseError
+
+_PRIMITIVES = {
+    "and": GateType.AND,
+    "or": GateType.OR,
+    "nand": GateType.NAND,
+    "nor": GateType.NOR,
+    "not": GateType.NOT,
+    "buf": GateType.BUF,
+    "xor": GateType.XOR,
+    "xnor": GateType.XNOR,
+}
+_GATE_TO_PRIMITIVE = {v: k for k, v in _PRIMITIVES.items()}
+
+_IDENT = r"[A-Za-z_\\][A-Za-z0-9_$.\[\]~']*"
+_MODULE_RE = re.compile(rf"module\s+({_IDENT})\s*\((.*?)\)\s*;", re.S)
+_DECL_RE = re.compile(rf"(input|output|wire)\s+(.*?);", re.S)
+_INST_RE = re.compile(
+    rf"({'|'.join(_PRIMITIVES)})\s+({_IDENT})?\s*\((.*?)\)\s*;", re.S
+)
+_ASSIGN_RE = re.compile(rf"assign\s+({_IDENT})\s*=\s*1'b([01])\s*;")
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"//[^\n]*", "", text)
+    return re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+
+
+def _sanitize(name: str) -> str:
+    return name.strip().lstrip("\\")
+
+
+def parse_verilog(text: str, name: str | None = None) -> Circuit:
+    """Parse a structural Verilog module into a normal-form circuit."""
+    body = _strip_comments(text)
+    module = _MODULE_RE.search(body)
+    if module is None:
+        raise ParseError("no module declaration found")
+    module_name = name or module.group(1)
+
+    inputs: list[str] = []
+    outputs: list[str] = []
+    for kind, names in _DECL_RE.findall(body):
+        entries = [_sanitize(n) for n in names.split(",") if n.strip()]
+        if kind == "input":
+            inputs.extend(entries)
+        elif kind == "output":
+            outputs.extend(entries)
+    if not inputs:
+        raise ParseError("module declares no inputs")
+    if not outputs:
+        raise ParseError("module declares no outputs")
+
+    builder = CircuitBuilder(module_name)
+    for nm in inputs:
+        builder.input(nm)
+    for prim, _inst, terms in _INST_RE.findall(body):
+        terminals = [_sanitize(t) for t in terms.split(",") if t.strip()]
+        if len(terminals) < 2:
+            raise ParseError(f"{prim} instance needs >= 2 terminals")
+        out, fanin = terminals[0], terminals[1:]
+        builder.gate(out, _PRIMITIVES[prim], fanin)
+    for target, value in _ASSIGN_RE.findall(body):
+        builder.const(_sanitize(target), int(value))
+    for nm in outputs:
+        builder.output(nm)
+    return builder.build(auto_branch=True)
+
+
+def write_verilog(circuit: Circuit) -> str:
+    """Serialize a circuit as a structural Verilog module."""
+
+    def stem_name(lid: int) -> str:
+        line = circuit.lines[lid]
+        if line.kind is LineKind.BRANCH:
+            return circuit.lines[line.fanin[0]].name
+        return line.name
+
+    def ident(nm: str) -> str:
+        if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_$]*", nm):
+            return nm
+        return f"\\{nm} "  # escaped identifier (trailing space required)
+
+    input_names = [circuit.lines[i].name for i in circuit.inputs]
+    output_names = [circuit.lines[o].name for o in circuit.outputs]
+    ports = ", ".join(ident(n) for n in input_names + output_names)
+    lines = [f"// {circuit.name}", f"module {circuit.name} ({ports});"]
+    lines.append("  input " + ", ".join(ident(n) for n in input_names) + ";")
+    lines.append(
+        "  output " + ", ".join(ident(n) for n in output_names) + ";"
+    )
+    wires = [
+        ln.name
+        for ln in circuit.lines
+        if ln.kind is LineKind.GATE and not ln.is_output
+    ]
+    if wires:
+        lines.append("  wire " + ", ".join(ident(n) for n in wires) + ";")
+    counter = 0
+    for line in circuit.lines:
+        if line.kind is not LineKind.GATE:
+            continue
+        gt = line.gate_type
+        if gt is GateType.CONST0:
+            lines.append(f"  assign {ident(line.name)} = 1'b0;")
+            continue
+        if gt is GateType.CONST1:
+            lines.append(f"  assign {ident(line.name)} = 1'b1;")
+            continue
+        prim = _GATE_TO_PRIMITIVE[gt]
+        terms = ", ".join(
+            [ident(line.name)] + [ident(stem_name(f)) for f in line.fanin]
+        )
+        lines.append(f"  {prim} g{counter} ({terms});")
+        counter += 1
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,64 @@
+"""Logic-value substrate: 2-valued and 3-valued algebra over bit-packed words.
+
+The whole library represents the value of a circuit line *over the complete
+input space* ``U`` of a ``p``-input circuit as a single arbitrary-precision
+Python integer ("signature"): bit ``v`` of the signature is the line's value
+under input vector ``v`` (``0 <= v < 2**p``).  The decimal-vector convention
+follows the paper: input 1 is the most significant bit of the vector.
+
+Modules
+-------
+``values``
+    Scalar 2-valued / 3-valued constants and truth tables.
+``bitops``
+    Signature helpers: masks, input patterns, popcounts, bit iteration.
+``cube``
+    Partially-specified input vectors (used by Definition 2's ``tij`` tests).
+"""
+
+from repro.logic.values import (
+    ZERO,
+    ONE,
+    X,
+    V3,
+    v3_and,
+    v3_or,
+    v3_not,
+    v3_xor,
+    v3_from_char,
+    v3_to_char,
+)
+from repro.logic.bitops import (
+    all_ones_mask,
+    input_signature,
+    iter_set_bits,
+    popcount,
+    random_set_bit,
+    set_bits,
+    signature_from_vectors,
+    vectors_from_signature,
+)
+from repro.logic.cube import Cube, common_cube
+
+__all__ = [
+    "ZERO",
+    "ONE",
+    "X",
+    "V3",
+    "v3_and",
+    "v3_or",
+    "v3_not",
+    "v3_xor",
+    "v3_from_char",
+    "v3_to_char",
+    "all_ones_mask",
+    "input_signature",
+    "iter_set_bits",
+    "popcount",
+    "random_set_bit",
+    "set_bits",
+    "signature_from_vectors",
+    "vectors_from_signature",
+    "Cube",
+    "common_cube",
+]

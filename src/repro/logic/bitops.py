@@ -1,0 +1,120 @@
+"""Signature (bit-vector over the full input space) helpers.
+
+A *signature* for a ``p``-input circuit is an arbitrary-precision integer
+with ``2**p`` meaningful bits; bit ``v`` holds a line's logic value under
+the input vector whose decimal encoding is ``v``.  The decimal encoding
+follows the paper's convention: **input 1 is the most significant bit**,
+so for the 4-input example circuit, vector 6 = ``0110`` assigns
+input1=0, input2=1, input3=1, input4=0.
+
+Python's big integers make the full-space simulation of every vector a
+single bitwise expression per gate, and ``int.bit_count()`` gives the
+popcounts needed by the worst-case analysis (``N(f)`` and ``M(g, f)``).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Iterator
+
+_MASK_CACHE: dict[int, int] = {}
+_INPUT_SIG_CACHE: dict[tuple[int, int], int] = {}
+
+MAX_EXHAUSTIVE_INPUTS = 24
+"""Hard cap on ``p`` for exhaustive signatures (2**24 bits = 2 MiB each)."""
+
+
+def all_ones_mask(num_inputs: int) -> int:
+    """Mask with ``2**num_inputs`` one-bits — the signature of constant 1."""
+    if not 0 <= num_inputs <= MAX_EXHAUSTIVE_INPUTS:
+        raise ValueError(
+            f"num_inputs must be in [0, {MAX_EXHAUSTIVE_INPUTS}], got {num_inputs}"
+        )
+    mask = _MASK_CACHE.get(num_inputs)
+    if mask is None:
+        mask = (1 << (1 << num_inputs)) - 1
+        _MASK_CACHE[num_inputs] = mask
+    return mask
+
+
+def input_signature(input_index: int, num_inputs: int) -> int:
+    """Signature of primary input ``input_index`` (0-based, 0 = MSB).
+
+    Bit ``v`` of the result is ``(v >> (num_inputs - 1 - input_index)) & 1``.
+    """
+    if not 0 <= input_index < num_inputs:
+        raise ValueError(
+            f"input_index {input_index} out of range for {num_inputs} inputs"
+        )
+    key = (input_index, num_inputs)
+    sig = _INPUT_SIG_CACHE.get(key)
+    if sig is not None:
+        return sig
+    # Position of this input's bit counted from the vector LSB.
+    lsb_pos = num_inputs - 1 - input_index
+    half = 1 << lsb_pos                      # run length of equal values
+    period = half << 1                       # 2 * half
+    total = 1 << num_inputs                  # number of vectors
+    # One period looks like: `half` zeros then `half` ones (LSB first).
+    unit = ((1 << half) - 1) << half
+    # Replicate the period across the whole signature.
+    repetitions = total // period
+    replicator = ((1 << (period * repetitions)) - 1) // ((1 << period) - 1)
+    sig = unit * replicator
+    _INPUT_SIG_CACHE[key] = sig
+    return sig
+
+
+def popcount(signature: int) -> int:
+    """Number of set bits (``N(f)`` when applied to a detection set)."""
+    return signature.bit_count()
+
+
+def iter_set_bits(signature: int) -> Iterator[int]:
+    """Yield the indices of set bits in increasing order."""
+    while signature:
+        low = signature & -signature
+        yield low.bit_length() - 1
+        signature ^= low
+
+
+def set_bits(signature: int) -> list[int]:
+    """List of set-bit indices in increasing order."""
+    return list(iter_set_bits(signature))
+
+
+def signature_from_vectors(vectors: Iterable[int], num_inputs: int) -> int:
+    """Build a signature with exactly the given vector indices set."""
+    limit = 1 << num_inputs
+    sig = 0
+    for v in vectors:
+        if not 0 <= v < limit:
+            raise ValueError(f"vector {v} out of range for {num_inputs} inputs")
+        sig |= 1 << v
+    return sig
+
+
+def vectors_from_signature(signature: int) -> list[int]:
+    """Inverse of :func:`signature_from_vectors` (sorted vector list)."""
+    return set_bits(signature)
+
+
+def random_set_bit(signature: int, rng: random.Random) -> int:
+    """Uniformly random index of a set bit.
+
+    Uses rejection sampling over the bit range first (cheap when the
+    signature is dense) and falls back to materializing the bit list
+    (correct and still fast when it is sparse).
+    """
+    if signature == 0:
+        raise ValueError("signature has no set bits")
+    width = signature.bit_length()
+    # Rejection sampling: expected tries = width / popcount.  Only worth it
+    # when the signature is reasonably dense.
+    if signature.bit_count() * 8 >= width:
+        for _ in range(32):
+            idx = rng.randrange(width)
+            if (signature >> idx) & 1:
+                return idx
+    bits = set_bits(signature)
+    return bits[rng.randrange(len(bits))]

@@ -1,0 +1,185 @@
+"""Partially-specified input vectors (cubes).
+
+Definition 2 of the paper compares two fully-specified tests ``ti`` and
+``tj`` through the partial vector ``tij`` that is *specified in the bits
+where ti and tj agree and unspecified elsewhere*.  A :class:`Cube`
+represents such a vector: a care-mask selects the specified inputs and a
+value word holds their values.
+
+Bit convention matches the rest of the library: input 1 (paper numbering)
+is the most significant bit of the ``num_inputs``-wide words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.logic.values import ONE, X, ZERO
+
+
+@dataclass(frozen=True, slots=True)
+class Cube:
+    """A partially-specified assignment to ``num_inputs`` primary inputs.
+
+    Attributes
+    ----------
+    num_inputs:
+        Number of primary inputs ``p``.
+    care:
+        ``p``-bit mask; bit set = input is specified.
+    value:
+        ``p``-bit word with the values of the specified inputs.  Bits
+        outside ``care`` must be zero (normalized in ``__post_init__``).
+    """
+
+    num_inputs: int
+    care: int
+    value: int
+
+    def __post_init__(self) -> None:
+        mask = (1 << self.num_inputs) - 1
+        if self.care & ~mask:
+            raise ValueError("care mask wider than num_inputs")
+        if self.value & ~self.care:
+            object.__setattr__(self, "value", self.value & self.care)
+
+    @classmethod
+    def full(cls, vector: int, num_inputs: int) -> "Cube":
+        """Fully-specified cube for a decimal input vector."""
+        mask = (1 << num_inputs) - 1
+        if not 0 <= vector <= mask:
+            raise ValueError(f"vector {vector} out of range for {num_inputs} inputs")
+        return cls(num_inputs, mask, vector)
+
+    @classmethod
+    def empty(cls, num_inputs: int) -> "Cube":
+        """Completely unspecified cube (all inputs X)."""
+        return cls(num_inputs, 0, 0)
+
+    @classmethod
+    def from_string(cls, text: str) -> "Cube":
+        """Parse e.g. ``"01x1"`` (input 1 first, ``x``/``-`` = unspecified)."""
+        care = 0
+        value = 0
+        for ch in text:
+            care <<= 1
+            value <<= 1
+            if ch in "01":
+                care |= 1
+                value |= int(ch)
+            elif ch in "xX-":
+                pass
+            else:
+                raise ValueError(f"bad cube character {ch!r} in {text!r}")
+        return cls(len(text), care, value)
+
+    # ------------------------------------------------------------------
+    # Per-input access
+    # ------------------------------------------------------------------
+    def _bit(self, input_index: int) -> int:
+        if not 0 <= input_index < self.num_inputs:
+            raise IndexError(f"input index {input_index} out of range")
+        return self.num_inputs - 1 - input_index
+
+    def get(self, input_index: int) -> int:
+        """3-valued value of input ``input_index`` (0-based, 0 = input 1)."""
+        bit = self._bit(input_index)
+        if not (self.care >> bit) & 1:
+            return X
+        return ONE if (self.value >> bit) & 1 else ZERO
+
+    def with_input(self, input_index: int, value3: int) -> "Cube":
+        """Return a copy with one input set to a 3-valued value."""
+        bit = self._bit(input_index)
+        mask = 1 << bit
+        if value3 == X:
+            return Cube(self.num_inputs, self.care & ~mask, self.value & ~mask)
+        if value3 == ONE:
+            return Cube(self.num_inputs, self.care | mask, self.value | mask)
+        if value3 == ZERO:
+            return Cube(self.num_inputs, self.care | mask, self.value & ~mask)
+        raise ValueError(f"bad 3-valued value: {value3!r}")
+
+    # ------------------------------------------------------------------
+    # Cube algebra
+    # ------------------------------------------------------------------
+    @property
+    def num_specified(self) -> int:
+        """Number of specified inputs."""
+        return self.care.bit_count()
+
+    @property
+    def is_fully_specified(self) -> bool:
+        return self.care == (1 << self.num_inputs) - 1
+
+    @property
+    def num_completions(self) -> int:
+        """Number of fully-specified vectors consistent with the cube."""
+        return 1 << (self.num_inputs - self.num_specified)
+
+    def contains_vector(self, vector: int) -> bool:
+        """True when the fully-specified ``vector`` is a completion."""
+        return (vector & self.care) == self.value
+
+    def completions(self) -> list[int]:
+        """All fully-specified vectors consistent with the cube (sorted)."""
+        free_bits = [
+            b for b in range(self.num_inputs) if not (self.care >> b) & 1
+        ]
+        out = []
+        for combo in range(1 << len(free_bits)):
+            v = self.value
+            for i, b in enumerate(free_bits):
+                if (combo >> i) & 1:
+                    v |= 1 << b
+            out.append(v)
+        out.sort()
+        return out
+
+    def completion_signature(self) -> int:
+        """Signature (bitset over ``U``) of all completions."""
+        sig = 0
+        for v in self.completions():
+            sig |= 1 << v
+        return sig
+
+    def intersects(self, other: "Cube") -> bool:
+        """True when the two cubes share at least one completion."""
+        self._check_compatible(other)
+        both = self.care & other.care
+        return (self.value & both) == (other.value & both)
+
+    def intersection(self, other: "Cube") -> "Cube | None":
+        """Most general cube consistent with both, or None when disjoint."""
+        if not self.intersects(other):
+            return None
+        care = self.care | other.care
+        value = self.value | other.value
+        return Cube(self.num_inputs, care, value)
+
+    def _check_compatible(self, other: "Cube") -> None:
+        if self.num_inputs != other.num_inputs:
+            raise ValueError(
+                f"cube width mismatch: {self.num_inputs} vs {other.num_inputs}"
+            )
+
+    def __str__(self) -> str:
+        chars = []
+        for idx in range(self.num_inputs):
+            v = self.get(idx)
+            chars.append("x" if v == X else str(v))
+        return "".join(chars)
+
+
+def common_cube(ti: int, tj: int, num_inputs: int) -> Cube:
+    """The paper's ``tij``: specified where ``ti`` and ``tj`` agree.
+
+    ``ti`` and ``tj`` are decimal input vectors.  The result is specified
+    (to the common value) in every bit position where the two vectors
+    carry the same value, and unspecified elsewhere.
+    """
+    mask = (1 << num_inputs) - 1
+    if not 0 <= ti <= mask or not 0 <= tj <= mask:
+        raise ValueError("test vectors out of range")
+    agree = ~(ti ^ tj) & mask
+    return Cube(num_inputs, agree, ti & agree)

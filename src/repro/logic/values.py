@@ -1,0 +1,90 @@
+"""Scalar 2-valued and 3-valued logic values.
+
+The 3-valued algebra (0, 1, X) is the standard pessimistic ternary logic
+used by test generation and fault simulation tools: ``X`` means "value not
+known / not specified".  It is required by Definition 2 of the paper, which
+simulates partially-specified vectors ``tij`` that are specified only in the
+bits where two tests agree.
+
+Values are plain ints: ``ZERO == 0``, ``ONE == 1``, ``X == 2``.  Using small
+ints (rather than an enum) keeps the scalar simulator loops cheap; the
+:class:`V3` enum-like namespace is provided for readable call sites.
+"""
+
+from __future__ import annotations
+
+ZERO = 0
+ONE = 1
+X = 2
+
+_VALID = (ZERO, ONE, X)
+
+
+class V3:
+    """Namespace with the three scalar logic values."""
+
+    ZERO = ZERO
+    ONE = ONE
+    X = X
+
+
+def _check(value: int) -> None:
+    if value not in _VALID:
+        raise ValueError(f"not a 3-valued logic value: {value!r}")
+
+
+def v3_not(a: int) -> int:
+    """3-valued NOT: ``not X`` is ``X``."""
+    _check(a)
+    if a == X:
+        return X
+    return ONE - a
+
+
+def v3_and(a: int, b: int) -> int:
+    """3-valued AND: controlled by any 0 input, X otherwise unless both 1."""
+    _check(a)
+    _check(b)
+    if a == ZERO or b == ZERO:
+        return ZERO
+    if a == ONE and b == ONE:
+        return ONE
+    return X
+
+
+def v3_or(a: int, b: int) -> int:
+    """3-valued OR: controlled by any 1 input, X otherwise unless both 0."""
+    _check(a)
+    _check(b)
+    if a == ONE or b == ONE:
+        return ONE
+    if a == ZERO and b == ZERO:
+        return ZERO
+    return X
+
+
+def v3_xor(a: int, b: int) -> int:
+    """3-valued XOR: X if either input is X."""
+    _check(a)
+    _check(b)
+    if a == X or b == X:
+        return X
+    return a ^ b
+
+
+_CHAR_TO_V3 = {"0": ZERO, "1": ONE, "x": X, "X": X, "-": X}
+_V3_TO_CHAR = {ZERO: "0", ONE: "1", X: "x"}
+
+
+def v3_from_char(ch: str) -> int:
+    """Parse ``0``, ``1``, ``x``/``X``/``-`` into a 3-valued constant."""
+    try:
+        return _CHAR_TO_V3[ch]
+    except KeyError:
+        raise ValueError(f"not a 3-valued logic character: {ch!r}") from None
+
+
+def v3_to_char(value: int) -> str:
+    """Render a 3-valued constant as ``0``, ``1`` or ``x``."""
+    _check(value)
+    return _V3_TO_CHAR[value]

@@ -1,0 +1,92 @@
+"""MCNC-style suite: source integrity, determinism, published interfaces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench_suite.mcnc import (
+    HAND_WRITTEN_NAMES,
+    MCNC_SUITE,
+    kiss2_source,
+)
+from repro.errors import ReproError
+from repro.io_formats.kiss2 import parse_kiss2
+
+# Published MCNC interface sizes for spot checks (inputs, outputs, states).
+PUBLISHED_INTERFACES = {
+    "lion": (2, 1, 4),
+    "train4": (2, 1, 4),
+    "modulo12": (1, 1, 12),
+    "dk27": (1, 2, 7),
+    "bbtas": (2, 2, 6),
+    "mc": (3, 5, 4),
+    "lion9": (2, 1, 9),
+    "train11": (2, 1, 11),
+    "beecount": (3, 4, 7),
+    "s8": (4, 1, 5),
+    "keyb": (7, 2, 19),
+    "cse": (7, 7, 16),
+    "bbara": (4, 2, 10),
+    "dk16": (2, 3, 27),
+    "s1a": (8, 6, 20),
+}
+
+
+class TestSuiteIntegrity:
+    def test_35_circuits_in_paper_order(self):
+        assert len(MCNC_SUITE) == 35
+        assert MCNC_SUITE[0] == "lion"
+        assert MCNC_SUITE[-1] == "s1a"
+
+    def test_every_source_parses_and_validates(self):
+        for name in MCNC_SUITE:
+            fsm = parse_kiss2(kiss2_source(name), name=name)
+            assert fsm.validate() == [], name
+
+    @pytest.mark.parametrize("name", sorted(PUBLISHED_INTERFACES))
+    def test_published_interfaces(self, name):
+        i, o, s = PUBLISHED_INTERFACES[name]
+        fsm = parse_kiss2(kiss2_source(name), name=name)
+        assert fsm.num_inputs == i
+        assert fsm.num_outputs == o
+        assert len(fsm.states) == s
+
+    def test_sources_deterministic(self):
+        for name in ("keyb", "dvram", "ex2"):
+            assert kiss2_source(name) == kiss2_source(name)
+
+    def test_unknown_name(self):
+        with pytest.raises(ReproError):
+            kiss2_source("nonexistent")
+
+    def test_hand_written_subset(self):
+        assert HAND_WRITTEN_NAMES <= set(MCNC_SUITE)
+        assert "lion" in HAND_WRITTEN_NAMES
+        assert "keyb" not in HAND_WRITTEN_NAMES
+
+
+class TestMachineQuality:
+    @pytest.mark.parametrize("name", sorted(HAND_WRITTEN_NAMES))
+    def test_hand_written_all_states_reachable(self, name):
+        fsm = parse_kiss2(kiss2_source(name), name=name)
+        assert fsm.reachable_states() == set(fsm.states)
+
+    @pytest.mark.parametrize("name", list(MCNC_SUITE))
+    def test_all_machines_deterministic(self, name):
+        fsm = parse_kiss2(kiss2_source(name), name=name)
+        assert fsm.validate(require_deterministic=True) == []
+
+    def test_generated_machines_reachable_cycle(self):
+        """The generator wires st_i -> st_{i+1}, keeping everything
+        reachable from reset."""
+        for name in ("keyb", "dvram", "ex4"):
+            fsm = parse_kiss2(kiss2_source(name), name=name)
+            assert fsm.reachable_states() == set(fsm.states)
+
+    def test_exhaustive_input_budget(self):
+        """Every suite circuit must stay analyzable: FSM inputs + state
+        bits <= 14 (the full-space signature budget)."""
+        for name in MCNC_SUITE:
+            fsm = parse_kiss2(kiss2_source(name), name=name)
+            state_bits = max(1, (len(fsm.states) - 1).bit_length())
+            assert fsm.num_inputs + state_bits <= 14, name

@@ -1,0 +1,76 @@
+"""Random-logic generator: determinism, structure, analyzability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench_suite.randlogic import random_circuit
+from repro.circuit.validate import validate_circuit
+from repro.errors import ReproError
+from repro.faults.universe import FaultUniverse
+
+
+class TestDeterminism:
+    def test_same_seed_same_netlist(self):
+        a = random_circuit(42)
+        b = random_circuit(42)
+        assert [(l.name, l.kind, l.gate_type, l.fanin) for l in a.lines] == [
+            (l.name, l.kind, l.gate_type, l.fanin) for l in b.lines
+        ]
+
+    def test_different_seeds_differ(self):
+        a = random_circuit(1, num_gates=20)
+        b = random_circuit(2, num_gates=20)
+        assert [(l.name, l.fanin) for l in a.lines] != [
+            (l.name, l.fanin) for l in b.lines
+        ]
+
+
+class TestStructure:
+    @pytest.mark.parametrize("seed", [0, 7, 99])
+    def test_valid_normal_form(self, seed):
+        c = random_circuit(seed, num_inputs=6, num_gates=30)
+        issues = [i for i in validate_circuit(c) if "dangling" not in i]
+        assert issues == []
+        # No dangling gates either: generator promotes them to outputs.
+        assert all(
+            ln.fanout or ln.is_output or ln.kind.value == "input"
+            for ln in c.lines
+        )
+
+    def test_requested_sizes(self):
+        c = random_circuit(5, num_inputs=4, num_gates=12)
+        assert c.num_inputs == 4
+        assert c.num_gates == 12
+
+    def test_arity_bound(self):
+        c = random_circuit(11, max_arity=2, num_gates=25)
+        for line in c.gate_lines():
+            assert len(line.fanin) <= 2
+
+    def test_locality_changes_depth(self):
+        deep = random_circuit(3, num_gates=60, locality=0.95)
+        shallow = random_circuit(3, num_gates=60, locality=0.0)
+        assert deep.depth != shallow.depth
+
+    def test_parameter_validation(self):
+        with pytest.raises(ReproError):
+            random_circuit(0, num_inputs=0)
+        with pytest.raises(ReproError):
+            random_circuit(0, num_gates=0)
+        with pytest.raises(ReproError):
+            random_circuit(0, max_arity=1)
+        with pytest.raises(ReproError):
+            random_circuit(0, locality=1.5)
+
+
+class TestAnalyzability:
+    def test_full_analysis_runs(self):
+        from repro.core.worst_case import WorstCaseAnalysis
+
+        c = random_circuit(13, num_inputs=6, num_gates=25)
+        u = FaultUniverse(c)
+        if len(u.untargeted_table) == 0:
+            pytest.skip("seed produced no bridging sites")
+        wc = WorstCaseAnalysis(u.target_table, u.untargeted_table)
+        assert 0.0 <= wc.fraction_within(10) <= 1.0

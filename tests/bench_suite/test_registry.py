@@ -1,0 +1,80 @@
+"""Circuit registry: names, caching, synthesis integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench_suite.registry import (
+    circuit_names,
+    get_circuit,
+    get_fsm,
+    suite_table_groups,
+)
+from repro.circuit.validate import validate_circuit
+from repro.errors import ReproError
+
+
+class TestRegistry:
+    def test_example_names_present(self):
+        names = circuit_names()
+        for expected in ("paper_example", "c17", "majority3", "lion", "s1a"):
+            assert expected in names
+
+    def test_get_circuit_cached(self):
+        assert get_circuit("lion") is get_circuit("lion")
+
+    def test_unknown_circuit(self):
+        with pytest.raises(ReproError, match="unknown circuit"):
+            get_circuit("zzz")
+
+    def test_unknown_fsm(self):
+        with pytest.raises(ReproError, match="no FSM"):
+            get_fsm("paper_example")  # an example, not an FSM
+
+    def test_suite_order(self):
+        groups = suite_table_groups()
+        assert groups[0] == "lion"
+        assert len(groups) == 35
+
+
+class TestSynthesizedSuiteMembers:
+    @pytest.mark.parametrize(
+        "name", ["lion", "dk27", "train4", "mc", "ex5", "tav", "firstex"]
+    )
+    def test_valid_normal_form(self, name):
+        circuit = get_circuit(name)
+        assert validate_circuit(circuit) == []
+
+    @pytest.mark.parametrize("name", ["lion", "bbtas", "ex3"])
+    def test_input_naming_convention(self, name):
+        circuit = get_circuit(name)
+        fsm = get_fsm(name)
+        input_names = [circuit.lines[i].name for i in circuit.inputs]
+        x_names = [n for n in input_names if n.startswith("x")]
+        s_names = [n for n in input_names if n.startswith("s")]
+        assert len(x_names) == fsm.num_inputs
+        assert input_names == x_names + s_names
+
+    def test_synthesis_matches_fsm_behavior(self):
+        """Registry circuits implement their FSM's transition function."""
+        from repro.fsm.encoding import encode_states
+        from repro.simulation.twoval import output_values
+
+        name = "dk27"
+        fsm = get_fsm(name)
+        circuit = get_circuit(name)
+        enc = encode_states(fsm.states, "binary")
+        b = enc.num_bits
+        for state in fsm.states:
+            for x in range(1 << fsm.num_inputs):
+                vector = (x << b) | enc.codes[state]
+                got = output_values(circuit, vector)
+                expected_next, expected_out = fsm.step(state, x)
+                got_code = 0
+                for bit in got[:b]:
+                    got_code = (got_code << 1) | bit
+                expected_code = (
+                    enc.codes[expected_next] if expected_next else 0
+                )
+                assert got_code == expected_code
+                assert "".join(map(str, got[b:])) == expected_out

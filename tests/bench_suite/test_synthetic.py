@@ -1,0 +1,62 @@
+"""Synthetic FSM generator: determinism, completeness, disjointness."""
+
+from __future__ import annotations
+
+from repro.bench_suite.synthetic import FsmSpec, generate_kiss2
+from repro.io_formats.kiss2 import parse_kiss2
+
+
+def _spec(**kw):
+    base = {"name": "testgen", "inputs": 3, "outputs": 2, "states": 5}
+    base.update(kw)
+    return FsmSpec(**base)
+
+
+class TestDeterminism:
+    def test_same_name_same_text(self):
+        assert generate_kiss2(_spec()) == generate_kiss2(_spec())
+
+    def test_different_names_differ(self):
+        a = generate_kiss2(_spec(name="aaa"))
+        b = generate_kiss2(_spec(name="bbb"))
+        assert a != b
+
+
+class TestCoverStructure:
+    def test_parses_and_validates(self):
+        fsm = parse_kiss2(generate_kiss2(_spec()), name="testgen")
+        assert fsm.validate() == []
+
+    def test_cubes_partition_input_space(self):
+        """Per state: every input vector matches exactly one row."""
+        spec = _spec(inputs=4, split_depth=3)
+        fsm = parse_kiss2(generate_kiss2(spec), name=spec.name)
+        by_state = {}
+        for t in fsm.transitions:
+            by_state.setdefault(t.present, []).append(t)
+        for state, rows in by_state.items():
+            for v in range(1 << spec.inputs):
+                matches = [
+                    t for t in rows if t.matches(v, spec.inputs)
+                ]
+                assert len(matches) == 1, (state, v)
+
+    def test_requested_sizes(self):
+        spec = _spec(inputs=5, outputs=4, states=9)
+        fsm = parse_kiss2(generate_kiss2(spec), name=spec.name)
+        assert fsm.num_inputs == 5
+        assert fsm.num_outputs == 4
+        assert len(fsm.states) == 9
+
+    def test_cycle_keeps_all_states_reachable(self):
+        fsm = parse_kiss2(generate_kiss2(_spec(states=12)), name="testgen")
+        assert fsm.reachable_states() == set(fsm.states)
+
+    def test_split_depth_increases_terms(self):
+        shallow = parse_kiss2(
+            generate_kiss2(_spec(name="d", split_depth=1)), name="d"
+        )
+        deep = parse_kiss2(
+            generate_kiss2(_spec(name="d", split_depth=4)), name="d"
+        )
+        assert len(deep.transitions) >= len(shallow.transitions)

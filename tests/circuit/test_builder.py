@@ -1,0 +1,182 @@
+"""CircuitBuilder behaviour: declarations, normal form, auto-branching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.gate import GateType
+from repro.circuit.netlist import LineKind
+from repro.errors import CircuitCycleError, CircuitError
+
+
+def test_simple_build(tiny_and):
+    assert tiny_and.num_inputs == 2
+    assert tiny_and.num_gates == 1
+    assert tiny_and.line("out").gate_type is GateType.AND
+
+
+class TestDeclarationErrors:
+    def test_duplicate_name(self):
+        b = CircuitBuilder("c")
+        b.input("a")
+        with pytest.raises(CircuitError, match="duplicate"):
+            b.input("a")
+
+    def test_empty_name(self):
+        b = CircuitBuilder("c")
+        with pytest.raises(CircuitError):
+            b.input("")
+
+    def test_empty_circuit_name(self):
+        with pytest.raises(CircuitError):
+            CircuitBuilder("")
+
+    def test_undeclared_fanin(self):
+        b = CircuitBuilder("c")
+        b.input("a")
+        b.gate("g", GateType.NOT, ["zzz"])
+        b.output("g")
+        with pytest.raises(CircuitError, match="undeclared"):
+            b.build()
+
+    def test_undeclared_output(self):
+        b = CircuitBuilder("c")
+        b.input("a")
+        b.output("nope")
+        with pytest.raises(CircuitError, match="not a declared line"):
+            b.build()
+
+    def test_no_inputs(self):
+        b = CircuitBuilder("c")
+        b.const("k", 1)
+        b.output("k")
+        with pytest.raises(CircuitError, match="no inputs"):
+            b.build()
+
+    def test_no_outputs(self):
+        b = CircuitBuilder("c")
+        b.input("a")
+        with pytest.raises(CircuitError, match="no outputs"):
+            b.build()
+
+    def test_duplicate_output_mark(self):
+        b = CircuitBuilder("c")
+        b.input("a")
+        b.output("a")
+        with pytest.raises(CircuitError):
+            b.output("a")
+
+    def test_bad_const(self):
+        b = CircuitBuilder("c")
+        with pytest.raises(CircuitError):
+            b.const("k", 2)
+
+    def test_branch_of_branch(self):
+        b = CircuitBuilder("c")
+        b.input("a")
+        b.branch("b1", of="a")
+        b.branch("b2", of="b1")
+        b.output("b2")
+        with pytest.raises(CircuitError, match="branches of branches"):
+            b.build()
+
+    def test_arity_checked_at_declaration(self):
+        b = CircuitBuilder("c")
+        b.input("a")
+        b.input("b")
+        with pytest.raises(CircuitError):
+            b.gate("g", GateType.NOT, ["a", "b"])
+
+
+class TestAutoBranching:
+    def _fanout_builder(self):
+        b = CircuitBuilder("c")
+        b.input("a")
+        b.input("b")
+        b.gate("g1", GateType.AND, ["a", "b"])
+        b.gate("g2", GateType.OR, ["a", "b"])
+        b.output("g1")
+        b.output("g2")
+        return b
+
+    def test_auto_branch_inserts_branches(self):
+        c = self._fanout_builder().build(auto_branch=True)
+        branches = [ln for ln in c.lines if ln.kind is LineKind.BRANCH]
+        assert len(branches) == 4  # a~0, a~1, b~0, b~1
+        # Stems now feed only branches.
+        for stem in ("a", "b"):
+            sinks = [c.lines[s].kind for s in c.line(stem).fanout]
+            assert all(k is LineKind.BRANCH for k in sinks)
+
+    def test_no_auto_branch_rejects(self):
+        with pytest.raises(CircuitError, match="without explicit branches"):
+            self._fanout_builder().build(auto_branch=False)
+
+    def test_explicit_branches_preserved(self, example_circuit):
+        assert [ln.name for ln in example_circuit.lines if ln.kind is LineKind.BRANCH] == [
+            "5", "6", "7", "8",
+        ]
+
+    def test_mixed_branch_and_direct_rejected(self):
+        b = CircuitBuilder("c")
+        b.input("a")
+        b.input("x")
+        b.branch("a1", of="a")
+        b.gate("g1", GateType.NOT, ["a1"])
+        b.gate("g2", GateType.AND, ["a", "x"])  # direct use alongside branch
+        b.output("g1")
+        b.output("g2")
+        with pytest.raises(CircuitError, match="branches"):
+            b.build()
+
+    def test_single_fanout_needs_no_branch(self):
+        b = CircuitBuilder("c")
+        b.input("a")
+        b.gate("g", GateType.NOT, ["a"])
+        b.output("g")
+        c = b.build(auto_branch=True)
+        assert all(ln.kind is not LineKind.BRANCH for ln in c.lines)
+
+    def test_output_plus_single_gate_sink_ok(self):
+        """A PO that also feeds one gate stays branch-free."""
+        b = CircuitBuilder("c")
+        b.input("a")
+        b.gate("g", GateType.NOT, ["a"])
+        b.gate("h", GateType.NOT, ["g"])
+        b.output("g")
+        b.output("h")
+        c = b.build(auto_branch=True)
+        assert c.line("g").is_output
+        assert len(c.line("g").fanout) == 1
+
+
+class TestCycles:
+    def test_cycle_detected(self):
+        b = CircuitBuilder("c")
+        b.input("a")
+        b.gate("g1", GateType.AND, ["a", "g2"])
+        b.gate("g2", GateType.NOT, ["g1"])
+        b.output("g2")
+        with pytest.raises(CircuitCycleError):
+            b.build()
+
+    def test_self_loop(self):
+        b = CircuitBuilder("c")
+        b.input("a")
+        b.gate("g", GateType.AND, ["a", "g"])
+        b.output("g")
+        with pytest.raises(CircuitCycleError):
+            b.build()
+
+
+class TestForwardReferences:
+    def test_gates_in_any_order(self):
+        b = CircuitBuilder("c")
+        b.input("a")
+        b.gate("late", GateType.NOT, ["early"])
+        b.gate("early", GateType.NOT, ["a"])
+        b.output("late")
+        c = b.build()
+        # late depends on early: level(late) > level(early)
+        assert c.level[c.lid_of("late")] > c.level[c.lid_of("early")]

@@ -1,0 +1,169 @@
+"""Gate-type evaluation in all three value domains, cross-checked."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.gate import (
+    GateType,
+    eval_dualrail,
+    eval_scalar3,
+    eval_signature,
+    gate_type_from_name,
+)
+from repro.errors import CircuitError
+from repro.logic.values import ONE, X, ZERO
+
+LOGIC_GATES = [
+    GateType.AND,
+    GateType.OR,
+    GateType.NAND,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+]
+
+REFERENCE = {
+    GateType.AND: lambda vals: all(vals),
+    GateType.OR: lambda vals: any(vals),
+    GateType.NAND: lambda vals: not all(vals),
+    GateType.NOR: lambda vals: not any(vals),
+    GateType.XOR: lambda vals: sum(vals) % 2 == 1,
+    GateType.XNOR: lambda vals: sum(vals) % 2 == 0,
+}
+
+
+class TestSignatureEval:
+    @pytest.mark.parametrize("gt", LOGIC_GATES)
+    @pytest.mark.parametrize("arity", [2, 3, 4])
+    def test_matches_reference(self, gt, arity):
+        # Signatures over `arity` free variables = full truth table.
+        mask = (1 << (1 << arity)) - 1
+        inputs = []
+        for j in range(arity):
+            sig = 0
+            for v in range(1 << arity):
+                if (v >> (arity - 1 - j)) & 1:
+                    sig |= 1 << v
+            inputs.append(sig)
+        out = eval_signature(gt, inputs, mask)
+        for v in range(1 << arity):
+            bits = [(v >> (arity - 1 - j)) & 1 for j in range(arity)]
+            assert (out >> v) & 1 == int(REFERENCE[gt](bits))
+
+    def test_not_buf(self):
+        mask = 0b11
+        assert eval_signature(GateType.NOT, [0b01], mask) == 0b10
+        assert eval_signature(GateType.BUF, [0b01], mask) == 0b01
+
+    def test_consts(self):
+        mask = 0xFF
+        assert eval_signature(GateType.CONST0, [], mask) == 0
+        assert eval_signature(GateType.CONST1, [], mask) == mask
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(CircuitError):
+            eval_signature(GateType.AND, [], 0xF)
+
+
+class TestScalar3Consistency:
+    @pytest.mark.parametrize("gt", LOGIC_GATES)
+    def test_definite_matches_boolean(self, gt):
+        for a in (0, 1):
+            for b in (0, 1):
+                assert eval_scalar3(gt, [a, b]) == int(REFERENCE[gt]([a, b]))
+
+    @pytest.mark.parametrize("gt", LOGIC_GATES)
+    def test_x_soundness(self, gt):
+        """If the 3-valued result is definite, every completion agrees."""
+        for a in (ZERO, ONE, X):
+            for b in (ZERO, ONE, X):
+                out = eval_scalar3(gt, [a, b])
+                if out == X:
+                    continue
+                for ca in ((a,) if a != X else (0, 1)):
+                    for cb in ((b,) if b != X else (0, 1)):
+                        assert int(REFERENCE[gt]([ca, cb])) == out
+
+
+class TestDualRailConsistency:
+    @pytest.mark.parametrize("gt", LOGIC_GATES + [GateType.NOT, GateType.BUF])
+    def test_matches_scalar(self, gt):
+        arity = 1 if gt in (GateType.NOT, GateType.BUF) else 2
+        values = [(ZERO,), (ONE,), (X,)]
+        combos = []
+        if arity == 1:
+            combos = [(a,) for (a,) in values]
+        else:
+            combos = [(a, b) for (a,) in values for (b,) in values]
+        lanes = len(combos)
+        lane_mask = (1 << lanes) - 1
+        ones = [0] * arity
+        zeros = [0] * arity
+        for lane, combo in enumerate(combos):
+            for i, v in enumerate(combo):
+                if v == ONE:
+                    ones[i] |= 1 << lane
+                elif v == ZERO:
+                    zeros[i] |= 1 << lane
+        o, z = eval_dualrail(gt, ones, zeros, lane_mask)
+        for lane, combo in enumerate(combos):
+            expected = eval_scalar3(gt, list(combo))
+            got_one = (o >> lane) & 1
+            got_zero = (z >> lane) & 1
+            assert got_one + got_zero <= 1
+            if expected == ONE:
+                assert got_one == 1
+            elif expected == ZERO:
+                assert got_zero == 1
+            else:
+                assert got_one == 0 and got_zero == 0
+
+    def test_consts(self):
+        o, z = eval_dualrail(GateType.CONST1, [], [], 0b111)
+        assert (o, z) == (0b111, 0)
+
+
+class TestGateTypeMeta:
+    def test_controlling_values(self):
+        assert GateType.AND.controlling_value == 0
+        assert GateType.NAND.controlling_value == 0
+        assert GateType.OR.controlling_value == 1
+        assert GateType.NOR.controlling_value == 1
+        assert GateType.XOR.controlling_value is None
+
+    def test_controlled_outputs(self):
+        assert GateType.AND.controlled_output == 0
+        assert GateType.NAND.controlled_output == 1
+        assert GateType.OR.controlled_output == 1
+        assert GateType.NOR.controlled_output == 0
+
+    def test_arity_checks(self):
+        with pytest.raises(CircuitError):
+            GateType.NOT.check_arity(2)
+        with pytest.raises(CircuitError):
+            GateType.CONST0.check_arity(1)
+        GateType.AND.check_arity(5)  # no limit upward
+
+    def test_name_parsing(self):
+        assert gate_type_from_name("nand") is GateType.NAND
+        assert gate_type_from_name("NAND") is GateType.NAND
+        assert gate_type_from_name("INV") is GateType.NOT
+        assert gate_type_from_name("BUFF") is GateType.BUF
+        with pytest.raises(CircuitError):
+            gate_type_from_name("mux")
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=0xFFFF), min_size=2, max_size=4)
+)
+@settings(max_examples=100)
+def test_de_morgan_on_signatures(sigs):
+    mask = 0xFFFF
+    nand = eval_signature(GateType.NAND, sigs, mask)
+    or_of_nots = eval_signature(
+        GateType.OR, [~s & mask for s in sigs], mask
+    )
+    assert nand == or_of_nots

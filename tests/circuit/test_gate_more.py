@@ -1,0 +1,81 @@
+"""Additional gate-evaluation edge cases (wide gates, degenerate arities)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.gate import GateType, eval_dualrail, eval_scalar3, eval_signature
+from repro.errors import CircuitError
+from repro.logic.values import ONE, X, ZERO
+
+
+class TestWideGates:
+    @pytest.mark.parametrize("arity", [5, 8, 12])
+    def test_wide_and(self, arity):
+        mask = (1 << (1 << 4)) - 1  # 4-var space regardless of arity
+        # All-ones inputs AND to all-ones.
+        assert eval_signature(GateType.AND, [mask] * arity, mask) == mask
+        # A single zero bit anywhere kills that bit.
+        hole = mask & ~1
+        assert eval_signature(
+            GateType.AND, [mask] * (arity - 1) + [hole], mask
+        ) == hole
+
+    @pytest.mark.parametrize("arity", [3, 7])
+    def test_wide_xor_parity(self, arity):
+        mask = 0b11
+        # XOR of `arity` copies of the same signature = 0 if even count.
+        sig = 0b01
+        out = eval_signature(GateType.XOR, [sig] * arity, mask)
+        assert out == (sig if arity % 2 else 0)
+
+
+class TestSingleInputLogicGates:
+    """AND/OR/etc. with one input degenerate to a buffer (or inverter)."""
+
+    @pytest.mark.parametrize(
+        "gt,invert",
+        [
+            (GateType.AND, False),
+            (GateType.OR, False),
+            (GateType.XOR, False),
+            (GateType.NAND, True),
+            (GateType.NOR, True),
+            (GateType.XNOR, True),
+        ],
+    )
+    def test_signature_degenerate(self, gt, invert):
+        mask = 0xFF
+        sig = 0b10110100
+        out = eval_signature(gt, [sig], mask)
+        assert out == (~sig & mask if invert else sig)
+
+    @pytest.mark.parametrize(
+        "gt", [GateType.AND, GateType.OR, GateType.NAND, GateType.NOR]
+    )
+    def test_scalar3_degenerate(self, gt):
+        for v in (ZERO, ONE, X):
+            out = eval_scalar3(gt, [v])
+            if v == X:
+                assert out == X
+            elif gt.is_inverting:
+                assert out == (v ^ 1)
+            else:
+                assert out == v
+
+
+class TestDualRailWide:
+    def test_three_input_xor(self):
+        # Lanes: (0,0,0), (1,1,0), (1,X,0), (1,1,1)
+        ones = [0b1110, 0b1010, 0b1000]
+        zeros = [0b0001, 0b0001, 0b0111]
+        o, z = eval_dualrail(GateType.XOR, ones, zeros, 0b1111)
+        # lane0: 0^0^0=0; lane1: 1^1^0=0; lane2: X; lane3: 1^1^1=1
+        assert (o >> 0) & 1 == 0 and (z >> 0) & 1 == 1
+        assert (o >> 1) & 1 == 0 and (z >> 1) & 1 == 1
+        assert (o >> 2) & 1 == 0 and (z >> 2) & 1 == 0
+        assert (o >> 3) & 1 == 1 and (z >> 3) & 1 == 0
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(CircuitError):
+            eval_dualrail(GateType.AND, [], [], 0b1)

@@ -1,0 +1,109 @@
+"""Circuit structure queries: topo order, levels, cones, observability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.gate import GateType
+from repro.errors import CircuitError
+
+
+class TestLookup:
+    def test_lid_of(self, example_circuit):
+        assert example_circuit.lid_of("1") == 0
+        assert example_circuit.lid_of("11") == 10
+
+    def test_unknown_name(self, example_circuit):
+        with pytest.raises(CircuitError, match="no line named"):
+            example_circuit.lid_of("zzz")
+
+    def test_line_by_name_and_lid(self, example_circuit):
+        assert example_circuit.line("9") is example_circuit.line(8)
+
+    def test_has_line(self, example_circuit):
+        assert example_circuit.has_line("5")
+        assert not example_circuit.has_line("99")
+
+    def test_len(self, example_circuit):
+        assert len(example_circuit) == 11
+
+
+class TestTopology:
+    def test_topo_order_respects_dependencies(self, example_circuit):
+        pos = {lid: i for i, lid in enumerate(example_circuit.topo_order)}
+        for line in example_circuit.lines:
+            if not line.fanin:
+                continue
+            for src in line.fanin:
+                if example_circuit.lines[src].fanin:
+                    assert pos[src] < pos[line.lid]
+
+    def test_levels(self, example_circuit):
+        c = example_circuit
+        assert c.level[c.lid_of("1")] == 0
+        assert c.level[c.lid_of("5")] == 1
+        assert c.level[c.lid_of("9")] == 2
+        assert c.depth == 2
+
+    def test_stats(self, example_circuit):
+        s = example_circuit.stats()
+        assert s == {
+            "inputs": 4,
+            "outputs": 3,
+            "gates": 3,
+            "branches": 4,
+            "lines": 11,
+            "depth": 2,
+        }
+
+
+class TestCones:
+    def test_transitive_fanout(self, example_circuit):
+        c = example_circuit
+        fanout = {c.lines[x].name for x in c.transitive_fanout(c.lid_of("2"))}
+        assert fanout == {"5", "6", "9", "10"}
+
+    def test_transitive_fanin(self, example_circuit):
+        c = example_circuit
+        fanin = {c.lines[x].name for x in c.transitive_fanin(c.lid_of("10"))}
+        assert fanin == {"6", "7", "2", "3"}
+
+    def test_fanout_cone_order_is_topological(self, example_circuit):
+        c = example_circuit
+        cone = c.fanout_cone_order(c.lid_of("2"))
+        names = [c.lines[x].name for x in cone]
+        assert set(names) == {"5", "6", "9", "10"}
+        assert names.index("5") < names.index("9")
+        assert names.index("6") < names.index("10")
+
+    def test_observing_outputs(self, example_circuit):
+        c = example_circuit
+        obs = [c.lines[o].name for o in c.observing_outputs(c.lid_of("2"))]
+        assert obs == ["9", "10"]
+        obs = [c.lines[o].name for o in c.observing_outputs(c.lid_of("9"))]
+        assert obs == ["9"]
+
+
+class TestGateQueries:
+    def test_multi_input_gate_lines(self, example_circuit):
+        names = [ln.name for ln in example_circuit.multi_input_gate_lines()]
+        assert names == ["9", "10", "11"]
+
+    def test_gate_lines(self, example_circuit):
+        assert len(example_circuit.gate_lines()) == 3
+
+    def test_not_gate_excluded_from_multi_input(self):
+        b = CircuitBuilder("c")
+        b.input("a")
+        b.input("x")
+        b.gate("n", GateType.NOT, ["a"])
+        b.gate("g", GateType.AND, ["n", "x"])
+        b.output("g")
+        c = b.build()
+        assert [ln.name for ln in c.multi_input_gate_lines()] == ["g"]
+
+    def test_is_stem(self, example_circuit):
+        assert example_circuit.line("2").is_stem
+        assert not example_circuit.line("1").is_stem
+        assert not example_circuit.line("5").is_stem

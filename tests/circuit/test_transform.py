@@ -1,0 +1,121 @@
+"""Cone extraction, partitioning, renaming: structure and semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.transform import (
+    cone_support,
+    extract_cone,
+    output_partitions,
+    rename_lines,
+    strip_unused_lines,
+)
+from repro.circuit.validate import validate_circuit
+from repro.errors import CircuitError
+from repro.simulation.exhaustive import line_signatures
+
+
+class TestExtractCone:
+    def test_single_output_cone(self, example_circuit):
+        sub = extract_cone(example_circuit, ["9"])
+        names = {ln.name for ln in sub.lines}
+        assert names == {"1", "2", "5", "9"}
+        assert validate_circuit(sub) == []
+
+    def test_cone_function_preserved(self, example_circuit):
+        """The cone's output function equals the original restricted to
+        the cone's support (checked on all support assignments)."""
+        sub = extract_cone(example_circuit, ["10"])
+        # sub inputs: 2, 3 (in original declaration order)
+        in_names = [sub.lines[i].name for i in sub.inputs]
+        assert in_names == ["2", "3"]
+        sub_sigs = line_signatures(sub)
+        out_sig = sub_sigs[sub.lid_of("10")]
+        # Original: 10 = AND(2, 3); enumerate.
+        for v in range(4):
+            bit2 = (v >> 1) & 1
+            bit3 = v & 1
+            assert (out_sig >> v) & 1 == (bit2 & bit3)
+
+    def test_multi_output_cone(self, example_circuit):
+        sub = extract_cone(example_circuit, ["9", "10"])
+        assert {sub.lines[o].name for o in sub.outputs} == {"9", "10"}
+        assert not sub.has_line("11")
+        assert not sub.has_line("4")
+
+    def test_empty_outputs_rejected(self, example_circuit):
+        with pytest.raises(CircuitError):
+            extract_cone(example_circuit, [])
+
+
+class TestConeSupport:
+    def test_supports(self, example_circuit):
+        c = example_circuit
+        assert {c.lines[i].name for i in cone_support(c, "9")} == {"1", "2"}
+        assert {c.lines[i].name for i in cone_support(c, "11")} == {"3", "4"}
+
+
+class TestOutputPartitions:
+    def test_partitions_cover_all_outputs(self, example_circuit):
+        parts = output_partitions(example_circuit, max_inputs=2)
+        covered = set()
+        for p in parts:
+            covered |= {p.lines[o].name for o in p.outputs}
+        assert covered == {"9", "10", "11"}
+
+    def test_respects_input_bound(self, example_circuit):
+        for p in output_partitions(example_circuit, max_inputs=2):
+            assert p.num_inputs <= 2
+
+    def test_whole_circuit_fits_one_partition(self, example_circuit):
+        parts = output_partitions(example_circuit, max_inputs=4)
+        assert len(parts) == 1
+        assert parts[0].num_inputs == 4
+
+    def test_too_small_bound_rejected(self, example_circuit):
+        with pytest.raises(CircuitError, match="cannot partition"):
+            output_partitions(example_circuit, max_inputs=1)
+
+    def test_bad_bound(self, example_circuit):
+        with pytest.raises(CircuitError):
+            output_partitions(example_circuit, max_inputs=0)
+
+
+class TestRename:
+    def test_numeric_names(self, c17_circuit):
+        renamed = rename_lines(c17_circuit)
+        assert [ln.name for ln in renamed.lines] == [
+            str(i + 1) for i in range(len(c17_circuit.lines))
+        ]
+        assert validate_circuit(renamed) == []
+
+    def test_function_preserved(self, c17_circuit):
+        renamed = rename_lines(c17_circuit)
+        orig = line_signatures(c17_circuit)
+        new = line_signatures(renamed)
+        for o_orig, o_new in zip(c17_circuit.outputs, renamed.outputs):
+            assert orig[o_orig] == new[o_new]
+
+
+class TestStripUnused:
+    def test_removes_dead_logic(self, example_circuit):
+        from repro.circuit.builder import CircuitBuilder
+        from repro.circuit.gate import GateType
+
+        b = CircuitBuilder("c")
+        b.input("a")
+        b.input("b")
+        b.gate("used", GateType.AND, ["a~0", "b"])
+        b.gate("dead", GateType.NOT, ["a~1"])
+        b.branch("a~0", of="a")
+        b.branch("a~1", of="a")
+        b.output("used")
+        c = b.build(auto_branch=False)
+        stripped = strip_unused_lines(c)
+        assert not stripped.has_line("dead")
+        assert stripped.num_inputs == 2  # inputs always kept
+
+    def test_noop_on_clean_circuit(self, example_circuit):
+        stripped = strip_unused_lines(example_circuit)
+        assert len(stripped.lines) == len(example_circuit.lines)

@@ -1,0 +1,61 @@
+"""Transform semantics on real suite circuits (heavier integration).
+
+Cone extraction must preserve per-output functions and fault behaviour
+on the synthesized FSM netlists, not just the toy fixtures — branch
+rebuilding across extraction is where subtle normal-form bugs would
+hide.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench_suite.registry import get_circuit
+from repro.circuit.transform import cone_support, extract_cone, output_partitions
+from repro.circuit.validate import validate_circuit
+from repro.simulation.exhaustive import line_signatures
+from repro.simulation.twoval import output_values
+
+
+@pytest.mark.parametrize("name", ["lion", "bbtas", "mc"])
+class TestConeExtractionOnSuite:
+    def test_every_single_output_cone(self, name):
+        circuit = get_circuit(name)
+        full_sigs = line_signatures(circuit)
+        for out_lid in circuit.outputs:
+            out_name = circuit.lines[out_lid].name
+            cone = extract_cone(circuit, [out_name])
+            assert validate_circuit(cone) == []
+            # Compare the cone function with the original on every
+            # assignment of the cone's support.
+            support = sorted(
+                cone_support(circuit, out_name),
+                key=circuit.inputs.index,
+            )
+            cone_in_names = [cone.lines[i].name for i in cone.inputs]
+            assert cone_in_names == [
+                circuit.lines[i].name for i in support
+            ]
+            p_full = circuit.num_inputs
+            for v_cone in range(1 << cone.num_inputs):
+                # Map the cone vector back onto a full-circuit vector
+                # (free inputs at 0).
+                v_full = 0
+                for bit_pos, lid in enumerate(support):
+                    j = circuit.inputs.index(lid)
+                    bit = (v_cone >> (cone.num_inputs - 1 - bit_pos)) & 1
+                    v_full |= bit << (p_full - 1 - j)
+                expected = (full_sigs[out_lid] >> v_full) & 1
+                got = output_values(cone, v_cone)[0]
+                assert got == expected, (name, out_name, v_cone)
+
+    def test_partitions_preserve_outputs(self, name):
+        circuit = get_circuit(name)
+        parts = output_partitions(circuit, max_inputs=circuit.num_inputs)
+        covered = set()
+        for part in parts:
+            assert validate_circuit(part) == []
+            covered |= {part.lines[o].name for o in part.outputs}
+        assert covered == {
+            circuit.lines[o].name for o in circuit.outputs
+        }

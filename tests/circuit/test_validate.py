@@ -1,0 +1,93 @@
+"""Validator coverage: clean circuits pass; corrupted ones are reported."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.gate import GateType
+from repro.circuit.validate import validate_circuit
+from repro.errors import CircuitError
+
+
+def test_example_is_clean(example_circuit):
+    assert validate_circuit(example_circuit) == []
+
+
+def test_c17_is_clean(c17_circuit):
+    assert validate_circuit(c17_circuit) == []
+
+
+def test_majority_is_clean(majority_circuit):
+    assert validate_circuit(majority_circuit) == []
+
+
+def _corrupted_example(name, **changes):
+    """A fresh example circuit with one line record mutated in place.
+
+    The mutation happens after construction (validate_circuit only reads
+    the line records), so structurally impossible circuits can be fed to
+    the validator without tripping construction-time checks.
+    """
+    from repro.bench_suite.example import paper_example
+
+    circuit = paper_example()
+    lid = circuit.lid_of(name)
+    circuit.lines[lid] = dataclasses.replace(circuit.lines[lid], **changes)
+    return circuit
+
+
+def test_dangling_line_reported():
+    b = CircuitBuilder("c")
+    b.input("a")
+    b.input("b")
+    b.gate("g", GateType.AND, ["a", "b"])
+    b.gate("dead", GateType.NOT, ["g~x"])
+    b.branch("g~x", of="g")
+    b.branch("g~y", of="g")
+    b.gate("h", GateType.NOT, ["g~y"])
+    b.output("h")
+    c = b.build()
+    issues = validate_circuit(c)
+    assert any("dangling" in i for i in issues)
+
+
+def test_strict_raises_on_issue():
+    b = CircuitBuilder("c")
+    b.input("a")
+    b.gate("g", GateType.NOT, ["a"])
+    b.gate("dead", GateType.NOT, ["g~1"])
+    b.branch("g~0", of="g")
+    b.branch("g~1", of="g")
+    b.gate("h", GateType.NOT, ["g~0"])
+    b.output("h")
+    c = b.build()
+    with pytest.raises(CircuitError, match="failed validation"):
+        validate_circuit(c, strict=True)
+
+
+def test_edge_inconsistency_detected():
+    # Cut line 9 out of input 1's fanout without touching 9's fanin.
+    broken = _corrupted_example("1", fanout=())
+    issues = validate_circuit(broken)
+    assert any("missing from source fanout" in i for i in issues)
+
+
+def test_branch_with_two_sinks_detected():
+    broken = _corrupted_example("5", fanout=(8, 9))
+    issues = validate_circuit(broken)
+    assert any("sinks" in i for i in issues)
+
+
+def test_gate_without_type_detected():
+    broken = _corrupted_example("9", gate_type=None)
+    issues = validate_circuit(broken)
+    assert any("no gate type" in i for i in issues)
+
+
+def test_input_with_fanin_detected():
+    broken = _corrupted_example("4", fanin=(0,))
+    issues = validate_circuit(broken)
+    assert any("has fanin" in i for i in issues)

@@ -1,0 +1,73 @@
+"""Shared fixtures: the paper's example circuit and small test circuits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench_suite.example import (
+    and_or_example,
+    c17,
+    majority,
+    paper_example,
+    xor_tree,
+)
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.gate import GateType
+from repro.faults.universe import FaultUniverse
+
+
+@pytest.fixture(scope="session")
+def example_circuit():
+    """The paper's Figure 1 circuit."""
+    return paper_example()
+
+
+@pytest.fixture(scope="session")
+def example_universe(example_circuit):
+    """Fault universe of the Figure 1 circuit (tables prebuilt)."""
+    universe = FaultUniverse(example_circuit)
+    universe.target_table
+    universe.untargeted_table
+    return universe
+
+
+@pytest.fixture(scope="session")
+def c17_circuit():
+    return c17()
+
+
+@pytest.fixture(scope="session")
+def majority_circuit():
+    return majority()
+
+
+@pytest.fixture(scope="session")
+def xor_tree_circuit():
+    return xor_tree(2)
+
+
+@pytest.fixture(scope="session")
+def and_or_circuit():
+    return and_or_example(3)
+
+
+@pytest.fixture
+def tiny_and():
+    """out = AND(a, b) — the smallest useful circuit."""
+    b = CircuitBuilder("tiny_and")
+    b.input("a")
+    b.input("b")
+    b.gate("out", GateType.AND, ["a", "b"])
+    b.output("out")
+    return b.build()
+
+
+@pytest.fixture
+def tiny_not_chain():
+    """out = NOT(NOT(a)) — for collapsing and simulation checks."""
+    b = CircuitBuilder("tiny_not_chain")
+    b.input("a")
+    b.gate("n1", GateType.NOT, ["a"])
+    b.gate("out", GateType.NOT, ["n1"])
+    b.output("out")
+    return b.build()

@@ -1,0 +1,44 @@
+"""nmin distribution series and ASCII rendering (Figure 2 machinery)."""
+
+from __future__ import annotations
+
+from repro.core.distribution import nmin_distribution, render_ascii_histogram
+
+
+class TestSeries:
+    def test_counts_and_sorting(self):
+        values = [120, 100, 120, None, 99, 500, 120]
+        series = nmin_distribution(values, minimum=100)
+        assert series == [(100, 1), (120, 3), (500, 1)]
+
+    def test_none_and_below_threshold_excluded(self):
+        assert nmin_distribution([None, 1, 99], minimum=100) == []
+
+    def test_custom_minimum(self):
+        series = nmin_distribution([5, 10, 10], minimum=10)
+        assert series == [(10, 2)]
+
+
+class TestRender:
+    def test_empty(self):
+        assert "empty" in render_ascii_histogram([])
+
+    def test_contains_all_rows(self):
+        out = render_ascii_histogram([(100, 5), (200, 50), (300, 500)])
+        for token in ("100", "200", "300", "5", "50", "500"):
+            assert token in out
+
+    def test_log_scale_monotone_bars(self):
+        out = render_ascii_histogram(
+            [(1, 1), (2, 10), (3, 100)], width=30, log_scale=True
+        )
+        bars = [line.count("#") for line in out.splitlines()[2:]]
+        assert bars == sorted(bars)
+        assert bars[0] >= 1
+
+    def test_linear_scale(self):
+        out = render_ascii_histogram(
+            [(1, 1), (2, 2)], width=10, log_scale=False
+        )
+        bars = [line.count("#") for line in out.splitlines()[2:]]
+        assert bars[1] == 2 * bars[0]

@@ -1,0 +1,70 @@
+"""Cone-partitioned analysis (Section 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.partition import PartitionedAnalysis
+from repro.core.worst_case import WorstCaseAnalysis
+from repro.faults.universe import FaultUniverse
+
+
+class TestPartitionedExample:
+    @pytest.fixture(scope="class")
+    def parts(self, example_circuit):
+        return PartitionedAnalysis(example_circuit, max_inputs=3)
+
+    def test_cones_built(self, parts):
+        # With a 3-input bound, outputs 9 (support 1,2) and 10 (support
+        # 2,3) share a cone; single-gate cones have no bridging pairs and
+        # are dropped.
+        assert len(parts.cones) >= 1
+        for cone in parts.cones:
+            assert cone.circuit.num_inputs <= 3
+
+    def test_single_gate_cones_skipped(self, example_circuit):
+        tight = PartitionedAnalysis(example_circuit, max_inputs=2)
+        # Every 2-input cone holds one gate: no bridging sites anywhere.
+        assert tight.cones == []
+        assert tight.fraction_within(1) == 1.0
+        assert tight.guaranteed_n() == 0
+
+    def test_fraction_within_monotone(self, parts):
+        values = [parts.fraction_within(n) for n in range(1, 8)]
+        assert values == sorted(values)
+
+    def test_guaranteed_n_positive(self, parts):
+        g = parts.guaranteed_n()
+        assert g is not None and g >= 1
+        assert parts.fraction_within(g) == 1.0
+
+    def test_site_coverage_fraction(self, parts):
+        assert 0.0 <= parts.coverage_of_fault_sites <= 1.0
+        # Bridges between different cones (e.g. 9-11) are not analyzable:
+        # coverage is strictly below 1 for the example circuit.
+        assert parts.coverage_of_fault_sites < 1.0
+
+    def test_summary_keys(self, parts):
+        s = parts.summary()
+        assert set(s) == {
+            "cones", "analyzed_faults", "site_coverage", "guaranteed_n",
+        }
+
+
+class TestWholeCircuitPartition:
+    def test_single_cone_matches_direct_analysis(self, example_circuit):
+        """With a bound covering all inputs, per-cone results must agree
+        with the direct analysis on shared faults."""
+        parts = PartitionedAnalysis(example_circuit, max_inputs=4)
+        assert len(parts.cones) == 1
+        cone = parts.cones[0]
+        direct_u = FaultUniverse(example_circuit)
+        direct = WorstCaseAnalysis(
+            direct_u.target_table, direct_u.untargeted_table
+        )
+        # Same input space, same fault sites -> same guaranteed n.
+        assert cone.analysis.guaranteed_n() == direct.guaranteed_n()
+
+    def test_site_coverage_complete(self, example_circuit):
+        parts = PartitionedAnalysis(example_circuit, max_inputs=4)
+        assert parts.coverage_of_fault_sites == 1.0

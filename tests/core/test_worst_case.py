@@ -1,0 +1,151 @@
+"""Worst-case analysis: definitional properties, not just anchors.
+
+The key tightness checks:
+
+* (guarantee) every n-detection test set with ``n >= nmin(g)`` detects g —
+  verified against Procedure 1 families in test_average_case.py;
+* (achievability) an ``(nmin(g) - 1)``-detection test set that misses g
+  exists — constructed explicitly here from the ``T(f) - T(g)`` sets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.worst_case import WorstCaseAnalysis, nmin_for_untargeted_fault
+from repro.errors import AnalysisError
+from repro.faults.universe import FaultUniverse
+from repro.logic.bitops import iter_set_bits
+
+
+@pytest.fixture(scope="module")
+def analyses():
+    out = {}
+    for name in ("example", "majority", "c17"):
+        from repro.bench_suite.example import c17, majority, paper_example
+
+        circuit = {"example": paper_example, "majority": majority, "c17": c17}[
+            name
+        ]()
+        u = FaultUniverse(circuit)
+        out[name] = (u, WorstCaseAnalysis(u.target_table, u.untargeted_table))
+    return out
+
+
+class TestNminDefinition:
+    def test_example_values(self, analyses):
+        _u, wc = analyses["example"]
+        assert [r.nmin for r in wc.records] == [3, 3, 3, 3, 1, 4, 4, 1, 1, 1]
+
+    def test_witness_is_argmin(self, analyses):
+        u, wc = analyses["example"]
+        counts = u.target_table.counts()
+        for rec in wc.records:
+            g_sig = u.untargeted_table.signatures[rec.fault_index]
+            brute = min(
+                counts[i] - (sig & g_sig).bit_count() + 1
+                for i, sig in enumerate(u.target_table.signatures)
+                if sig & g_sig
+            )
+            assert rec.nmin == brute
+            w_sig = u.target_table.signatures[rec.witness]
+            assert (
+                counts[rec.witness] - (w_sig & g_sig).bit_count() + 1
+                == rec.nmin
+            )
+
+    def test_early_exit_matches_bruteforce(self, analyses):
+        """The sorted early-exit scan must equal the naive scan."""
+        u, wc = analyses["c17"]
+        counts = u.target_table.counts()
+        for rec in wc.records:
+            g_sig = u.untargeted_table.signatures[rec.fault_index]
+            candidates = [
+                counts[i] - (sig & g_sig).bit_count() + 1
+                for i, sig in enumerate(u.target_table.signatures)
+                if sig & g_sig
+            ]
+            assert rec.nmin == (min(candidates) if candidates else None)
+
+    def test_undetectable_g_rejected(self, analyses):
+        u, _wc = analyses["example"]
+        with pytest.raises(AnalysisError):
+            nmin_for_untargeted_fault(u.target_table, 0)
+
+
+class TestAchievability:
+    @pytest.mark.parametrize("name", ["example", "majority", "c17"])
+    def test_adversarial_set_exists(self, analyses, name):
+        """For each g, build an (nmin-1)-detection set avoiding T(g).
+
+        Its existence is exactly what nmin(g) being the *minimum*
+        guarantee means; if the construction ever failed, nmin would be
+        overestimated.
+        """
+        u, wc = analyses[name]
+        targets = u.target_table
+        for rec in wc.records:
+            if rec.nmin is None or rec.nmin <= 1:
+                continue
+            n = rec.nmin - 1
+            g_sig = u.untargeted_table.signatures[rec.fault_index]
+            test_sig = 0
+            for f_sig in targets.signatures:
+                available = f_sig & ~g_sig
+                want = min(n, f_sig.bit_count())
+                assert available.bit_count() >= want, (
+                    "nmin overestimated: cannot avoid T(g)"
+                )
+                picked = 0
+                for v in iter_set_bits(available):
+                    if picked == want:
+                        break
+                    test_sig |= 1 << v
+                    picked += 1
+            # The set avoids g entirely...
+            assert not (test_sig & g_sig)
+            # ...and is an (nmin-1)-detection set for the targets.
+            for f_sig in targets.signatures:
+                want = min(n, f_sig.bit_count())
+                assert (f_sig & test_sig).bit_count() >= want
+
+
+class TestThresholdQueries:
+    def test_counts_consistent(self, analyses):
+        _u, wc = analyses["example"]
+        total = len(wc)
+        for n in range(1, 12):
+            assert wc.count_within(n) + wc.count_at_least(n + 1) == total
+
+    def test_fraction_monotone(self, analyses):
+        _u, wc = analyses["example"]
+        fractions = [wc.fraction_within(n) for n in range(1, 15)]
+        assert fractions == sorted(fractions)
+
+    def test_guaranteed_n(self, analyses):
+        _u, wc = analyses["example"]
+        g = wc.guaranteed_n()
+        assert g == 4  # max nmin over the example's G
+        assert wc.fraction_within(g) == 1.0
+        assert wc.fraction_within(g - 1) < 1.0
+
+    def test_indices_at_least(self, analyses):
+        _u, wc = analyses["example"]
+        assert wc.indices_at_least(4) == [5, 6]
+        assert wc.indices_at_least(5) == []
+
+    def test_coverage_curve(self, analyses):
+        _u, wc = analyses["example"]
+        curve = wc.coverage_curve([1, 2, 3, 4])
+        assert curve[-1] == 100.0
+        assert curve == sorted(curve)
+
+    def test_rejects_undetectable_table(self, analyses):
+        from repro.faultsim.detection import DetectionTable
+
+        u, _wc = analyses["example"]
+        bad = DetectionTable(
+            u.circuit, list(u.untargeted_table.faults), [0] * len(u.untargeted_table)
+        )
+        with pytest.raises(AnalysisError, match="undetectable"):
+            WorstCaseAnalysis(u.target_table, bad)

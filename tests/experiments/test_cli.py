@@ -1,0 +1,83 @@
+"""CLI smoke tests (fast paths only)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for cmd in (
+            ["table1"],
+            ["table2"],
+            ["table3"],
+            ["table4"],
+            ["table5"],
+            ["table6"],
+            ["figure2"],
+            ["suite"],
+            ["show-example"],
+            ["partition", "lion"],
+        ):
+            args = parser.parse_args(cmd)
+            assert args.command == cmd[0]
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "nmin(g0) = 3" in out
+
+    def test_table4(self, capsys):
+        assert main(["table4", "--k", "3", "--seed", "1"]) == 0
+        assert "Table 4" in capsys.readouterr().out
+
+    def test_show_example(self, capsys):
+        assert main(["show-example"]) == 0
+        out = capsys.readouterr().out
+        assert "9" in out and "11" in out
+
+    def test_table2_subset(self, capsys):
+        assert main(["table2", "--circuits", "lion,train4"]) == 0
+        out = capsys.readouterr().out
+        assert "lion" in out and "train4" in out
+
+    def test_table3_subset(self, capsys):
+        assert main(["table3", "--circuits", "lion"]) == 0
+        assert "Table 3" in capsys.readouterr().out
+
+    def test_figure2_small(self, capsys):
+        assert main(["figure2", "--circuit", "lion", "--min", "100"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_partition(self, capsys):
+        assert main(["partition", "paper_example", "--max-inputs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Cone-partitioned" in out
+
+    def test_escape(self, capsys):
+        assert main(
+            ["escape", "lion", "--k", "30", "--nmax", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "worst-case escapes" in out
+        # Final row: everything guaranteed on this easy circuit.
+        last = out.strip().splitlines()[-1].split()
+        assert last[0] == "4"
+
+    def test_gen_tests_podem_method(self, capsys):
+        assert main(
+            ["gen-tests", "paper_example", "--n", "1", "--method", "podem"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "podem" in out.splitlines()[0]
+        rows = [ln for ln in out.splitlines() if ln and not ln.startswith("#")]
+        assert all(set(r) <= {"0", "1"} for r in rows)

@@ -1,0 +1,69 @@
+"""Experiment-layer infrastructure: caching, env overrides, rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import (
+    env_int,
+    get_universe,
+    get_worst_case,
+    render_rows,
+    suite_circuits,
+)
+
+
+class TestCaches:
+    def test_universe_cached(self):
+        assert get_universe("lion") is get_universe("lion")
+
+    def test_worst_case_cached(self):
+        assert get_worst_case("lion") is get_worst_case("lion")
+
+    def test_worst_case_uses_cached_universe(self):
+        u = get_universe("lion")
+        wc = get_worst_case("lion")
+        assert wc.target_table is u.target_table
+
+
+class TestEnvOverrides:
+    def test_env_int_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TESTVAR", raising=False)
+        assert env_int("REPRO_TESTVAR", 7) == 7
+
+    def test_env_int_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TESTVAR", "42")
+        assert env_int("REPRO_TESTVAR", 7) == 42
+
+    def test_suite_circuits_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CIRCUITS", raising=False)
+        assert len(suite_circuits()) == 35
+
+    def test_suite_circuits_custom_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CIRCUITS", raising=False)
+        assert suite_circuits(("a", "b")) == ["a", "b"]
+
+    def test_suite_circuits_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CIRCUITS", "lion, keyb ,cse")
+        assert suite_circuits() == ["lion", "keyb", "cse"]
+
+
+class TestRenderRows:
+    def test_alignment(self):
+        out = render_rows(
+            ["name", "v1", "v2"],
+            [["a", "1", "22"], ["bbb", "333", "4"]],
+        )
+        lines = out.splitlines()
+        assert len(lines) == 4
+        # First column left-aligned, others right-aligned.
+        assert lines[2].startswith("a ")
+        assert lines[2].rstrip().endswith("22")
+
+    def test_empty_rows(self):
+        out = render_rows(["h1", "h2"], [])
+        assert "h1" in out
+
+    def test_wide_cells_grow_columns(self):
+        out = render_rows(["h"], [["very-long-cell-content"]])
+        assert "very-long-cell-content" in out

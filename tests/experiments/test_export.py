@@ -1,0 +1,104 @@
+"""CSV / Markdown exporters for experiment results."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.export import (
+    render_markdown_table,
+    result_rows,
+    to_csv,
+    to_markdown,
+)
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+from repro.experiments.table6 import run_table6
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        "table1": run_table1(),
+        "table2": run_table2(["lion", "bbara"]),
+        "table3": run_table3(["bbara"]),
+        "table4": run_table4(num_sets=3, seed=1),
+        "table5": run_table5(["bbara"], k=20, seed=1),
+        "table6": run_table6(["bbara"], k=10, seed=1),
+        "figure2": run_figure2("bbara", minimum=1),
+    }
+
+
+class TestCsv:
+    @pytest.mark.parametrize(
+        "key",
+        ["table1", "table2", "table3", "table4", "table5", "table6", "figure2"],
+    )
+    def test_csv_parses_back(self, results, key):
+        text = to_csv(results[key])
+        rows = list(csv.reader(io.StringIO(text)))
+        header, data = rows[0], rows[1:]
+        assert len(header) >= 2
+        for row in data:
+            assert len(row) == len(header)
+
+    def test_table1_values(self, results):
+        rows = list(csv.reader(io.StringIO(to_csv(results["table1"]))))
+        assert rows[0][:2] == ["index", "fault"]
+        assert rows[1][:2] == ["0", "1/1"]
+        assert rows[1][-1] == "3"
+
+    def test_table2_percentages_full_precision(self, results):
+        rows = list(csv.reader(io.StringIO(to_csv(results["table2"]))))
+        for row in rows[1:]:
+            for cell in row[2:]:
+                assert 0.0 <= float(cell) <= 100.0
+
+    def test_table6_has_two_rows_per_circuit(self, results):
+        rows = list(csv.reader(io.StringIO(to_csv(results["table6"]))))
+        data = rows[1:]
+        assert len(data) % 2 == 0
+        assert {row[2] for row in data} == {"1", "2"}
+
+
+class TestMarkdown:
+    def test_structure(self, results):
+        text = to_markdown(results["table3"])
+        lines = text.splitlines()
+        assert lines[0].startswith("| circuit")
+        assert set(lines[1].replace("|", "").split()) == {"---"}
+        assert all(ln.startswith("|") for ln in lines)
+
+    def test_pipe_escaping(self):
+        out = render_markdown_table(["a|b"], [["x|y"]])
+        assert "a\\|b" in out
+        assert "x\\|y" in out
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ReproError, match="no exporter"):
+            result_rows(object())
+
+
+class TestCliFormats:
+    def test_table1_csv(self, capsys):
+        from repro.cli import main
+
+        assert main(["table1", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == "index,fault,vectors,nmin"
+
+    def test_table2_markdown(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["table2", "--circuits", "lion", "--format", "markdown"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("| circuit")

@@ -1,0 +1,180 @@
+"""Experiment harness: every table/figure runs and has the paper's shape.
+
+Suite-wide experiments run on a small circuit subset here (the full runs
+live in benchmarks/); the structural assertions are the point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import N_COLUMNS, run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+from repro.experiments.table6 import run_table6
+
+SMALL = ["lion", "train4", "modulo12", "bbtas"]
+WITH_TAIL = ["bbara"]
+
+
+class TestTable1:
+    def test_exact_paper_reproduction(self):
+        result = run_table1()
+        assert result.g_vectors == [6, 7]
+        assert result.nmin_g == 3
+        rows = [(r.index, r.fault, r.vectors, r.nmin) for r in result.rows]
+        assert rows == [
+            (0, "1/1", [4, 5, 6, 7], 3),
+            (1, "2/0", [6, 7, 12, 13, 14, 15], 5),
+            (3, "3/0", [2, 6, 7, 10, 14, 15], 5),
+            (9, "8/0", [2, 6, 10, 14], 4),
+            (11, "9/1", [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11], 11),
+            (12, "10/0", [6, 7, 14, 15], 3),
+            (14, "11/0", [1, 2, 3, 5, 6, 7, 9, 10, 11, 13, 14, 15], 11),
+        ]
+
+    def test_render_contains_rows(self):
+        out = run_table1().render()
+        assert "nmin(g0) = 3" in out
+        assert "9/1" in out
+
+    def test_other_fault_index(self):
+        result = run_table1(untargeted_index=6)
+        assert result.g_vectors == [12]
+        assert result.nmin_g == 4
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table2(SMALL)
+
+    def test_rows_present(self, result):
+        assert {r.circuit for r in result.rows} == set(SMALL)
+
+    def test_percentages_monotone(self, result):
+        for row in result.rows:
+            assert row.percentages == sorted(row.percentages)
+            assert all(0 <= p <= 100 for p in row.percentages)
+
+    def test_blank_after_100_in_render(self, result):
+        out = result.render()
+        assert "Table 2" in out
+        for row in result.rows:
+            assert row.circuit in out
+
+    def test_column_definition(self):
+        assert N_COLUMNS == (1, 2, 3, 4, 5, 10)
+
+    def test_render_never_rounds_up_to_100(self):
+        from repro.experiments.table2 import Table2Result, Table2Row
+
+        row = Table2Row(
+            circuit="c", num_faults=100000,
+            percentages=[99.998, 99.999, 100.0, 100.0, 100.0, 100.0],
+        )
+        out = Table2Result([row]).render()
+        line = out.splitlines()[-1]  # the single data row
+        cells = line.split()
+        # 99.998 and 99.999 must not display as 100.00.
+        assert cells[2] == "99.99"
+        assert cells[3] == "99.99"
+        assert cells[4] == "100.00"
+        assert len(cells) == 5  # trailing columns blank after saturation
+
+
+class TestTable3:
+    def test_only_tail_circuits_reported(self):
+        result = run_table3(SMALL + WITH_TAIL)
+        names = {r.circuit for r in result.rows}
+        # The small machines reach 100% well below n=11.
+        assert names <= set(WITH_TAIL)
+
+    def test_counts_ordered(self):
+        result = run_table3(WITH_TAIL)
+        for row in result.rows:
+            ge100, ge20, ge11 = row.counts
+            assert ge100 <= ge20 <= ge11
+            assert "(" in result.render()
+
+
+class TestTable4:
+    def test_k_sets(self):
+        result = run_table4(num_sets=10, seed=1)
+        fam = result.family
+        assert fam.num_sets == 10
+        assert fam.n_max == 2
+
+    def test_sets_grow(self):
+        fam = run_table4(num_sets=5, seed=1).family
+        for k in range(5):
+            s1 = set(fam.test_set(1, k))
+            s2 = set(fam.test_set(2, k))
+            assert s1 <= s2
+
+    def test_render(self):
+        out = run_table4(num_sets=3, seed=1).render()
+        assert "n=1" in out and "n=2" in out
+
+
+class TestTable5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table5(WITH_TAIL, k=60, seed=3)
+
+    def test_row_structure(self, result):
+        assert result.num_sets == 60
+        for row in result.rows:
+            assert len(row.histogram) == 11
+            assert row.histogram == sorted(row.histogram)
+            assert row.histogram[-1] == row.num_faults
+
+    def test_render_saturation_rule(self, result):
+        for row in result.rows:
+            cells = row.cells()
+            # After the first saturated cell everything is blank.
+            if str(row.num_faults) in cells:
+                first = cells.index(str(row.num_faults))
+                assert all(c == "" for c in cells[first + 1:])
+
+    def test_circuits_without_tail_skipped(self):
+        result = run_table5(["lion"], k=10)
+        assert result.rows == []
+
+
+class TestTable6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table6(WITH_TAIL, k=40, seed=3)
+
+    def test_two_rows_per_circuit(self, result):
+        for row in result.rows:
+            assert row.def1.num_faults == row.def2.num_faults
+            assert len(row.def1.histogram) == 11
+            assert len(row.def2.histogram) == 11
+
+    def test_def2_not_worse_overall(self, result):
+        """Definition 2 should (weakly) dominate at the certain end."""
+        for row in result.rows:
+            assert row.def2.histogram[-1] == row.def1.histogram[-1]
+
+    def test_render(self, result):
+        out = result.render()
+        assert "Definitions 1 and 2" in out
+
+
+class TestFigure2:
+    def test_small_circuit_has_no_tail(self):
+        result = run_figure2("lion", minimum=100)
+        assert result.series == []
+        assert "no faults" in result.render()
+
+    def test_threshold_parameter(self):
+        result = run_figure2("bbara", minimum=1)
+        assert sum(c for _v, c in result.series) > 0
+        total = sum(c for _v, c in result.series) + result.unbounded
+        assert total > 0
+        assert "Figure 2" in result.render()

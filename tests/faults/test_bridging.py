@@ -1,0 +1,93 @@
+"""Four-way bridging universe: sites, orientation order, feedback filter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.gate import GateType
+from repro.errors import FaultError
+from repro.faults.bridging import (
+    BridgingFault,
+    bridging_pair_sites,
+    four_way_bridging_faults,
+)
+
+
+class TestFaultObject:
+    def test_name(self, example_circuit):
+        g = BridgingFault(
+            example_circuit.lid_of("9"), 0, example_circuit.lid_of("10"), 1
+        )
+        assert g.name(example_circuit) == "(9,0,10,1)"
+
+    def test_rejects_same_line(self):
+        with pytest.raises(FaultError):
+            BridgingFault(3, 0, 3, 1)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(FaultError):
+            BridgingFault(1, 2, 2, 0)
+
+
+class TestSites:
+    def test_example_sites(self, example_circuit):
+        c = example_circuit
+        pairs = bridging_pair_sites(c)
+        names = [
+            (c.lines[a].name, c.lines[b].name) for a, b in pairs
+        ]
+        assert names == [("9", "10"), ("9", "11"), ("10", "11")]
+
+    def test_only_multi_input_gates(self):
+        b = CircuitBuilder("c")
+        b.input("a")
+        b.input("x")
+        b.gate("n", GateType.NOT, ["a"])     # single-input: not a site
+        b.gate("g", GateType.AND, ["n", "x"])
+        b.output("g")
+        c = b.build()
+        assert bridging_pair_sites(c) == []  # only one multi-input gate
+
+    def test_feedback_pairs_excluded(self):
+        """g2 is in g1's fanout: the (g1, g2) bridge would be feedback."""
+        b = CircuitBuilder("c")
+        b.input("a")
+        b.input("x")
+        b.input("y")
+        b.gate("g1", GateType.AND, ["a", "x"])
+        b.gate("g2", GateType.OR, ["g1", "y"])
+        b.output("g2")
+        c = b.build()
+        assert bridging_pair_sites(c) == []
+
+    def test_parallel_gates_kept(self, majority_circuit):
+        c = majority_circuit
+        pairs = bridging_pair_sites(c)
+        names = {
+            tuple(sorted((c.lines[a].name, c.lines[b].name)))
+            for a, b in pairs
+        }
+        # ab, bc, ac are pairwise bridgeable; each with maj would be feedback.
+        assert names == {("ab", "bc"), ("ab", "ac"), ("ac", "bc")}
+
+
+class TestFourWay:
+    def test_orientation_order(self, example_circuit):
+        faults = four_way_bridging_faults(example_circuit)
+        names = [f.name(example_circuit) for f in faults[:4]]
+        assert names == [
+            "(9,0,10,1)",
+            "(9,1,10,0)",
+            "(10,0,9,1)",
+            "(10,1,9,0)",
+        ]
+
+    def test_four_per_pair(self, example_circuit):
+        pairs = bridging_pair_sites(example_circuit)
+        faults = four_way_bridging_faults(example_circuit)
+        assert len(faults) == 4 * len(pairs)
+
+    def test_all_distinct(self, example_circuit):
+        faults = four_way_bridging_faults(example_circuit)
+        assert len(set(faults)) == len(faults)

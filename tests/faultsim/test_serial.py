@@ -1,0 +1,89 @@
+"""Serial fault-simulation engine unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.bridging import BridgingFault
+from repro.faults.stuck_at import StuckAtFault
+from repro.faultsim.serial import (
+    detecting_vectors,
+    detects,
+    detects_bridging,
+    detects_stuck_at,
+)
+from repro.faultsim.serial import test_set_coverage as coverage_of_test_set
+
+
+class TestStuckAt:
+    def test_known_detections(self, example_circuit):
+        c = example_circuit
+        f = StuckAtFault(c.lid_of("1"), 1)  # 1/1, T = {4,5,6,7}
+        assert detects_stuck_at(c, f, 4)
+        assert detects_stuck_at(c, f, 7)
+        assert not detects_stuck_at(c, f, 3)
+        assert not detects_stuck_at(c, f, 12)
+
+    def test_branch_fault_localized(self, example_circuit):
+        """5/1 only affects gate 9, not gate 10 (branch isolation)."""
+        c = example_circuit
+        f = StuckAtFault(c.lid_of("5"), 1)
+        # Vector 10 = 1010: 1=1, 2=0, 3=1, 4=0; 9 flips 0->1.
+        assert detects_stuck_at(c, f, 10)
+        # Stem fault 2/1 also flips 10 on vector 2 (0010).
+        stem = StuckAtFault(c.lid_of("2"), 1)
+        assert detects_stuck_at(c, stem, 2)
+        assert not detects_stuck_at(c, f, 2)  # branch 5 does not reach 10
+
+
+class TestBridging:
+    def test_g0_detections(self, example_circuit):
+        c = example_circuit
+        g0 = BridgingFault(c.lid_of("9"), 0, c.lid_of("10"), 1)
+        assert detects_bridging(c, g0, 6)
+        assert detects_bridging(c, g0, 7)
+        for v in (0, 5, 12, 15):
+            assert not detects_bridging(c, g0, v)
+
+    def test_activation_requires_both_conditions(self, example_circuit):
+        c = example_circuit
+        g = BridgingFault(c.lid_of("9"), 1, c.lid_of("10"), 0)
+        # Vector 14: 9=1 but 10=1 -> aggressor condition fails.
+        assert not detects_bridging(c, g, 14)
+        # Vector 12: 9=1, 10=0 -> activated, 9 flips, PO -> detected.
+        assert detects_bridging(c, g, 12)
+
+
+class TestDispatch:
+    def test_detects_dispatch(self, example_circuit):
+        c = example_circuit
+        assert detects(c, StuckAtFault(c.lid_of("1"), 1), 4)
+        assert detects(
+            c, BridgingFault(c.lid_of("9"), 0, c.lid_of("10"), 1), 6
+        )
+
+    def test_unknown_type_rejected(self, example_circuit):
+        with pytest.raises(TypeError):
+            detects(example_circuit, "not a fault", 0)
+
+    def test_detecting_vectors(self, example_circuit):
+        c = example_circuit
+        f = StuckAtFault(c.lid_of("1"), 1)
+        assert detecting_vectors(c, f, range(16)) == [4, 5, 6, 7]
+
+
+class TestCoverage:
+    def test_full_coverage(self, example_universe):
+        c = example_universe.circuit
+        detected, total = coverage_of_test_set(
+            c, example_universe.target_faults, list(range(16))
+        )
+        assert detected == total == 16
+
+    def test_partial_coverage(self, example_universe):
+        c = example_universe.circuit
+        detected, total = coverage_of_test_set(
+            c, example_universe.target_faults, [6, 7]
+        )
+        assert total == 16
+        assert detected == 7  # the Table 1 rows

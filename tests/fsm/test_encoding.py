@@ -1,0 +1,70 @@
+"""State encodings: binary, gray, one-hot."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.fsm.encoding import encode_states
+
+STATES = ["s0", "s1", "s2", "s3", "s4"]
+
+
+class TestBinary:
+    def test_codes_are_indices(self):
+        enc = encode_states(STATES, "binary")
+        assert enc.num_bits == 3
+        assert [enc.codes[s] for s in STATES] == [0, 1, 2, 3, 4]
+
+    def test_code_bits_msb_first(self):
+        enc = encode_states(STATES, "binary")
+        assert enc.code_bits("s4") == "100"
+        assert enc.code_bits("s1") == "001"
+
+    def test_decode(self):
+        enc = encode_states(STATES, "binary")
+        assert enc.decode(2) == "s2"
+        assert enc.decode(7) is None
+
+    def test_single_state_still_one_bit(self):
+        enc = encode_states(["only"], "binary")
+        assert enc.num_bits == 1
+
+
+class TestGray:
+    def test_adjacent_codes_differ_one_bit(self):
+        enc = encode_states(STATES, "gray")
+        codes = [enc.codes[s] for s in STATES]
+        for a, b in zip(codes, codes[1:]):
+            assert bin(a ^ b).count("1") == 1
+
+    def test_codes_distinct(self):
+        enc = encode_states(STATES, "gray")
+        assert len(set(enc.codes.values())) == len(STATES)
+
+
+class TestOneHot:
+    def test_one_bit_per_state(self):
+        enc = encode_states(STATES, "onehot")
+        assert enc.num_bits == 5
+        for s in STATES:
+            assert bin(enc.codes[s]).count("1") == 1
+        assert len(set(enc.codes.values())) == 5
+
+    def test_first_state_gets_msb(self):
+        enc = encode_states(STATES, "onehot")
+        assert enc.code_bits("s0") == "10000"
+
+
+class TestErrors:
+    def test_unknown_strategy(self):
+        with pytest.raises(ReproError, match="unknown encoding"):
+            encode_states(STATES, "johnson")
+
+    def test_empty_states(self):
+        with pytest.raises(ReproError):
+            encode_states([], "binary")
+
+    def test_duplicate_states(self):
+        with pytest.raises(ReproError, match="duplicate"):
+            encode_states(["a", "a"], "binary")

@@ -1,0 +1,118 @@
+"""FSM model: validation, matching, behavioral stepping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.fsm.machine import Fsm, Transition
+
+
+def _toy() -> Fsm:
+    return Fsm(
+        name="toy",
+        num_inputs=2,
+        num_outputs=1,
+        states=["a", "b"],
+        reset_state="a",
+        transitions=[
+            Transition("0-", "a", "a", "0"),
+            Transition("1-", "a", "b", "1"),
+            Transition("--", "b", "a", "1"),
+        ],
+    )
+
+
+class TestValidate:
+    def test_clean(self):
+        assert _toy().validate() == []
+
+    def test_unknown_states(self):
+        fsm = _toy()
+        fsm.transitions.append(Transition("--", "zz", "a", "0"))
+        issues = fsm.validate(require_deterministic=False)
+        assert any("unknown present state" in i for i in issues)
+
+    def test_overlapping_cubes_flagged(self):
+        fsm = _toy()
+        fsm.transitions.append(Transition("11", "a", "a", "0"))
+        issues = fsm.validate()
+        assert any("overlapping" in i for i in issues)
+        # ...but not when determinism is not required.
+        assert fsm.validate(require_deterministic=False) == []
+
+    def test_check_raises(self):
+        fsm = _toy()
+        fsm.transitions.append(Transition("11", "a", "a", "0"))
+        with pytest.raises(ReproError, match="invalid"):
+            fsm.check()
+
+    def test_wrong_widths(self):
+        fsm = _toy()
+        fsm.transitions.append(Transition("0", "a", "b", "0"))
+        issues = fsm.validate(require_deterministic=False)
+        assert any("wrong width" in i for i in issues)
+
+
+class TestMatching:
+    def test_cube_matching_msb_first(self):
+        t = Transition("10", "a", "b", "0")
+        # Input 1 (MSB) = 1, input 2 = 0 -> vector 2.
+        assert t.matches(2, 2)
+        assert not t.matches(3, 2)
+        assert not t.matches(0, 2)
+
+    def test_dash_matches_both(self):
+        t = Transition("1-", "a", "b", "0")
+        assert t.matches(2, 2)
+        assert t.matches(3, 2)
+
+
+class TestStep:
+    def test_deterministic_step(self):
+        fsm = _toy()
+        assert fsm.step("a", 0) == ("a", "0")
+        assert fsm.step("a", 2) == ("b", "1")
+        assert fsm.step("b", 1) == ("a", "1")
+
+    def test_unmatched_input_goes_dark(self):
+        fsm = Fsm(
+            name="partial",
+            num_inputs=1,
+            num_outputs=2,
+            states=["s"],
+            reset_state="s",
+            transitions=[Transition("1", "s", "s", "11")],
+        )
+        assert fsm.step("s", 0) == ("", "00")
+
+    def test_dash_output_reads_zero(self):
+        fsm = Fsm(
+            name="d",
+            num_inputs=1,
+            num_outputs=2,
+            states=["s"],
+            reset_state="s",
+            transitions=[
+                Transition("0", "s", "s", "1-"),
+                Transition("1", "s", "s", "-1"),
+            ],
+        )
+        assert fsm.step("s", 0) == ("s", "10")
+        assert fsm.step("s", 1) == ("s", "01")
+
+
+class TestReachability:
+    def test_all_reachable(self):
+        assert _toy().reachable_states() == {"a", "b"}
+
+    def test_unreachable_state(self):
+        fsm = _toy()
+        fsm.states.append("island")
+        fsm.transitions.append(Transition("--", "island", "island", "0"))
+        assert "island" not in fsm.reachable_states()
+
+    def test_stats(self):
+        assert _toy().stats() == {
+            "inputs": 2, "outputs": 1, "states": 2, "terms": 3,
+        }

@@ -1,0 +1,141 @@
+"""SOP cubes, cover cleanup, and Quine-McCluskey minimization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.fsm.minimize import SopCube, merge_cover, quine_mccluskey
+
+
+def _cover_minterms(cover, width):
+    out = set()
+    for cube in cover:
+        out.update(cube.minterms())
+    return out
+
+
+class TestSopCube:
+    def test_string_round_trip(self):
+        for text in ("1-0", "---", "111", "0-1"):
+            assert SopCube.from_string(text).to_string() == text
+
+    def test_bad_char(self):
+        with pytest.raises(ReproError):
+            SopCube.from_string("10z")
+
+    def test_contains(self):
+        big = SopCube.from_string("1--")
+        small = SopCube.from_string("10-")
+        assert big.contains(small)
+        assert not small.contains(big)
+        assert big.contains(big)
+
+    def test_minterms(self):
+        assert SopCube.from_string("1-0").minterms() == [4, 6]
+
+    def test_covers_minterm(self):
+        cube = SopCube.from_string("1-0")
+        assert cube.covers_minterm(6)
+        assert not cube.covers_minterm(7)
+
+    def test_num_literals(self):
+        assert SopCube.from_string("1-0").num_literals() == 2
+
+
+class TestMergeCover:
+    def test_dedupe(self):
+        cover = [SopCube.from_string("1-0")] * 3
+        assert len(merge_cover(cover)) == 1
+
+    def test_distance1_merge(self):
+        cover = [SopCube.from_string("10"), SopCube.from_string("11")]
+        merged = merge_cover(cover)
+        assert [c.to_string() for c in merged] == ["1-"]
+
+    def test_containment_removed(self):
+        cover = [SopCube.from_string("1--"), SopCube.from_string("101")]
+        merged = merge_cover(cover)
+        assert [c.to_string() for c in merged] == ["1--"]
+
+    def test_minterms_preserved(self):
+        cover = [
+            SopCube.from_string("001"),
+            SopCube.from_string("011"),
+            SopCube.from_string("010"),
+            SopCube.from_string("110"),
+        ]
+        merged = merge_cover(cover)
+        assert _cover_minterms(merged, 3) == _cover_minterms(cover, 3)
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=15), min_size=1, max_size=12
+        )
+    )
+    @settings(max_examples=100)
+    def test_merge_never_changes_function(self, minterms):
+        cover = [
+            SopCube(4, 0xF, m) for m in minterms
+        ]
+        merged = merge_cover(cover)
+        assert _cover_minterms(merged, 4) == set(minterms)
+
+
+class TestQuineMcCluskey:
+    def test_simple_function(self):
+        # f = a (on 2 vars): minterms {2, 3}
+        cover = quine_mccluskey(2, [2, 3])
+        assert [c.to_string() for c in cover] == ["1-"]
+
+    def test_xor_not_compressible(self):
+        cover = quine_mccluskey(2, [1, 2])
+        assert sorted(c.to_string() for c in cover) == ["01", "10"]
+
+    def test_tautology(self):
+        cover = quine_mccluskey(2, [0, 1, 2, 3])
+        assert [c.to_string() for c in cover] == ["--"]
+
+    def test_empty(self):
+        assert quine_mccluskey(3, []) == []
+
+    def test_dont_cares_exploited(self):
+        # onset {1}, dc {3}: minimal cover is -1 (uses the dc).
+        cover = quine_mccluskey(2, [1], dont_cares=[3])
+        assert [c.to_string() for c in cover] == ["-1"]
+
+    def test_width_guard(self):
+        with pytest.raises(ReproError, match="limited"):
+            quine_mccluskey(20, [0])
+
+    def test_range_guard(self):
+        with pytest.raises(ReproError, match="out of range"):
+            quine_mccluskey(2, [4])
+
+    @given(
+        st.integers(min_value=1, max_value=4).flatmap(
+            lambda w: st.tuples(
+                st.just(w),
+                st.lists(
+                    st.integers(min_value=0, max_value=(1 << w) - 1),
+                    max_size=1 << w,
+                ),
+            )
+        )
+    )
+    @settings(max_examples=150)
+    def test_exactly_covers_onset(self, args):
+        width, minterms = args
+        onset = set(minterms)
+        cover = quine_mccluskey(width, sorted(onset))
+        covered = _cover_minterms(cover, width)
+        assert covered == onset
+
+    def test_classic_example(self):
+        # f(a,b,c,d) = sum m(0,1,2,5,6,7,8,9,10,14) — textbook case.
+        onset = [0, 1, 2, 5, 6, 7, 8, 9, 10, 14]
+        cover = quine_mccluskey(4, onset)
+        assert _cover_minterms(cover, 4) == set(onset)
+        assert len(cover) <= 5

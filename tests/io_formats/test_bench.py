@@ -1,0 +1,87 @@
+""".bench parser/writer: round-trips preserve function."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.io_formats.bench import parse_bench, write_bench
+from repro.simulation.exhaustive import line_signatures
+
+C17_TEXT = """\
+# c17 benchmark
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+"""
+
+
+class TestParse:
+    def test_c17(self):
+        c = parse_bench(C17_TEXT, name="c17")
+        assert c.num_inputs == 5
+        assert c.num_outputs == 2
+        assert c.num_gates == 6
+
+    def test_auto_branching(self):
+        c = parse_bench(C17_TEXT)
+        # Lines 3, 11, 16 fan out twice each -> 6 branches inserted.
+        from repro.circuit.netlist import LineKind
+
+        branches = [ln for ln in c.lines if ln.kind is LineKind.BRANCH]
+        assert len(branches) == 6
+
+    def test_case_insensitive_gates(self):
+        text = "INPUT(a)\nOUTPUT(y)\ny = nand(a, a2)\nINPUT(a2)\n"
+        c = parse_bench(text)
+        assert c.num_gates == 1
+
+    def test_not_alias(self):
+        text = "INPUT(a)\nOUTPUT(y)\ny = INV(a)\n"
+        c = parse_bench(text)
+        from repro.circuit.gate import GateType
+
+        assert c.line("y").gate_type is GateType.NOT
+
+    def test_unknown_gate(self):
+        with pytest.raises(ParseError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = MUX(a, a, a)\n")
+
+    def test_garbage_line(self):
+        with pytest.raises(ParseError, match="unrecognized"):
+            parse_bench("INPUT(a)\nwhat is this\n")
+
+    def test_missing_outputs(self):
+        with pytest.raises(ParseError, match="no OUTPUT"):
+            parse_bench("INPUT(a)\nb = NOT(a)\n")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "fixture", ["example_circuit", "c17_circuit", "majority_circuit"]
+    )
+    def test_function_preserved(self, fixture, request):
+        original = request.getfixturevalue(fixture)
+        text = write_bench(original)
+        parsed = parse_bench(text, name=original.name)
+        assert parsed.num_inputs == original.num_inputs
+        orig_sigs = line_signatures(original)
+        new_sigs = line_signatures(parsed)
+        for o_orig, o_new in zip(original.outputs, parsed.outputs):
+            assert orig_sigs[o_orig] == new_sigs[o_new]
+
+    def test_written_text_parses_cleanly(self, example_circuit):
+        text = write_bench(example_circuit)
+        assert "INPUT(1)" in text
+        assert "OUTPUT(9)" in text
+        parse_bench(text)  # no exception

@@ -1,0 +1,98 @@
+"""BLIF subset parser/writer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.io_formats.blif import parse_blif, write_blif
+from repro.simulation.exhaustive import line_signatures
+from repro.simulation.twoval import output_values
+
+MAJORITY_BLIF = """\
+.model maj
+.inputs a b c
+.outputs y
+.names a b c y
+11- 1
+1-1 1
+-11 1
+.end
+"""
+
+
+class TestParse:
+    def test_onset_cover(self):
+        c = parse_blif(MAJORITY_BLIF)
+        for v in range(8):
+            bits = [(v >> 2) & 1, (v >> 1) & 1, v & 1]
+            assert output_values(c, v) == (int(sum(bits) >= 2),)
+
+    def test_offset_cover(self):
+        text = ".model f\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n"
+        c = parse_blif(text)
+        # y = NOT(a AND b)
+        assert [output_values(c, v)[0] for v in range(4)] == [1, 1, 1, 0]
+
+    def test_constants(self):
+        text = (
+            ".model k\n.inputs a\n.outputs y z\n"
+            ".names y\n1\n.names z\n.end\n"
+        )
+        c = parse_blif(text)
+        for v in range(2):
+            assert output_values(c, v) == (1, 0)
+
+    def test_buffer_row(self):
+        text = ".model b\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n"
+        c = parse_blif(text)
+        assert [output_values(c, v)[0] for v in range(2)] == [0, 1]
+
+    def test_continuation_lines(self):
+        text = (
+            ".model c\n.inputs a b\n.outputs y\n"
+            ".names a \\\nb y\n11 1\n.end\n"
+        )
+        c = parse_blif(text)
+        assert output_values(c, 3) == (1,)
+
+    def test_model_name_used(self):
+        assert parse_blif(MAJORITY_BLIF).name == "maj"
+
+    def test_mixed_polarity_rejected(self):
+        text = ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n0 0\n.end\n"
+        with pytest.raises(ParseError, match="mixed"):
+            parse_blif(text)
+
+    def test_latch_rejected(self):
+        text = ".model l\n.inputs a\n.outputs y\n.latch a y re clk 0\n.end\n"
+        with pytest.raises(ParseError, match="latch"):
+            parse_blif(text)
+
+    def test_row_outside_names(self):
+        with pytest.raises(ParseError, match="outside"):
+            parse_blif(".model x\n.inputs a\n.outputs y\n11 1\n.end\n")
+
+    def test_bad_cube_width(self):
+        text = ".model w\n.inputs a b\n.outputs y\n.names a b y\n111 1\n.end\n"
+        with pytest.raises(ParseError, match="width"):
+            parse_blif(text)
+
+    def test_missing_inputs(self):
+        with pytest.raises(ParseError, match="missing .inputs"):
+            parse_blif(".model m\n.outputs y\n.names y\n1\n.end\n")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "fixture",
+        ["example_circuit", "c17_circuit", "majority_circuit", "xor_tree_circuit"],
+    )
+    def test_function_preserved(self, fixture, request):
+        original = request.getfixturevalue(fixture)
+        text = write_blif(original)
+        parsed = parse_blif(text)
+        orig_sigs = line_signatures(original)
+        new_sigs = line_signatures(parsed)
+        for o_orig, o_new in zip(original.outputs, parsed.outputs):
+            assert orig_sigs[o_orig] == new_sigs[o_new]

@@ -1,0 +1,98 @@
+"""KISS2 parser/writer round-trips and error reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.io_formats.kiss2 import parse_kiss2, write_kiss2
+
+GOOD = """\
+.i 2
+.o 1
+.p 3
+.s 2
+.r a
+00 a a 0
+01 a b 1
+-- b a 1
+.e
+"""
+
+
+class TestParse:
+    def test_basic(self):
+        fsm = parse_kiss2(GOOD, name="toy")
+        assert fsm.name == "toy"
+        assert fsm.num_inputs == 2
+        assert fsm.num_outputs == 1
+        assert fsm.states == ["a", "b"]
+        assert fsm.reset_state == "a"
+        assert len(fsm.transitions) == 3
+
+    def test_comments_and_blank_lines(self):
+        text = "# header\n\n.i 1\n.o 1\n0 s s 0  # stay\n1 s s 1\n"
+        fsm = parse_kiss2(text)
+        assert len(fsm.transitions) == 2
+
+    def test_reset_defaults_to_first_present(self):
+        text = ".i 1\n.o 1\n0 q q 0\n1 q q 1\n"
+        assert parse_kiss2(text).reset_state == "q"
+
+    def test_p_mismatch(self):
+        with pytest.raises(ParseError, match="declares"):
+            parse_kiss2(".i 1\n.o 1\n.p 5\n0 s s 0\n")
+
+    def test_s_mismatch(self):
+        with pytest.raises(ParseError, match="declares"):
+            parse_kiss2(".i 1\n.o 1\n.s 3\n0 s s 0\n")
+
+    def test_missing_header(self):
+        with pytest.raises(ParseError, match=r"\.i/\.o"):
+            parse_kiss2("00 a b 1\n")
+
+    def test_wrong_cube_width(self):
+        with pytest.raises(ParseError, match="width"):
+            parse_kiss2(".i 2\n.o 1\n011 a a 0\n")
+
+    def test_wrong_output_width(self):
+        with pytest.raises(ParseError, match="width"):
+            parse_kiss2(".i 1\n.o 2\n0 a a 0\n")
+
+    def test_bad_cube_chars(self):
+        with pytest.raises(ParseError, match="bad input cube"):
+            parse_kiss2(".i 1\n.o 1\n2 a a 0\n")
+
+    def test_bad_field_count(self):
+        with pytest.raises(ParseError, match="4 fields"):
+            parse_kiss2(".i 1\n.o 1\n0 a a\n")
+
+    def test_unknown_reset(self):
+        with pytest.raises(ParseError, match="never appears"):
+            parse_kiss2(".i 1\n.o 1\n.r zz\n0 a a 0\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(ParseError, match="unknown directive"):
+            parse_kiss2(".i 1\n.o 1\n.frob 2\n0 a a 0\n")
+
+    def test_no_rows(self):
+        with pytest.raises(ParseError, match="no transition rows"):
+            parse_kiss2(".i 1\n.o 1\n")
+
+
+class TestRoundTrip:
+    def test_write_then_parse(self):
+        fsm = parse_kiss2(GOOD, name="toy")
+        text = write_kiss2(fsm)
+        again = parse_kiss2(text, name="toy")
+        assert again.states == fsm.states
+        assert again.reset_state == fsm.reset_state
+        assert again.transitions == fsm.transitions
+
+    def test_suite_sources_round_trip(self):
+        from repro.bench_suite.mcnc import MCNC_SUITE, kiss2_source
+
+        for name in list(MCNC_SUITE)[:8]:
+            fsm = parse_kiss2(kiss2_source(name), name=name)
+            again = parse_kiss2(write_kiss2(fsm), name=name)
+            assert again.transitions == fsm.transitions

@@ -1,0 +1,96 @@
+"""Structural Verilog writer/reader round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.io_formats.verilog import parse_verilog, write_verilog
+from repro.simulation.exhaustive import line_signatures
+
+SIMPLE = """\
+// hand-written module
+module half_adder (a, b, s, c);
+  input a, b;
+  output s, c;
+  xor x0 (s, a, b);
+  and a0 (c, a, b);
+endmodule
+"""
+
+
+class TestParse:
+    def test_half_adder(self):
+        c = parse_verilog(SIMPLE)
+        assert c.name == "half_adder"
+        assert c.num_inputs == 2
+        assert c.num_outputs == 2
+        sigs = line_signatures(c)
+        assert sigs[c.lid_of("s")] == 0b0110
+        assert sigs[c.lid_of("c")] == 0b1000
+
+    def test_comments_stripped(self):
+        text = SIMPLE.replace(
+            "xor x0 (s, a, b);",
+            "/* multi\nline */ xor x0 (s, a, b); // trailing",
+        )
+        c = parse_verilog(text)
+        assert c.num_gates == 2
+
+    def test_assign_constants(self):
+        text = (
+            "module k (a, y, z);\n"
+            "  input a;\n  output y, z;\n"
+            "  wire unused;\n"
+            "  assign y = 1'b1;\n"
+            "  buf b0 (z, a);\n"
+            "endmodule\n"
+        )
+        c = parse_verilog(text)
+        sigs = line_signatures(c)
+        assert sigs[c.lid_of("y")] == 0b11
+
+    def test_no_module(self):
+        with pytest.raises(ParseError, match="module"):
+            parse_verilog("wire x;")
+
+    def test_no_inputs(self):
+        with pytest.raises(ParseError, match="no inputs"):
+            parse_verilog("module m (y);\noutput y;\nassign y = 1'b0;\nendmodule")
+
+    def test_short_instance(self):
+        with pytest.raises(ParseError, match="terminals"):
+            parse_verilog(
+                "module m (a, y);\ninput a;\noutput y;\nand g (y);\nendmodule"
+            )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "fixture",
+        ["example_circuit", "c17_circuit", "majority_circuit",
+         "xor_tree_circuit"],
+    )
+    def test_function_preserved(self, fixture, request):
+        original = request.getfixturevalue(fixture)
+        text = write_verilog(original)
+        parsed = parse_verilog(text)
+        orig_sigs = line_signatures(original)
+        new_sigs = line_signatures(parsed)
+        for o_orig, o_new in zip(original.outputs, parsed.outputs):
+            assert orig_sigs[o_orig] == new_sigs[o_new]
+
+    def test_numeric_names_escaped(self, example_circuit):
+        text = write_verilog(example_circuit)
+        # Line "9" is not a legal plain identifier: must be escaped.
+        assert "\\9 " in text
+
+    def test_suite_circuit_round_trip(self):
+        from repro.bench_suite.registry import get_circuit
+
+        original = get_circuit("lion")
+        parsed = parse_verilog(write_verilog(original))
+        orig_sigs = line_signatures(original)
+        new_sigs = line_signatures(parsed)
+        for o_orig, o_new in zip(original.outputs, parsed.outputs):
+            assert orig_sigs[o_orig] == new_sigs[o_new]

@@ -1,0 +1,120 @@
+"""Unit + property tests for signature helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.bitops import (
+    MAX_EXHAUSTIVE_INPUTS,
+    all_ones_mask,
+    input_signature,
+    iter_set_bits,
+    popcount,
+    random_set_bit,
+    set_bits,
+    signature_from_vectors,
+    vectors_from_signature,
+)
+
+
+class TestMask:
+    def test_small(self):
+        assert all_ones_mask(0) == 1
+        assert all_ones_mask(1) == 0b11
+        assert all_ones_mask(2) == 0xF
+        assert all_ones_mask(4) == 0xFFFF
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            all_ones_mask(-1)
+        with pytest.raises(ValueError):
+            all_ones_mask(MAX_EXHAUSTIVE_INPUTS + 1)
+
+
+class TestInputSignature:
+    def test_paper_convention(self):
+        """Input 1 (index 0) is the MSB of the decimal vector."""
+        # 4-input circuit: input 1 is set on vectors 8..15.
+        sig = input_signature(0, 4)
+        assert set_bits(sig) == list(range(8, 16))
+        # Input 4 (index 3) is the LSB: odd vectors.
+        sig = input_signature(3, 4)
+        assert set_bits(sig) == [v for v in range(16) if v & 1]
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+    def test_matches_bit_extraction(self, p):
+        for j in range(p):
+            sig = input_signature(j, p)
+            for v in range(1 << p):
+                expected = (v >> (p - 1 - j)) & 1
+                assert (sig >> v) & 1 == expected
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            input_signature(4, 4)
+        with pytest.raises(ValueError):
+            input_signature(-1, 4)
+
+    def test_popcount_half(self):
+        for p in range(1, 8):
+            for j in range(p):
+                assert popcount(input_signature(j, p)) == 1 << (p - 1)
+
+
+class TestBitLists:
+    def test_round_trip(self):
+        vectors = [0, 3, 7, 12, 15]
+        sig = signature_from_vectors(vectors, 4)
+        assert vectors_from_signature(sig) == vectors
+
+    def test_iter_matches_list(self):
+        sig = 0b1011001
+        assert list(iter_set_bits(sig)) == set_bits(sig)
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            signature_from_vectors([16], 4)
+
+    @given(st.integers(min_value=0, max_value=(1 << 96) - 1))
+    @settings(max_examples=200)
+    def test_set_bits_reconstructs(self, sig):
+        assert sum(1 << b for b in set_bits(sig)) == sig
+
+    @given(st.integers(min_value=0, max_value=(1 << 96) - 1))
+    @settings(max_examples=200)
+    def test_popcount_matches_len(self, sig):
+        assert popcount(sig) == len(set_bits(sig))
+
+
+class TestRandomSetBit:
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            random_set_bit(0, random.Random(1))
+
+    def test_single_bit(self):
+        assert random_set_bit(1 << 7, random.Random(1)) == 7
+
+    def test_always_a_set_bit(self):
+        rng = random.Random(42)
+        sig = signature_from_vectors([1, 5, 9, 11], 4)
+        for _ in range(100):
+            assert (sig >> random_set_bit(sig, rng)) & 1
+
+    def test_sparse_signature(self):
+        rng = random.Random(7)
+        sig = (1 << 4000) | (1 << 17)
+        hits = {random_set_bit(sig, rng) for _ in range(50)}
+        assert hits <= {17, 4000}
+        assert len(hits) == 2  # both eventually drawn
+
+    def test_roughly_uniform(self):
+        rng = random.Random(3)
+        sig = signature_from_vectors(list(range(8)), 3)
+        counts = [0] * 8
+        for _ in range(4000):
+            counts[random_set_bit(sig, rng)] += 1
+        assert min(counts) > 300  # each ~500 expected

@@ -1,0 +1,133 @@
+"""Unit + property tests for partially-specified vectors (cubes)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.cube import Cube, common_cube
+from repro.logic.values import ONE, X, ZERO
+
+
+class TestConstruction:
+    def test_full(self):
+        c = Cube.full(6, 4)
+        assert c.is_fully_specified
+        assert str(c) == "0110"
+
+    def test_full_range(self):
+        with pytest.raises(ValueError):
+            Cube.full(16, 4)
+
+    def test_empty(self):
+        c = Cube.empty(3)
+        assert str(c) == "xxx"
+        assert c.num_completions == 8
+
+    def test_from_string(self):
+        c = Cube.from_string("01x1")
+        assert c.get(0) == ZERO
+        assert c.get(1) == ONE
+        assert c.get(2) == X
+        assert c.get(3) == ONE
+
+    def test_from_string_rejects(self):
+        with pytest.raises(ValueError):
+            Cube.from_string("01z")
+
+    def test_value_normalized_to_care(self):
+        c = Cube(4, care=0b1000, value=0b1010)
+        assert c.value == 0b1000
+
+
+class TestAccess:
+    def test_with_input_round_trip(self):
+        c = Cube.empty(4)
+        c = c.with_input(1, ONE)
+        assert str(c) == "x1xx"
+        c = c.with_input(1, X)
+        assert str(c) == "xxxx"
+        c = c.with_input(3, ZERO)
+        assert str(c) == "xxx0"
+
+    def test_with_input_bad_value(self):
+        with pytest.raises(ValueError):
+            Cube.empty(2).with_input(0, 5)
+
+    def test_index_bounds(self):
+        with pytest.raises(IndexError):
+            Cube.empty(2).get(2)
+
+
+class TestCompletions:
+    def test_counts(self):
+        c = Cube.from_string("1x0x")
+        assert c.num_completions == 4
+        assert c.completions() == [8, 9, 12, 13]
+
+    def test_contains(self):
+        c = Cube.from_string("1x0x")
+        for v in range(16):
+            assert c.contains_vector(v) == (v in (8, 9, 12, 13))
+
+    def test_completion_signature(self):
+        c = Cube.from_string("1x0x")
+        assert c.completion_signature() == (1 << 8) | (1 << 9) | (1 << 12) | (1 << 13)
+
+
+class TestAlgebra:
+    def test_intersects(self):
+        a = Cube.from_string("1x0x")
+        b = Cube.from_string("110x")
+        assert a.intersects(b)
+        assert a.intersection(b) == Cube.from_string("110x")
+
+    def test_disjoint(self):
+        a = Cube.from_string("1xxx")
+        b = Cube.from_string("0xxx")
+        assert not a.intersects(b)
+        assert a.intersection(b) is None
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            Cube.empty(3).intersects(Cube.empty(4))
+
+
+class TestCommonCube:
+    def test_paper_semantics(self):
+        """tij is specified exactly where ti and tj agree."""
+        t = common_cube(0b0110, 0b0111, 4)
+        assert str(t) == "011x"
+
+    def test_identical_tests(self):
+        t = common_cube(5, 5, 4)
+        assert t.is_fully_specified
+        assert t.value == 5
+
+    def test_complement_tests(self):
+        t = common_cube(0b1010, 0b0101, 4)
+        assert t.num_specified == 0
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            common_cube(16, 0, 4)
+
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=200)
+    def test_both_tests_are_completions(self, ti, tj):
+        c = common_cube(ti, tj, 8)
+        assert c.contains_vector(ti)
+        assert c.contains_vector(tj)
+
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=200)
+    def test_specified_count(self, ti, tj):
+        c = common_cube(ti, tj, 8)
+        assert c.num_specified == 8 - bin(ti ^ tj).count("1")

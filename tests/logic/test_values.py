@@ -1,0 +1,103 @@
+"""Unit tests for the scalar 3-valued algebra."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic.values import (
+    ONE,
+    X,
+    ZERO,
+    v3_and,
+    v3_from_char,
+    v3_not,
+    v3_or,
+    v3_to_char,
+    v3_xor,
+)
+
+ALL = (ZERO, ONE, X)
+
+
+class TestNot:
+    def test_truth_table(self):
+        assert v3_not(ZERO) == ONE
+        assert v3_not(ONE) == ZERO
+        assert v3_not(X) == X
+
+    def test_involution(self):
+        for v in ALL:
+            assert v3_not(v3_not(v)) == v
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            v3_not(3)
+
+
+class TestAnd:
+    def test_controlling_zero(self):
+        for v in ALL:
+            assert v3_and(ZERO, v) == ZERO
+            assert v3_and(v, ZERO) == ZERO
+
+    def test_one_one(self):
+        assert v3_and(ONE, ONE) == ONE
+
+    def test_x_propagation(self):
+        assert v3_and(ONE, X) == X
+        assert v3_and(X, X) == X
+
+    def test_commutative(self):
+        for a in ALL:
+            for b in ALL:
+                assert v3_and(a, b) == v3_and(b, a)
+
+
+class TestOr:
+    def test_controlling_one(self):
+        for v in ALL:
+            assert v3_or(ONE, v) == ONE
+            assert v3_or(v, ONE) == ONE
+
+    def test_zero_zero(self):
+        assert v3_or(ZERO, ZERO) == ZERO
+
+    def test_x_propagation(self):
+        assert v3_or(ZERO, X) == X
+        assert v3_or(X, X) == X
+
+    def test_de_morgan(self):
+        for a in ALL:
+            for b in ALL:
+                assert v3_not(v3_and(a, b)) == v3_or(v3_not(a), v3_not(b))
+
+
+class TestXor:
+    def test_definite(self):
+        assert v3_xor(ZERO, ZERO) == ZERO
+        assert v3_xor(ONE, ZERO) == ONE
+        assert v3_xor(ZERO, ONE) == ONE
+        assert v3_xor(ONE, ONE) == ZERO
+
+    def test_x_dominates(self):
+        for v in ALL:
+            assert v3_xor(X, v) == X
+            assert v3_xor(v, X) == X
+
+
+class TestChars:
+    def test_round_trip(self):
+        for v in ALL:
+            assert v3_from_char(v3_to_char(v)) == v
+
+    def test_aliases(self):
+        assert v3_from_char("-") == X
+        assert v3_from_char("X") == X
+
+    def test_bad_char(self):
+        with pytest.raises(ValueError):
+            v3_from_char("2")
+
+    def test_bad_value(self):
+        with pytest.raises(ValueError):
+            v3_to_char(7)

@@ -1,0 +1,77 @@
+"""Algebraic laws of the 3-valued system (completeness of the algebra).
+
+These pin down the Kleene-logic structure the simulators rely on:
+associativity/absorption in the definite fragment, monotonicity under
+information refinement (X -> 0/1), and the pessimism property that makes
+Definition 2's tij verdicts sound.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.logic.values import ONE, X, ZERO, v3_and, v3_not, v3_or, v3_xor
+
+ALL = (ZERO, ONE, X)
+
+
+def _refinements(v):
+    """All definite values consistent with a 3-valued value."""
+    return (0, 1) if v == X else (v,)
+
+
+class TestKleeneLaws:
+    def test_and_associative(self):
+        for a, b, c in itertools.product(ALL, repeat=3):
+            assert v3_and(v3_and(a, b), c) == v3_and(a, v3_and(b, c))
+
+    def test_or_associative(self):
+        for a, b, c in itertools.product(ALL, repeat=3):
+            assert v3_or(v3_or(a, b), c) == v3_or(a, v3_or(b, c))
+
+    def test_distribution(self):
+        for a, b, c in itertools.product(ALL, repeat=3):
+            assert v3_and(a, v3_or(b, c)) == v3_or(
+                v3_and(a, b), v3_and(a, c)
+            )
+
+    def test_absorption(self):
+        for a, b in itertools.product(ALL, repeat=2):
+            assert v3_or(a, v3_and(a, b)) == a
+            assert v3_and(a, v3_or(a, b)) == a
+
+    def test_no_excluded_middle_with_x(self):
+        # Kleene logic: a OR NOT a is X when a is X (not a tautology).
+        assert v3_or(X, v3_not(X)) == X
+
+
+class TestMonotonicity:
+    """Refining X to a definite value never flips a definite result."""
+
+    def test_all_binary_ops(self):
+        for op in (v3_and, v3_or, v3_xor):
+            for a, b in itertools.product(ALL, repeat=2):
+                out = op(a, b)
+                if out == X:
+                    continue
+                for ra in _refinements(a):
+                    for rb in _refinements(b):
+                        assert op(ra, rb) == out, (op.__name__, a, b)
+
+    def test_not(self):
+        for a in ALL:
+            out = v3_not(a)
+            if out == X:
+                continue
+            for ra in _refinements(a):
+                assert v3_not(ra) == out
+
+
+class TestPessimism:
+    """A definite 3-valued output means ALL completions agree — but not
+    conversely (the X result may hide a constant function)."""
+
+    def test_xor_self_is_pessimistic(self):
+        # x XOR x == 0 for every completion, yet the algebra says X:
+        # 3-valued simulation may under-approximate, never lie.
+        assert v3_xor(X, X) == X

@@ -1,0 +1,124 @@
+"""3-valued simulation: soundness versus 2-valued completions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.logic.cube import Cube
+from repro.logic.values import ONE, X, ZERO
+from repro.simulation.threeval import simulate_cube, simulate_cubes_dualrail
+from repro.simulation.twoval import simulate_vector
+
+
+def _cube_strategy(width):
+    return st.lists(
+        st.sampled_from([ZERO, ONE, X]), min_size=width, max_size=width
+    ).map(
+        lambda vals: _build_cube(vals)
+    )
+
+
+def _build_cube(vals):
+    c = Cube.empty(len(vals))
+    for i, v in enumerate(vals):
+        c = c.with_input(i, v)
+    return c
+
+
+class TestScalarSoundness:
+    @given(_cube_strategy(4))
+    @settings(max_examples=100)
+    def test_definite_values_agree_with_all_completions(self, cube):
+        from repro.bench_suite.example import paper_example
+
+        circuit = paper_example()
+        vals3 = simulate_cube(circuit, cube)
+        for v in cube.completions():
+            vals2 = simulate_vector(circuit, v)
+            for lid in range(len(circuit.lines)):
+                if vals3[lid] != X:
+                    assert vals3[lid] == vals2[lid]
+
+    def test_fully_specified_matches_twoval(self, c17_circuit):
+        for v in range(32):
+            cube = Cube.full(v, 5)
+            vals3 = simulate_cube(c17_circuit, cube)
+            vals2 = simulate_vector(c17_circuit, v)
+            assert vals3 == vals2
+
+    def test_all_x_yields_x_at_gates(self, example_circuit):
+        vals = simulate_cube(example_circuit, Cube.empty(4))
+        for o in example_circuit.outputs:
+            assert vals[o] == X
+
+    def test_controlling_value_decides(self, example_circuit):
+        # Input 2 = 0 forces 9 = 0 and 10 = 0 regardless of the X inputs.
+        cube = Cube.from_string("x0xx")
+        vals = simulate_cube(example_circuit, cube)
+        c = example_circuit
+        assert vals[c.lid_of("9")] == ZERO
+        assert vals[c.lid_of("10")] == ZERO
+        assert vals[c.lid_of("11")] == X
+
+    def test_width_mismatch(self, example_circuit):
+        with pytest.raises(SimulationError):
+            simulate_cube(example_circuit, Cube.empty(3))
+
+    def test_forced_line(self, example_circuit):
+        c = example_circuit
+        vals = simulate_cube(
+            c, Cube.empty(4), forced={c.lid_of("9"): 1}
+        )
+        assert vals[c.lid_of("9")] == ONE
+
+
+class TestDualRailBatch:
+    def test_matches_scalar(self, example_circuit):
+        cubes = [
+            Cube.from_string("01xx"),
+            Cube.from_string("xxxx"),
+            Cube.from_string("1111"),
+            Cube.from_string("x0x1"),
+        ]
+        ones, zeros = simulate_cubes_dualrail(example_circuit, cubes)
+        for lane, cube in enumerate(cubes):
+            scalar = simulate_cube(example_circuit, cube)
+            for lid in range(len(example_circuit.lines)):
+                o = (ones[lid] >> lane) & 1
+                z = (zeros[lid] >> lane) & 1
+                assert o + z <= 1
+                if scalar[lid] == ONE:
+                    assert o == 1
+                elif scalar[lid] == ZERO:
+                    assert z == 1
+                else:
+                    assert o == 0 and z == 0
+
+    def test_matches_scalar_with_fault(self, c17_circuit):
+        c = c17_circuit
+        forced = {c.lid_of("11"): 0}
+        cubes = [Cube.from_string("1x0x1"), Cube.from_string("xxxxx")]
+        ones, zeros = simulate_cubes_dualrail(c, cubes, forced=forced)
+        for lane, cube in enumerate(cubes):
+            scalar = simulate_cube(c, cube, forced=forced)
+            for lid in range(len(c.lines)):
+                o = (ones[lid] >> lane) & 1
+                z = (zeros[lid] >> lane) & 1
+                if scalar[lid] == ONE:
+                    assert o == 1
+                elif scalar[lid] == ZERO:
+                    assert z == 1
+                else:
+                    assert o == z == 0
+
+    def test_empty_batch(self, example_circuit):
+        ones, zeros = simulate_cubes_dualrail(example_circuit, [])
+        assert all(o == 0 for o in ones)
+        assert all(z == 0 for z in zeros)
+
+    def test_width_mismatch(self, example_circuit):
+        with pytest.raises(SimulationError):
+            simulate_cubes_dualrail(example_circuit, [Cube.empty(2)])
