@@ -1,22 +1,31 @@
 """Performance benchmarks for the analysis substrate.
 
-Microbenchmarks (real timing statistics, multiple rounds) for the four
-hot paths behind every table: exhaustive signatures, detection-table
-construction for both fault models, the worst-case nmin scan, and
-Procedure 1 throughput.
+Microbenchmarks (real timing statistics, multiple rounds) for the hot
+paths behind every table: exhaustive signatures, detection-table
+construction for both fault models (exhaustive and sampled-U backends),
+the worst-case nmin scan, and Procedure 1 throughput.
+
+``REPRO_BENCH_CIRCUIT`` overrides the benchmark circuit (CI smoke runs
+use a small one); ``REPRO_BENCH_SAMPLES`` sizes the sampled backend's
+draw.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.bench_suite.registry import get_circuit
 from repro.core.procedure1 import build_random_ndetection_sets
 from repro.core.worst_case import WorstCaseAnalysis
+from repro.faultsim.backends import SampledBackend
 from repro.faultsim.detection import DetectionTable
 from repro.simulation.exhaustive import line_signatures
 
-CIRCUIT = "beecount"  # mid-size: 60 gates, 6 inputs
+# mid-size default: 60 gates, 6 inputs
+CIRCUIT = os.environ.get("REPRO_BENCH_CIRCUIT", "beecount")
+SAMPLES = int(os.environ.get("REPRO_BENCH_SAMPLES", "1024"))
 
 
 @pytest.fixture(scope="module")
@@ -44,6 +53,23 @@ def test_stuck_at_table(benchmark, circuit):
 def test_bridging_table(benchmark, circuit):
     table = benchmark(DetectionTable.for_bridging, circuit)
     assert len(table) > 0
+
+
+@pytest.fixture(scope="module")
+def sampled_backend(circuit):
+    # Full-coverage draws canonicalize to exhaustive; stay strictly below.
+    k = min(SAMPLES, (1 << circuit.num_inputs) // 2)
+    return SampledBackend(max(1, k), seed=1)
+
+
+def test_sampled_stuck_at_table(benchmark, circuit, sampled_backend):
+    table = benchmark(sampled_backend.build_stuck_at, circuit)
+    assert len(table) > 0
+
+
+def test_sampled_bridging_table(benchmark, circuit, sampled_backend):
+    table = benchmark(sampled_backend.build_bridging, circuit)
+    assert table.universe.size == sampled_backend.samples
 
 
 def test_worst_case_scan(benchmark, tables):

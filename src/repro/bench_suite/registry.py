@@ -4,6 +4,11 @@
 ``get_circuit("keyb")`` synthesizes the KISS2 source embedded in
 :mod:`repro.bench_suite.mcnc` into combinational logic (primary inputs =
 FSM inputs followed by state bits) and caches the result.
+
+The ``wide*`` entries are seeded random multilevel circuits whose input
+counts exceed :data:`~repro.logic.bitops.MAX_EXHAUSTIVE_INPUTS` — they
+are deliberately *not* analyzable by the exhaustive engine and exist to
+exercise the sampled-U backend (``--backend sampled``).
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from functools import lru_cache
 
 from repro.bench_suite import example as _example
 from repro.bench_suite.mcnc import MCNC_SUITE, kiss2_source
+from repro.bench_suite.randlogic import random_circuit
 from repro.circuit.netlist import Circuit
 from repro.errors import ReproError
 from repro.fsm.machine import Fsm
@@ -26,10 +32,20 @@ _EXAMPLES = {
     "xor_tree_3": lambda: _example.xor_tree(3),
 }
 
+#: Wide random circuits: (seed, inputs, gates).  Inputs > 24 on purpose.
+_WIDE_SPECS: dict[str, tuple[int, int, int]] = {
+    "wide28": (20050428, 28, 72),
+    "wide32": (20050432, 32, 96),
+    "wide40": (20050440, 40, 128),
+}
+
+#: Names of the >MAX_EXHAUSTIVE_INPUTS circuits (sampled backend only).
+WIDE_NAMES: tuple[str, ...] = tuple(sorted(_WIDE_SPECS))
+
 
 def circuit_names() -> list[str]:
-    """Every name accepted by :func:`get_circuit` (examples + MCNC suite)."""
-    return sorted(_EXAMPLES) + list(MCNC_SUITE)
+    """Every name accepted by :func:`get_circuit` (examples + suites)."""
+    return sorted(_EXAMPLES) + list(MCNC_SUITE) + list(WIDE_NAMES)
 
 
 @lru_cache(maxsize=None)
@@ -48,6 +64,12 @@ def get_circuit(name: str) -> Circuit:
         return maker()
     if name in MCNC_SUITE:
         return synthesize_fsm(get_fsm(name))
+    spec = _WIDE_SPECS.get(name)
+    if spec is not None:
+        seed, num_inputs, num_gates = spec
+        return random_circuit(
+            seed, num_inputs=num_inputs, num_gates=num_gates, name=name
+        )
     raise ReproError(
         f"unknown circuit {name!r}; known: {', '.join(circuit_names())}"
     )

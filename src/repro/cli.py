@@ -12,6 +12,12 @@ Commands regenerate the paper's artifacts::
     repro suite                      # circuit inventory with fault counts
     repro show-example               # Figure 1 circuit
     repro partition CIRCUIT          # Section 4 cone-partitioned analysis
+    repro analyze CIRCUIT            # one-circuit worst-case analysis
+
+``analyze`` and ``escape`` accept ``--backend exhaustive|sampled|serial``
+(with ``--samples K`` / ``--seed`` / ``--replacement`` for ``sampled``),
+so circuits beyond the 24-input exhaustive cap can be analyzed via
+Monte-Carlo sampled-U detection tables.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ import sys
 
 from repro.bench_suite.example import paper_example_ascii
 from repro.bench_suite.registry import circuit_names, get_circuit
+from repro.errors import ReproError
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -53,6 +60,50 @@ def _circuit_list(args: argparse.Namespace) -> list[str] | None:
     if getattr(args, "circuits", None):
         return [c.strip() for c in args.circuits.split(",") if c.strip()]
     return None
+
+
+def _add_backend(parser: argparse.ArgumentParser) -> None:
+    from repro.faultsim.backends import BACKEND_NAMES
+
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default="exhaustive",
+        help="detection-table engine (sampled breaks the 24-input cap)",
+    )
+    parser.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        help="sampled backend only: number K of random vectors to draw",
+    )
+    parser.add_argument(
+        "--replacement",
+        action="store_true",
+        help="sampled backend only: draw vectors with replacement",
+    )
+
+
+def _backend_from_args(args: argparse.Namespace):
+    from repro.errors import AnalysisError
+    from repro.faultsim.backends import make_backend
+
+    if args.backend != "sampled" and args.samples is not None:
+        raise AnalysisError(
+            f"--samples only applies to --backend sampled "
+            f"(got --backend {args.backend})"
+        )
+    if args.backend != "sampled" and getattr(args, "replacement", False):
+        raise AnalysisError(
+            f"--replacement only applies to --backend sampled "
+            f"(got --backend {args.backend})"
+        )
+    return make_backend(
+        args.backend,
+        samples=args.samples,
+        seed=getattr(args, "seed", 0),
+        replacement=getattr(args, "replacement", False),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -120,6 +171,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, default=200)
     p.add_argument("--nmax", type=int, default=10)
     p.add_argument("--seed", type=int, default=2005)
+    _add_backend(p)
+
+    p = sub.add_parser(
+        "analyze",
+        help="worst-case analysis of one circuit (any backend)",
+    )
+    p.add_argument("circuit")
+    p.add_argument("--seed", type=int, default=2005)
+    p.add_argument(
+        "--confidence",
+        type=float,
+        default=0.95,
+        help="confidence level for sampled-backend interval reporting",
+    )
+    _add_backend(p)
     return parser
 
 
@@ -204,7 +270,7 @@ def _cmd_escape(args: argparse.Namespace) -> str:
     from repro.faults.universe import FaultUniverse
 
     circuit = get_circuit(args.circuit)
-    universe = FaultUniverse(circuit)
+    universe = FaultUniverse(circuit, backend=_backend_from_args(args))
     worst = WorstCaseAnalysis(
         universe.target_table, universe.untargeted_table
     )
@@ -218,13 +284,79 @@ def _cmd_escape(args: argparse.Namespace) -> str:
     escape = EscapeAnalysis(worst, avg)
     head = (
         f"Escape analysis of {args.circuit} "
-        f"({len(worst)} untargeted faults, K={args.k}):\n"
+        f"(backend={args.backend}, {len(worst)} untargeted faults, "
+        f"K={args.k}):\n"
     )
     return head + escape.render() + "\n"
 
 
+def _cmd_analyze(args: argparse.Namespace) -> str:
+    from repro.core.worst_case import WorstCaseAnalysis
+    from repro.faults.universe import FaultUniverse
+    from repro.faultsim.sampling import count_interval
+
+    circuit = get_circuit(args.circuit)
+    universe = FaultUniverse(circuit, backend=_backend_from_args(args))
+    worst = WorstCaseAnalysis(
+        universe.target_table, universe.untargeted_table
+    )
+    vu = worst.universe
+    lines = [
+        f"Worst-case analysis of {args.circuit} (backend={args.backend})",
+        f"  inputs: {circuit.num_inputs}  |U| = 2**{circuit.num_inputs}",
+        f"  vector universe: {vu.size} of {vu.space} vectors"
+        + ("" if vu.exact else f" (sampled, seed={args.seed})"),
+        f"  target faults |F|: {len(universe.target_table)} "
+        f"({universe.target_table.num_detectable()} detectable)",
+        f"  untargeted faults |G|: {len(worst)}",
+    ]
+    guaranteed = worst.guaranteed_n()
+    if vu.exact:
+        lines.append(f"  guaranteed n: {guaranteed}")
+    else:
+        est = worst.estimated_guaranteed_n()
+        est_text = "none" if est is None else f"{est:.1f}"
+        lines.append(
+            f"  guaranteed n (sample space): {guaranteed}  "
+            f"estimated over |U|: {est_text}"
+        )
+        # Spread of the estimator at this K, shown for the largest N(f).
+        counts = universe.target_table.counts()
+        if counts:
+            top = max(range(len(counts)), key=counts.__getitem__)
+            ci = count_interval(vu, counts[top], args.confidence)
+            lines.append(
+                f"  largest N(f) estimate: {ci.estimate:.1f} "
+                f"[{ci.low:.1f}, {ci.high:.1f}] "
+                f"at {args.confidence:.0%} confidence"
+            )
+    values = [v for v in worst.nmin_values() if v is not None]
+    no_guarantee = len(worst) - len(values)
+    if values:
+        label = "nmin" if vu.exact else "nmin (sample space)"
+        lines.append(
+            f"  {label}: min={min(values)} max={max(values)}"
+        )
+    lines.append(f"  faults with no guarantee at any n: {no_guarantee}")
+    qualifier = "" if vu.exact else " (sample space)"
+    for n in (1, 2, 5, 10):
+        lines.append(
+            f"  guaranteed detected at n={n}{qualifier}: "
+            f"{100.0 * worst.fraction_within(n):.1f}%"
+        )
+    return "\n".join(lines) + "\n"
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        sys.stderr.write(f"error: {exc}\n")
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     # Imports are deferred: experiment modules pull in the whole analysis
     # stack, which only some commands need.
     if args.command == "table1":
@@ -275,6 +407,8 @@ def main(argv: list[str] | None = None) -> int:
         out = _cmd_gen_tests(args)
     elif args.command == "escape":
         out = _cmd_escape(args)
+    elif args.command == "analyze":
+        out = _cmd_analyze(args)
     else:  # pragma: no cover - argparse enforces the choices
         raise SystemExit(2)
     sys.stdout.write(out)

@@ -50,6 +50,14 @@ class AverageCaseAnalysis:
             raise AnalysisError(
                 "test-set family and detection table disagree on input count"
             )
+        if (
+            family.universe is not None
+            and family.universe != untargeted_table.universe
+        ):
+            raise AnalysisError(
+                "test-set family and detection table were built over "
+                "different vector universes; use the same backend for both"
+            )
         self.family = family
         self.table = untargeted_table
         self.fault_indices = (

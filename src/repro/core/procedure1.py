@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from repro.errors import AnalysisError
 from repro.faults.stuck_at import StuckAtFault
 from repro.faultsim.detection import DetectionTable
+from repro.faultsim.sampling import VectorUniverse
 from repro.faultsim.threeval_detect import pair_checks_batch
 from repro.logic.bitops import random_set_bit, set_bits
 
@@ -46,10 +47,13 @@ from repro.logic.bitops import random_set_bit, set_bits
 class NDetectionFamily:
     """K random n-detection test sets for every ``n`` in ``1..n_max``.
 
-    ``snapshots[n - 1][k]`` is the bit-signature (over ``U``) of test set
-    ``Tk`` at the end of iteration ``n`` — an n-detection test set for the
-    target faults.  ``final_orders[k]`` lists ``Tk``'s tests in insertion
-    order (needed by Definition 2 and by Table 4's listings).
+    ``snapshots[n - 1][k]`` is the bit-signature (over the construction
+    universe) of test set ``Tk`` at the end of iteration ``n`` — an
+    n-detection test set for the target faults.  ``final_orders[k]``
+    lists ``Tk``'s tests in insertion order (needed by Definition 2 and
+    by Table 4's listings).  When the family was built from a sampled
+    detection table, ``universe`` carries the bit-index ↔ vector mapping
+    and the sets are n-detection sets drawn from the sampled vectors.
     """
 
     num_inputs: int
@@ -58,6 +62,7 @@ class NDetectionFamily:
     counting: str
     snapshots: list[list[int]]
     final_orders: list[list[int]]
+    universe: "VectorUniverse | None" = None
 
     def signature(self, n: int, k: int) -> int:
         """Bitset of ``Tk`` as an n-detection test set."""
@@ -66,8 +71,20 @@ class NDetectionFamily:
         return self.snapshots[n - 1][k]
 
     def test_set(self, n: int, k: int) -> list[int]:
-        """Sorted decimal test vectors of ``Tk`` after iteration ``n``."""
+        """Sorted signature bits of ``Tk`` after iteration ``n``.
+
+        These are decimal vectors on the exhaustive universe; on a
+        sampled universe use :meth:`test_vectors` for the decimal
+        vectors behind the bits.
+        """
         return set_bits(self.signature(n, k))
+
+    def test_vectors(self, n: int, k: int) -> list[int]:
+        """Decimal test vectors of ``Tk`` after iteration ``n``."""
+        bits = self.test_set(n, k)
+        if self.universe is None:
+            return bits
+        return sorted(self.universe.vector_at(b) for b in bits)
 
     def sizes(self, n: int) -> list[int]:
         """Test-set sizes at iteration ``n`` (one per k)."""
@@ -82,11 +99,16 @@ class _PairOracle:
 
     ``True`` for a pair means the two tests are *similar* (their common
     bits detect the fault), i.e. they do NOT count as two detections.
+
+    Keys are signature-bit indices; ``vector_of`` maps them to the
+    decimal vectors the 3-valued simulation needs (identity on the
+    exhaustive universe, the sample mapping on sampled ones).
     """
 
-    def __init__(self, circuit, fault: StuckAtFault):
+    def __init__(self, circuit, fault: StuckAtFault, vector_of=None):
         self._circuit = circuit
         self._fault = fault
+        self._vector_of = vector_of
         self._results: dict[tuple[int, int], bool] = {}
         self._pending: set[tuple[int, int]] = set()
         # The faulty machine only differs inside this cone; computing it
@@ -109,8 +131,15 @@ class _PairOracle:
         if not self._pending:
             return
         pairs = sorted(self._pending)
+        if self._vector_of is None:
+            vector_pairs = pairs
+        else:
+            vector_pairs = [
+                (self._vector_of(a), self._vector_of(b)) for a, b in pairs
+            ]
         verdicts = pair_checks_batch(
-            self._circuit, self._fault, pairs, cone_order=self._cone_order
+            self._circuit, self._fault, vector_pairs,
+            cone_order=self._cone_order,
         )
         for key, verdict in zip(pairs, verdicts):
             self._results[key] = verdict
@@ -189,6 +218,7 @@ class _Procedure1:
             counting=self.counting,
             snapshots=self.snapshots,
             final_orders=self.orders,
+            universe=self.table.universe,
         )
 
     # -- Definition 1 ----------------------------------------------------
@@ -205,7 +235,11 @@ class _Procedure1:
     def _def2_state(self, i: int) -> _Def2State:
         state = self._def2_states.get(i)
         if state is None:
-            oracle = _PairOracle(self.circuit, self.table.faults[i])
+            universe = self.table.universe
+            vector_of = None if universe.exhaustive else universe.vector_at
+            oracle = _PairOracle(
+                self.circuit, self.table.faults[i], vector_of=vector_of
+            )
             state = _Def2State.fresh(self.K, oracle)
             self._def2_states[i] = state
         return state

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from repro.errors import AnalysisError
 from repro.faultsim.detection import DetectionTable
+from repro.faultsim.sampling import estimate_nmin
 
 
 @dataclass(frozen=True, slots=True)
@@ -93,7 +94,16 @@ class WorstCaseAnalysis:
         Detection table of the target faults ``F`` (stuck-at).
     untargeted_table:
         Detection table of the untargeted faults ``G`` (bridging);
-        must contain detectable faults only.
+        must contain detectable faults only and share the target table's
+        vector universe (signature bits of both tables are intersected,
+        so they must mean the same vectors).
+
+    On a sampled universe the records are computed in sample-bit space —
+    internally consistent for test sets drawn from the sampled vectors —
+    and :meth:`estimated_nmin_values` /
+    :meth:`estimated_guaranteed_n` report the ``|U|``-scale Monte-Carlo
+    estimates.  On the exhaustive universe the estimates equal the raw
+    values.
     """
 
     def __init__(
@@ -106,8 +116,14 @@ class WorstCaseAnalysis:
                 "untargeted table contains undetectable faults; build it "
                 "with drop_undetectable=True"
             )
+        if target_table.universe != untargeted_table.universe:
+            raise AnalysisError(
+                "target and untargeted tables were built over different "
+                "vector universes; build both with the same backend"
+            )
         self.target_table = target_table
         self.untargeted_table = untargeted_table
+        self.universe = untargeted_table.universe
         counts = target_table.counts()
         order = sorted(range(len(counts)), key=counts.__getitem__)
         self.records: list[NminRecord] = []
@@ -125,6 +141,18 @@ class WorstCaseAnalysis:
 
     def nmin_values(self) -> list[int | None]:
         return [r.nmin for r in self.records]
+
+    def estimated_nmin(self, nmin: int | None) -> float | int | None:
+        """``|U|``-scale estimate of one raw (sample-space) nmin value."""
+        return estimate_nmin(self.universe, nmin)
+
+    def estimated_nmin_values(self) -> list[float | int | None]:
+        """``|U|``-scale nmin estimates (== raw values when exact)."""
+        return [estimate_nmin(self.universe, r.nmin) for r in self.records]
+
+    def estimated_guaranteed_n(self) -> float | int | None:
+        """``|U|``-scale estimate of :meth:`guaranteed_n`."""
+        return estimate_nmin(self.universe, self.guaranteed_n())
 
     def count_within(self, n: int) -> int:
         """Number of faults with ``nmin(g) <= n`` (guaranteed detection)."""

@@ -10,6 +10,9 @@ reproduce the full-size experiment:
 ``REPRO_K``          overrides the number of random test sets.
 ``REPRO_NMAX``       overrides nmax (paper: 10).
 ``REPRO_CIRCUITS``   comma-separated circuit subset for suite tables.
+``REPRO_BACKEND``    detection-table engine (exhaustive|sampled|serial).
+``REPRO_SAMPLES``    sampled backend: number of vectors K.
+``REPRO_SEED``       sampled backend: universe draw seed.
 """
 
 from __future__ import annotations
@@ -20,6 +23,11 @@ from functools import lru_cache
 from repro.bench_suite.registry import get_circuit, suite_table_groups
 from repro.core.worst_case import WorstCaseAnalysis
 from repro.faults.universe import FaultUniverse
+from repro.faultsim.backends import (
+    DetectionBackend,
+    ExhaustiveBackend,
+    make_backend,
+)
 
 #: The paper reports Tables 3/5/6 only for circuits that have faults with
 #: nmin >= 11; these are the Table 5 rows of the paper (the analogues in
@@ -50,26 +58,76 @@ NMAX_DEFAULT = 10
 THRESHOLD_NOT_GUARANTEED = 11  # faults with nmin >= 11 escape a 10-detection set
 
 
-@lru_cache(maxsize=40)
-def get_universe(name: str) -> FaultUniverse:
+def backend_from_env() -> DetectionBackend | None:
+    """Detection backend from the REPRO_BACKEND family of env overrides.
+
+    Returns None (caller default: exhaustive) when REPRO_BACKEND is
+    unset, so the cached layers keep their zero-config behavior.
+    """
+    name = os.environ.get("REPRO_BACKEND")
+    if not name:
+        return None
+    samples = os.environ.get("REPRO_SAMPLES")
+    return make_backend(
+        name,
+        samples=int(samples) if samples else None,
+        seed=env_int("REPRO_SEED", 0),
+    )
+
+
+def get_universe(
+    name: str, backend: DetectionBackend | None = None
+) -> FaultUniverse:
     """Fault universe (with detection tables) for a suite circuit.
 
-    The cache is sized to hold the whole 35-circuit suite: suite-wide
-    tables (2, 3, 5) revisit every circuit, and rebuilding the biggest
-    detection tables costs ~10 s each.  Total footprint stays within a
-    few GB (the two largest tables are ~400 MB each).
+    ``backend`` defaults to the REPRO_BACKEND env override, then the
+    exhaustive engine.  The env override is resolved *before* the cache
+    lookup, so changing REPRO_BACKEND mid-process switches universes
+    instead of silently replaying the first backend's cached tables.
     """
-    universe = FaultUniverse(get_circuit(name))
+    return _get_universe_cached(name, _normalize_backend(backend))
+
+
+def _normalize_backend(
+    backend: DetectionBackend | None,
+) -> DetectionBackend | None:
+    """Canonical cache key: the default and explicit exhaustive collide."""
+    backend = backend or backend_from_env()
+    if backend == ExhaustiveBackend():
+        return None
+    return backend
+
+
+@lru_cache(maxsize=40)
+def _get_universe_cached(
+    name: str, backend: DetectionBackend | None
+) -> FaultUniverse:
+    """Backend-keyed universe cache (backends are frozen dataclasses).
+
+    Sized to hold the whole 35-circuit suite: suite-wide tables (2, 3,
+    5) revisit every circuit, and rebuilding the biggest detection
+    tables costs ~10 s each.  Total footprint stays within a few GB
+    (the two largest tables are ~400 MB each).
+    """
+    universe = FaultUniverse(get_circuit(name), backend=backend)
     # Touch the tables so the cache holds fully-built universes.
     universe.target_table
     universe.untargeted_table
     return universe
 
 
-@lru_cache(maxsize=40)
-def get_worst_case(name: str) -> WorstCaseAnalysis:
+def get_worst_case(
+    name: str, backend: DetectionBackend | None = None
+) -> WorstCaseAnalysis:
     """Worst-case analysis for a suite circuit (cached)."""
-    u = get_universe(name)
+    return _get_worst_case_cached(name, _normalize_backend(backend))
+
+
+@lru_cache(maxsize=40)
+def _get_worst_case_cached(
+    name: str, backend: DetectionBackend | None
+) -> WorstCaseAnalysis:
+    u = _get_universe_cached(name, backend)
     return WorstCaseAnalysis(u.target_table, u.untargeted_table)
 
 

@@ -10,11 +10,13 @@ and their detection tables:
   outputs of multi-input gates (the untargeted faults the analysis
   evaluates).
 
-Everything is built lazily and cached, so experiments can share one
-universe per circuit.
+Tables are built by a pluggable
+:class:`~repro.faultsim.backends.DetectionBackend` (default: the exact
+exhaustive engine; pass a
+:class:`~repro.faultsim.backends.SampledBackend` to analyze circuits
+beyond the exhaustive input cap).  Everything is built lazily and
+cached, so experiments can share one universe per circuit.
 """
-
-from __future__ import annotations
 
 from __future__ import annotations
 
@@ -24,26 +26,38 @@ from typing import TYPE_CHECKING
 from repro.circuit.netlist import Circuit
 from repro.faults.bridging import BridgingFault, four_way_bridging_faults
 from repro.faults.stuck_at import StuckAtFault, collapsed_stuck_at_faults
-from repro.simulation.exhaustive import line_signatures
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (see below)
+    from repro.faultsim.backends import DetectionBackend
     from repro.faultsim.detection import DetectionTable
 
-# NOTE: repro.faultsim.detection imports the fault dataclasses from this
-# package, so the DetectionTable import happens lazily inside the cached
+# NOTE: repro.faultsim imports the fault dataclasses from this package,
+# so every repro.faultsim import happens lazily inside the cached
 # properties to avoid a circular import at package load time.
 
 
 class FaultUniverse:
     """Targets ``F``, untargeted ``G``, and their detection tables."""
 
-    def __init__(self, circuit: Circuit):
+    def __init__(
+        self, circuit: Circuit, backend: "DetectionBackend | None" = None
+    ):
         self.circuit = circuit
+        self._backend = backend
+
+    @cached_property
+    def backend(self) -> "DetectionBackend":
+        """The table-construction engine (default: exhaustive)."""
+        if self._backend is not None:
+            return self._backend
+        from repro.faultsim.backends import ExhaustiveBackend
+
+        return ExhaustiveBackend()
 
     @cached_property
     def base_signatures(self) -> list[int]:
-        """Fault-free line signatures over the complete input space."""
-        return line_signatures(self.circuit)
+        """Fault-free line signatures over the backend's vector universe."""
+        return self.backend.line_signatures(self.circuit)
 
     @cached_property
     def target_faults(self) -> list[StuckAtFault]:
@@ -55,26 +69,33 @@ class FaultUniverse:
         """Raw four-way bridging universe (before detectability filter)."""
         return four_way_bridging_faults(self.circuit)
 
+    @property
+    def _shared_signatures(self) -> list[int] | None:
+        """Base signatures shared between the two table builds.
+
+        ``None`` for backends that ignore them (the serial engine), so
+        their most expensive step isn't computed just to be discarded.
+        """
+        if not getattr(self.backend, "needs_base_signatures", True):
+            return None
+        return self.base_signatures
+
     @cached_property
     def target_table(self) -> "DetectionTable":
         """Detection table for ``F``."""
-        from repro.faultsim.detection import DetectionTable
-
-        return DetectionTable.for_stuck_at(
+        return self.backend.build_stuck_at(
             self.circuit,
             faults=self.target_faults,
-            base_signatures=self.base_signatures,
+            base_signatures=self._shared_signatures,
         )
 
     @cached_property
     def untargeted_table(self) -> "DetectionTable":
         """Detection table for ``G`` (detectable bridging faults only)."""
-        from repro.faultsim.detection import DetectionTable
-
-        return DetectionTable.for_bridging(
+        return self.backend.build_bridging(
             self.circuit,
             faults=self.untargeted_faults,
-            base_signatures=self.base_signatures,
+            base_signatures=self._shared_signatures,
             drop_undetectable=True,
         )
 

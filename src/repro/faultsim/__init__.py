@@ -1,8 +1,14 @@
 """Fault simulation engines and detection tables.
 
 ``detection``
-    Exhaustive detection tables: ``T(f)`` for every fault over the whole
-    input space, via cone-limited signature re-simulation.
+    Detection tables: ``T(f)`` for every fault over a vector universe,
+    via cone-limited signature re-simulation.
+``sampling``
+    Vector universes (exhaustive or sampled) with the bit-index ↔
+    vector mapping and the Monte-Carlo count estimators.
+``backends``
+    Pluggable table-construction strategies: ``exhaustive``, ``sampled``
+    (breaks the 24-input cap), and ``serial``.
 ``serial``
     Per-vector serial fault simulation (independent slow path used for
     cross-validation and for simulating explicit test sets).
@@ -19,6 +25,22 @@ from repro.faultsim.detection import (
     bridging_detection_signature,
     stuck_at_detection_signature,
 )
+from repro.faultsim.sampling import (
+    CountEstimate,
+    VectorUniverse,
+    count_interval,
+    draw_universe,
+    estimate_count,
+    estimate_nmin,
+)
+from repro.faultsim.backends import (
+    BACKEND_NAMES,
+    DetectionBackend,
+    ExhaustiveBackend,
+    SampledBackend,
+    SerialBackend,
+    make_backend,
+)
 from repro.faultsim.serial import (
     detects_stuck_at,
     detects_bridging,
@@ -34,6 +56,18 @@ __all__ = [
     "DetectionTable",
     "bridging_detection_signature",
     "stuck_at_detection_signature",
+    "CountEstimate",
+    "VectorUniverse",
+    "count_interval",
+    "draw_universe",
+    "estimate_count",
+    "estimate_nmin",
+    "BACKEND_NAMES",
+    "DetectionBackend",
+    "ExhaustiveBackend",
+    "SampledBackend",
+    "SerialBackend",
+    "make_backend",
     "detects_stuck_at",
     "detects_bridging",
     "test_set_coverage",

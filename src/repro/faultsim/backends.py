@@ -1,0 +1,337 @@
+"""Pluggable detection-table backends.
+
+Every analysis in this library consumes a
+:class:`~repro.faultsim.detection.DetectionTable`; a *backend* is a
+strategy for building one.  Three engines are provided:
+
+``exhaustive``
+    The paper's analysis substrate: ``2**p``-bit signatures over all of
+    ``U`` via the closed-form input signatures and cone re-simulation.
+    Exact; capped at :data:`~repro.logic.bitops.MAX_EXHAUSTIVE_INPUTS`
+    inputs.
+``sampled``
+    Monte-Carlo sampled-U engine: ``K`` seeded random vectors packed
+    into ``K``-bit signatures (same cone re-simulation machinery, with an
+    explicit vector-index ↔ bit-index mapping carried by the table's
+    :class:`~repro.faultsim.sampling.VectorUniverse`).  Popcounts become
+    unbiased estimators of ``N(f)`` / ``M(g, f)`` with confidence
+    intervals; the full-coverage draw (``K == 2**p``, without
+    replacement) degenerates to the exact exhaustive result.  This is
+    the engine that opens >24-input circuits to the worst-/average-case
+    analyses.
+``serial``
+    Per-vector serial fault simulation — the deliberately independent
+    slow path, used by the differential test harness to cross-validate
+    the other two.
+
+Backends are small frozen dataclasses (hashable, so cached layers can
+key on them) and share the :class:`DetectionBackend` protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Protocol, runtime_checkable
+
+from repro.circuit.netlist import Circuit
+from repro.errors import AnalysisError
+from repro.faults.bridging import BridgingFault, four_way_bridging_faults
+from repro.faults.stuck_at import StuckAtFault, collapsed_stuck_at_faults
+from repro.faultsim.detection import (
+    DetectionTable,
+    universe_line_signatures,
+)
+from repro.faultsim.sampling import VectorUniverse, draw_universe
+from repro.logic.bitops import MAX_EXHAUSTIVE_INPUTS
+
+#: Names accepted by :func:`make_backend` (and the CLI ``--backend`` flag).
+BACKEND_NAMES: tuple[str, ...] = ("exhaustive", "sampled", "serial")
+
+
+@runtime_checkable
+class DetectionBackend(Protocol):
+    """Strategy for building detection tables over a vector universe.
+
+    ``needs_base_signatures`` tells callers whether the ``build_*``
+    methods consume precomputed :meth:`line_signatures` — engines that
+    ignore them (serial) advertise False so callers skip the work.
+    """
+
+    name: str
+    needs_base_signatures: bool
+
+    def universe_for(self, circuit: Circuit) -> VectorUniverse:
+        """The signature bit space this backend uses for ``circuit``."""
+
+    def line_signatures(self, circuit: Circuit) -> list[int]:
+        """Fault-free line signatures over :meth:`universe_for`'s space."""
+
+    def build_stuck_at(
+        self,
+        circuit: Circuit,
+        faults: list[StuckAtFault] | None = None,
+        base_signatures: list[int] | None = None,
+        drop_undetectable: bool = False,
+    ) -> DetectionTable:
+        """Detection table for the target stuck-at set ``F``."""
+
+    def build_bridging(
+        self,
+        circuit: Circuit,
+        faults: list[BridgingFault] | None = None,
+        base_signatures: list[int] | None = None,
+        drop_undetectable: bool = True,
+    ) -> DetectionTable:
+        """Detection table for the untargeted bridging set ``G``."""
+
+
+# ----------------------------------------------------------------------
+# Exhaustive (the seed engine, now one strategy among three)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExhaustiveBackend:
+    """Exact tables over all of ``U`` (bit ``v`` ↔ vector ``v``)."""
+
+    name: str = "exhaustive"
+    needs_base_signatures = True
+
+    def universe_for(self, circuit: Circuit) -> VectorUniverse:
+        return VectorUniverse(circuit.num_inputs)
+
+    def line_signatures(self, circuit: Circuit) -> list[int]:
+        return universe_line_signatures(circuit, self.universe_for(circuit))
+
+    def build_stuck_at(
+        self,
+        circuit: Circuit,
+        faults: list[StuckAtFault] | None = None,
+        base_signatures: list[int] | None = None,
+        drop_undetectable: bool = False,
+    ) -> DetectionTable:
+        return DetectionTable.for_stuck_at(
+            circuit,
+            faults=faults,
+            base_signatures=base_signatures,
+            drop_undetectable=drop_undetectable,
+        )
+
+    def build_bridging(
+        self,
+        circuit: Circuit,
+        faults: list[BridgingFault] | None = None,
+        base_signatures: list[int] | None = None,
+        drop_undetectable: bool = True,
+    ) -> DetectionTable:
+        return DetectionTable.for_bridging(
+            circuit,
+            faults=faults,
+            base_signatures=base_signatures,
+            drop_undetectable=drop_undetectable,
+        )
+
+
+# ----------------------------------------------------------------------
+# Sampled-U (Monte-Carlo estimation; breaks the 24-input cap)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SampledBackend:
+    """Estimated tables over ``K`` seeded random vectors.
+
+    Parameters
+    ----------
+    samples:
+        ``K`` — number of vectors to draw.
+    seed:
+        RNG seed; equal seeds reproduce the universe (and therefore the
+        tables) exactly.
+    replacement:
+        Draw with replacement (default False: uniform ``K``-subset of
+        ``U``, which tightens the confidence intervals via the
+        finite-population correction and degenerates to the exhaustive
+        result at ``K == 2**p``).
+    """
+
+    samples: int
+    seed: int = 0
+    replacement: bool = False
+    name: str = "sampled"
+    needs_base_signatures = True
+
+    def __post_init__(self) -> None:
+        if self.samples < 1:
+            raise AnalysisError(
+                f"samples must be >= 1, got {self.samples}"
+            )
+
+    def universe_for(self, circuit: Circuit) -> VectorUniverse:
+        # Memoized: one FaultUniverse calls this for line signatures and
+        # both table builds, and a large draw (sample + sort of K ints)
+        # is too expensive to repeat three times.
+        return _drawn_universe(
+            circuit.num_inputs, self.samples, self.seed, self.replacement
+        )
+
+    def line_signatures(self, circuit: Circuit) -> list[int]:
+        return universe_line_signatures(circuit, self.universe_for(circuit))
+
+    def build_stuck_at(
+        self,
+        circuit: Circuit,
+        faults: list[StuckAtFault] | None = None,
+        base_signatures: list[int] | None = None,
+        drop_undetectable: bool = False,
+    ) -> DetectionTable:
+        return DetectionTable.for_stuck_at(
+            circuit,
+            faults=faults,
+            base_signatures=base_signatures,
+            drop_undetectable=drop_undetectable,
+            universe=self.universe_for(circuit),
+        )
+
+    def build_bridging(
+        self,
+        circuit: Circuit,
+        faults: list[BridgingFault] | None = None,
+        base_signatures: list[int] | None = None,
+        drop_undetectable: bool = True,
+    ) -> DetectionTable:
+        return DetectionTable.for_bridging(
+            circuit,
+            faults=faults,
+            base_signatures=base_signatures,
+            drop_undetectable=drop_undetectable,
+            universe=self.universe_for(circuit),
+        )
+
+
+@lru_cache(maxsize=32)
+def _drawn_universe(
+    num_inputs: int, samples: int, seed: int, replacement: bool
+) -> VectorUniverse:
+    """Deterministic draw, shared across a backend's table builds."""
+    return draw_universe(
+        num_inputs, samples, seed=seed, replacement=replacement
+    )
+
+
+# ----------------------------------------------------------------------
+# Serial (independent per-vector slow path, for cross-validation)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SerialBackend:
+    """Exact tables via the per-vector serial engine.
+
+    Shares *no* signature machinery with the exhaustive engine (every
+    table bit is two full per-vector simulations), which is what makes it
+    useful as the differential-testing reference.  Far too slow beyond
+    toy circuits; capped accordingly.
+    """
+
+    name: str = "serial"
+    max_inputs: int = 16
+    needs_base_signatures = False
+
+    def universe_for(self, circuit: Circuit) -> VectorUniverse:
+        self._check(circuit)
+        return VectorUniverse(circuit.num_inputs)
+
+    def _check(self, circuit: Circuit) -> None:
+        if circuit.num_inputs > self.max_inputs:
+            raise AnalysisError(
+                f"serial backend is capped at {self.max_inputs} inputs "
+                f"(circuit {circuit.name!r} has {circuit.num_inputs}); "
+                f"use --backend sampled"
+            )
+
+    def line_signatures(self, circuit: Circuit) -> list[int]:
+        from repro.simulation.twoval import simulate_vector
+
+        self._check(circuit)
+        sigs = [0] * len(circuit.lines)
+        for v in range(1 << circuit.num_inputs):
+            values = simulate_vector(circuit, v)
+            for lid, val in enumerate(values):
+                if val:
+                    sigs[lid] |= 1 << v
+        return sigs
+
+    def _build(
+        self,
+        circuit: Circuit,
+        faults: list,
+        drop_undetectable: bool,
+    ) -> DetectionTable:
+        from repro.faultsim.serial import detects
+
+        self._check(circuit)
+        space = 1 << circuit.num_inputs
+        table = []
+        for fault in faults:
+            sig = 0
+            for v in range(space):
+                if detects(circuit, fault, v):
+                    sig |= 1 << v
+            table.append(sig)
+        if drop_undetectable:
+            kept = [(f, t) for f, t in zip(faults, table) if t]
+            faults = [f for f, _ in kept]
+            table = [t for _, t in kept]
+        return DetectionTable(circuit, list(faults), table)
+
+    def build_stuck_at(
+        self,
+        circuit: Circuit,
+        faults: list[StuckAtFault] | None = None,
+        base_signatures: list[int] | None = None,
+        drop_undetectable: bool = False,
+    ) -> DetectionTable:
+        if faults is None:
+            faults = collapsed_stuck_at_faults(circuit)
+        return self._build(circuit, list(faults), drop_undetectable)
+
+    def build_bridging(
+        self,
+        circuit: Circuit,
+        faults: list[BridgingFault] | None = None,
+        base_signatures: list[int] | None = None,
+        drop_undetectable: bool = True,
+    ) -> DetectionTable:
+        if faults is None:
+            faults = four_way_bridging_faults(circuit)
+        return self._build(circuit, list(faults), drop_undetectable)
+
+
+def make_backend(
+    name: str,
+    samples: int | None = None,
+    seed: int = 0,
+    replacement: bool = False,
+) -> DetectionBackend:
+    """Backend factory behind the CLI / env configuration.
+
+    ``samples`` is required (and only meaningful) for ``sampled``.
+    """
+    if name == "exhaustive":
+        return ExhaustiveBackend()
+    if name == "serial":
+        return SerialBackend()
+    if name == "sampled":
+        if samples is None:
+            raise AnalysisError(
+                "--backend sampled requires --samples K (the number of "
+                "random vectors to draw)"
+            )
+        return SampledBackend(samples, seed=seed, replacement=replacement)
+    raise AnalysisError(
+        f"unknown backend {name!r}; choose from {', '.join(BACKEND_NAMES)}"
+    )
+
+
+def default_backend_for(circuit: Circuit, samples: int = 1 << 14,
+                        seed: int = 0) -> DetectionBackend:
+    """Exhaustive when the circuit fits under the cap, else sampled."""
+    if circuit.num_inputs <= MAX_EXHAUSTIVE_INPUTS:
+        return ExhaustiveBackend()
+    return SampledBackend(min(samples, 1 << MAX_EXHAUSTIVE_INPUTS), seed=seed)

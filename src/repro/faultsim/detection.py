@@ -1,14 +1,20 @@
-"""Exhaustive detection tables: ``T(f)`` for every fault, over all of ``U``.
+"""Detection tables: ``T(f)`` for every fault, over a vector universe.
 
 The paper's analysis needs, for every fault ``h`` in ``F ∪ G``, the set
 ``T(h) ⊆ U`` of input vectors that detect ``h``.  A
 :class:`DetectionTable` holds those sets as signatures (one int per
-fault, bit ``v`` = "vector ``v`` detects the fault") and provides the
-popcount quantities the worst-case analysis is built from.
+fault) and provides the popcount quantities the worst-case analysis is
+built from.  The signature bit space is described by the table's
+:class:`~repro.faultsim.sampling.VectorUniverse`: for the default
+exhaustive universe bit ``v`` means "vector ``v`` detects the fault";
+for a sampled universe bit ``i`` refers to the ``i``-th sampled vector
+and popcounts become unbiased estimators of the exact counts.
 
 Detection signatures are computed by forcing the fault site's signature
 and re-simulating only the site's fanout cone — the standard
-"single-fault propagation" trick lifted to full-space signatures.
+"single-fault propagation" trick lifted to signatures.  The cone
+machinery is universe-agnostic: it operates on whatever lane mapping the
+base signatures were built with.
 """
 
 from __future__ import annotations
@@ -20,6 +26,12 @@ from repro.circuit.netlist import Circuit
 from repro.errors import FaultError
 from repro.faults.bridging import BridgingFault, four_way_bridging_faults
 from repro.faults.stuck_at import StuckAtFault, collapsed_stuck_at_faults
+from repro.faultsim.sampling import (
+    CountEstimate,
+    VectorUniverse,
+    count_interval,
+    estimate_count,
+)
 from repro.logic.bitops import all_ones_mask, set_bits
 from repro.simulation.exhaustive import (
     detection_signature,
@@ -28,6 +40,23 @@ from repro.simulation.exhaustive import (
 )
 
 Fault = Union[StuckAtFault, BridgingFault]
+
+
+def universe_line_signatures(
+    circuit: Circuit, universe: VectorUniverse
+) -> list[int]:
+    """Fault-free line signatures over a universe's bit space.
+
+    Exhaustive universes use the closed-form input-signature construction;
+    sampled universes pack the listed vectors into lane words (bit ``i`` =
+    value under ``universe.vectors[i]``) via the bit-parallel batch
+    simulator.
+    """
+    if universe.exhaustive:
+        return line_signatures(circuit)
+    from repro.simulation.twoval import simulate_batch
+
+    return simulate_batch(circuit, universe.vectors)
 
 
 def stuck_at_detection_signature(
@@ -89,12 +118,17 @@ class DetectionTable:
         Fault objects, in table order.
     signatures:
         ``signatures[i]`` is ``T(faults[i])`` as a bit-signature over
-        ``U``; undetectable faults (if kept) have signature 0.
+        the universe; undetectable faults (if kept) have signature 0.
+    universe:
+        Bit-index ↔ vector mapping of the signatures.  ``None`` (the
+        default) means the exhaustive universe of the circuit's input
+        space.
     """
 
     circuit: Circuit
     faults: list[Fault]
     signatures: list[int]
+    universe: VectorUniverse | None = None
     _vector_cache: dict[int, list[int]] = field(
         init=False, default_factory=dict, repr=False
     )
@@ -102,6 +136,12 @@ class DetectionTable:
     def __post_init__(self) -> None:
         if len(self.faults) != len(self.signatures):
             raise FaultError("faults and signatures length mismatch")
+        if self.universe is None:
+            self.universe = VectorUniverse(self.circuit.num_inputs)
+        elif self.universe.num_inputs != self.circuit.num_inputs:
+            raise FaultError(
+                "universe and circuit disagree on the input count"
+            )
 
     # ------------------------------------------------------------------
     # Construction
@@ -113,17 +153,22 @@ class DetectionTable:
         faults: list[StuckAtFault] | None = None,
         base_signatures: list[int] | None = None,
         drop_undetectable: bool = False,
+        universe: VectorUniverse | None = None,
     ) -> "DetectionTable":
         """Table for the collapsed stuck-at set (the paper's ``F``).
 
         The paper keeps undetectable target faults in ``F`` — they simply
         never force any test into the set — so ``drop_undetectable``
-        defaults to False.
+        defaults to False.  ``universe`` selects the signature bit space
+        (default: exhaustive over the circuit's inputs); when sampled,
+        ``base_signatures`` must have been built over the same universe.
         """
+        if universe is None:
+            universe = VectorUniverse(circuit.num_inputs)
         if faults is None:
             faults = collapsed_stuck_at_faults(circuit)
-        sigs = base_signatures or line_signatures(circuit)
-        mask = all_ones_mask(circuit.num_inputs)
+        sigs = base_signatures or universe_line_signatures(circuit, universe)
+        mask = universe.mask
         cone_cache: dict[int, list[int]] = {}
         table = []
         for f in faults:
@@ -140,7 +185,7 @@ class DetectionTable:
             kept = [(f, t) for f, t in zip(faults, table) if t]
             faults = [f for f, _ in kept]
             table = [t for _, t in kept]
-        return cls(circuit, list(faults), table)
+        return cls(circuit, list(faults), table, universe)
 
     @classmethod
     def for_bridging(
@@ -149,16 +194,20 @@ class DetectionTable:
         faults: list[BridgingFault] | None = None,
         base_signatures: list[int] | None = None,
         drop_undetectable: bool = True,
+        universe: VectorUniverse | None = None,
     ) -> "DetectionTable":
         """Table for four-way bridging faults (the paper's ``G``).
 
         The paper's ``G`` contains only *detectable* bridging faults, so
-        ``drop_undetectable`` defaults to True.
+        ``drop_undetectable`` defaults to True.  On a sampled universe
+        "undetectable" means "not detected by any sampled vector".
         """
+        if universe is None:
+            universe = VectorUniverse(circuit.num_inputs)
         if faults is None:
             faults = four_way_bridging_faults(circuit)
-        sigs = base_signatures or line_signatures(circuit)
-        mask = all_ones_mask(circuit.num_inputs)
+        sigs = base_signatures or universe_line_signatures(circuit, universe)
+        mask = universe.mask
         cone_cache: dict[int, list[int]] = {}
         table = []
         for g in faults:
@@ -175,7 +224,7 @@ class DetectionTable:
             kept = [(g, t) for g, t in zip(faults, table) if t]
             faults = [g for g, _ in kept]
             table = [t for _, t in kept]
-        return cls(circuit, list(faults), table)
+        return cls(circuit, list(faults), table, universe)
 
     # ------------------------------------------------------------------
     # Queries
@@ -191,13 +240,36 @@ class DetectionTable:
         """``N(f)`` for every fault."""
         return [sig.bit_count() for sig in self.signatures]
 
+    def estimated_count(self, index: int) -> float:
+        """``|U|``-scale estimate of ``N(f)`` (equals ``count`` when exact)."""
+        return estimate_count(self.universe, self.count(index))
+
+    def estimated_counts(self) -> list[float]:
+        """``|U|``-scale ``N(f)`` estimates for every fault."""
+        return [estimate_count(self.universe, c) for c in self.counts()]
+
+    def count_estimate(
+        self, index: int, confidence: float = 0.95
+    ) -> CountEstimate:
+        """``N(f)`` estimate with a confidence interval for fault ``index``."""
+        return count_interval(self.universe, self.count(index), confidence)
+
     def vectors(self, index: int) -> list[int]:
-        """Sorted list of detecting vectors (cached)."""
+        """Sorted list of detecting signature bits (cached).
+
+        On the exhaustive universe these are the detecting decimal
+        vectors; on a sampled universe they are sample-bit indices — use
+        :meth:`detecting_vectors` for the decimal vectors behind them.
+        """
         vecs = self._vector_cache.get(index)
         if vecs is None:
             vecs = set_bits(self.signatures[index])
             self._vector_cache[index] = vecs
         return vecs
+
+    def detecting_vectors(self, index: int) -> list[int]:
+        """Decimal input vectors detecting fault ``index`` (bit order)."""
+        return [self.universe.vector_at(b) for b in self.vectors(index)]
 
     def detectable_indices(self) -> list[int]:
         """Indices of faults with at least one detecting vector."""

@@ -99,12 +99,50 @@ def vectors_from_signature(signature: int) -> list[int]:
     return set_bits(signature)
 
 
+_SELECT_LEAF_BITS = 256
+"""Width below which rank selection walks bits directly."""
+
+
+def select_kth_set_bit(signature: int, k: int) -> int:
+    """Index of the ``k``-th (0-based, ascending) set bit.
+
+    Binary-splits the signature by popcount of the low half, halving the
+    width each step, so selection costs O(width) bit operations total
+    (the geometric shift series) — never materializing the set-bit list.
+    """
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    if k >= signature.bit_count():
+        raise ValueError("k is not smaller than the number of set bits")
+    base = 0
+    width = signature.bit_length()
+    while width > _SELECT_LEAF_BITS:
+        half = width >> 1
+        low = signature & ((1 << half) - 1)
+        ones = low.bit_count()
+        if k < ones:
+            signature = low
+        else:
+            k -= ones
+            signature >>= half
+            base += half
+        width = signature.bit_length()
+    for idx in iter_set_bits(signature):
+        if k == 0:
+            return base + idx
+        k -= 1
+    raise AssertionError("unreachable: k was validated against popcount")
+
+
 def random_set_bit(signature: int, rng: random.Random) -> int:
     """Uniformly random index of a set bit.
 
     Uses rejection sampling over the bit range first (cheap when the
-    signature is dense) and falls back to materializing the bit list
-    (correct and still fast when it is sparse).
+    signature is dense) and falls back to rank selection — picking a
+    uniform rank and locating that set bit with
+    :func:`select_kth_set_bit`'s binary split.  The fallback is O(width)
+    bit operations with no list materialization, so even a huge dense
+    signature that survives every rejection try stays cheap.
     """
     if signature == 0:
         raise ValueError("signature has no set bits")
@@ -116,5 +154,6 @@ def random_set_bit(signature: int, rng: random.Random) -> int:
             idx = rng.randrange(width)
             if (signature >> idx) & 1:
                 return idx
-    bits = set_bits(signature)
-    return bits[rng.randrange(len(bits))]
+    return select_kth_set_bit(
+        signature, rng.randrange(signature.bit_count())
+    )

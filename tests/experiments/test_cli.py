@@ -81,3 +81,100 @@ class TestCommands:
         assert "podem" in out.splitlines()[0]
         rows = [ln for ln in out.splitlines() if ln and not ln.startswith("#")]
         assert all(set(r) <= {"0", "1"} for r in rows)
+
+
+class TestAnalyze:
+    def test_exhaustive(self, capsys):
+        assert main(["analyze", "paper_example"]) == 0
+        out = capsys.readouterr().out
+        assert "backend=exhaustive" in out
+        assert "guaranteed n: 4" in out
+
+    def test_sampled(self, capsys):
+        assert main(
+            ["analyze", "lion", "--backend", "sampled", "--samples", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sampled" in out
+        assert "8 of 16 vectors" in out
+        assert "confidence" in out
+
+    def test_serial_matches_exhaustive_summary(self, capsys):
+        assert main(["analyze", "paper_example"]) == 0
+        exhaustive_out = capsys.readouterr().out
+        assert main(["analyze", "paper_example", "--backend", "serial"]) == 0
+        serial_out = capsys.readouterr().out
+        # Identical analysis, only the backend label differs.
+        strip = lambda s: [
+            ln for ln in s.splitlines() if "backend" not in ln
+        ]
+        assert strip(exhaustive_out) == strip(serial_out)
+
+    def test_wide_circuit_completes_with_sampled_backend(self, capsys):
+        """Acceptance: a >24-input circuit (impossible at seed) finishes
+        a worst-case analysis via the sampled backend."""
+        assert main(
+            [
+                "analyze", "wide32",
+                "--backend", "sampled",
+                "--samples", "256",
+                "--seed", "7",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "inputs: 32" in out
+        assert "256 of 4294967296 vectors" in out
+        assert "guaranteed detected at n=10" in out
+
+    def test_escape_with_sampled_backend(self, capsys):
+        assert main(
+            [
+                "escape", "lion",
+                "--backend", "sampled",
+                "--samples", "12",
+                "--k", "20",
+                "--nmax", "3",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "backend=sampled" in out
+        assert "worst-case escapes" in out
+
+
+class TestBackendErrorPaths:
+    def test_bad_backend_name_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["analyze", "lion", "--backend", "warp"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_sampled_without_samples(self, capsys):
+        assert main(["analyze", "lion", "--backend", "sampled"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "--samples" in err
+
+    def test_samples_exceeding_universe(self, capsys):
+        # lion has 4 inputs: |U| = 16.
+        assert main(
+            ["analyze", "lion", "--backend", "sampled", "--samples", "17"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "cannot draw 17" in err
+
+    def test_samples_without_sampled_backend(self, capsys):
+        assert main(["analyze", "lion", "--samples", "8"]) == 2
+        assert "--samples only applies" in capsys.readouterr().err
+
+    def test_replacement_without_sampled_backend(self, capsys):
+        assert main(["analyze", "lion", "--replacement"]) == 2
+        assert "--replacement only applies" in capsys.readouterr().err
+
+    def test_exhaustive_beyond_cap(self, capsys):
+        # The wide circuits are out of the exhaustive engine's reach.
+        assert main(["analyze", "wide28"]) == 2
+        err = capsys.readouterr().err
+        assert "28" in err
+
+    def test_unknown_circuit(self, capsys):
+        assert main(["analyze", "does_not_exist"]) == 2
+        assert "unknown circuit" in capsys.readouterr().err

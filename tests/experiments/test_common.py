@@ -5,12 +5,14 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments.common import (
+    backend_from_env,
     env_int,
     get_universe,
     get_worst_case,
     render_rows,
     suite_circuits,
 )
+from repro.faultsim.backends import ExhaustiveBackend, SampledBackend
 
 
 class TestCaches:
@@ -24,6 +26,30 @@ class TestCaches:
         u = get_universe("lion")
         wc = get_worst_case("lion")
         assert wc.target_table is u.target_table
+
+    def test_backend_keys_the_cache(self):
+        sampled = SampledBackend(8, seed=1)
+        u_default = get_universe("lion")
+        u_sampled = get_universe("lion", sampled)
+        assert u_sampled is not u_default
+        assert u_sampled is get_universe("lion", SampledBackend(8, seed=1))
+        assert u_sampled.target_table.universe.size == 8
+
+    def test_explicit_exhaustive_shares_default_cache_entry(self, monkeypatch):
+        u_default = get_universe("lion")
+        assert get_universe("lion", ExhaustiveBackend()) is u_default
+        monkeypatch.setenv("REPRO_BACKEND", "exhaustive")
+        assert get_universe("lion") is u_default
+
+    def test_env_switch_respected_after_default_call(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        u_default = get_universe("lion")
+        monkeypatch.setenv("REPRO_BACKEND", "sampled")
+        monkeypatch.setenv("REPRO_SAMPLES", "8")
+        monkeypatch.setenv("REPRO_SEED", "1")
+        u_env = get_universe("lion")
+        assert u_env is not u_default
+        assert u_env.target_table.universe.size == 8
 
 
 class TestEnvOverrides:
@@ -46,6 +72,16 @@ class TestEnvOverrides:
     def test_suite_circuits_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_CIRCUITS", "lion, keyb ,cse")
         assert suite_circuits() == ["lion", "keyb", "cse"]
+
+    def test_backend_from_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert backend_from_env() is None
+
+    def test_backend_from_env_sampled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "sampled")
+        monkeypatch.setenv("REPRO_SAMPLES", "64")
+        monkeypatch.setenv("REPRO_SEED", "3")
+        assert backend_from_env() == SampledBackend(64, seed=3)
 
 
 class TestRenderRows:

@@ -15,6 +15,7 @@ from repro.logic.bitops import (
     iter_set_bits,
     popcount,
     random_set_bit,
+    select_kth_set_bit,
     set_bits,
     signature_from_vectors,
     vectors_from_signature,
@@ -118,3 +119,72 @@ class TestRandomSetBit:
         for _ in range(4000):
             counts[random_set_bit(sig, rng)] += 1
         assert min(counts) > 300  # each ~500 expected
+
+
+class _ScriptedRng:
+    """Stand-in rng whose randrange returns a scripted sequence."""
+
+    def __init__(self, values):
+        self.values = list(values)
+        self.calls = 0
+
+    def randrange(self, n):
+        self.calls += 1
+        value = self.values.pop(0)
+        assert 0 <= value < n
+        return value
+
+
+class TestSelectKthSetBit:
+    @given(st.integers(min_value=1, max_value=(1 << 300) - 1))
+    @settings(max_examples=200)
+    def test_matches_set_bits(self, sig):
+        bits = set_bits(sig)
+        for k in (0, len(bits) // 2, len(bits) - 1):
+            assert select_kth_set_bit(sig, k) == bits[k]
+
+    def test_spans_leaf_boundary(self):
+        # Bits on both sides of the 256-bit leaf width.
+        sig = (1 << 5) | (1 << 255) | (1 << 256) | (1 << 70000)
+        assert [select_kth_set_bit(sig, k) for k in range(4)] == [
+            5, 255, 256, 70000,
+        ]
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            select_kth_set_bit(0b101, 2)
+        with pytest.raises(ValueError):
+            select_kth_set_bit(0b101, -1)
+        with pytest.raises(ValueError):
+            select_kth_set_bit(0, 0)
+
+
+class TestDensePathFallback:
+    """Regression: 32 failed rejection tries on a huge dense signature
+    must NOT materialize the full set-bit list (the old fallback did)."""
+
+    def test_fallback_uses_rank_selection(self):
+        # Dense signature (every bit but one set) over a large width.
+        width = 1 << 16
+        missing = 12345
+        sig = ((1 << width) - 1) ^ (1 << missing)
+        # Script 32 rejection misses (always the cleared bit), then the
+        # rank draw: k = 100 -> the 100th set bit (index 100, < missing).
+        rng = _ScriptedRng([missing] * 32 + [100])
+        assert random_set_bit(sig, rng) == 100
+        assert rng.calls == 33
+
+    def test_fallback_rank_after_hole(self):
+        width = 1 << 12
+        missing = 7
+        sig = ((1 << width) - 1) ^ (1 << missing)
+        # Ranks at/after the hole shift by one.
+        rng = _ScriptedRng([missing] * 32 + [7])
+        assert random_set_bit(sig, rng) == 8
+
+    def test_sparse_signature_uses_rank_selection(self):
+        # Sparse path: rejection is skipped, a single rank draw decides.
+        sig = (1 << 9) | (1 << 900) | (1 << 90000)
+        rng = _ScriptedRng([1])
+        assert random_set_bit(sig, rng) == 900
+        assert rng.calls == 1

@@ -1,0 +1,210 @@
+"""Differential cross-validation of the detection-table backends.
+
+The tentpole guarantee of the multi-backend architecture: the three
+engines agree wherever their domains overlap.
+
+* exhaustive vs serial — two engines sharing no signature machinery
+  must produce *identical* detection tables;
+* full-sample sampled-U (``K = 2**p``, without replacement) — the
+  Monte-Carlo engine degenerates to the exact exhaustive result, bit for
+  bit (its universe canonicalizes to the exhaustive mapping);
+* sampled-U with ``K < 2**p`` — popcount estimates land near the exact
+  ``N(f)`` / ``nmin`` values, averaged over seeds.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.bench_suite.randlogic import random_circuit
+from repro.core.average_case import AverageCaseAnalysis
+from repro.core.escape import EscapeAnalysis
+from repro.core.procedure1 import build_random_ndetection_sets
+from repro.core.worst_case import WorstCaseAnalysis
+from repro.errors import AnalysisError
+from repro.faults.universe import FaultUniverse
+from repro.faultsim.backends import (
+    ExhaustiveBackend,
+    SampledBackend,
+    SerialBackend,
+)
+
+
+def _tables(circuit, backend):
+    u = FaultUniverse(circuit, backend=backend)
+    return u.target_table, u.untargeted_table
+
+
+def _assert_identical(a, b):
+    assert a.faults == b.faults
+    assert a.signatures == b.signatures
+    assert a.universe == b.universe
+
+
+class TestExactEnginesAgree:
+    """Exhaustive, serial, and full-sample sampled-U are the same table."""
+
+    @pytest.mark.parametrize(
+        "seed,p,gates",
+        [(1, 4, 10), (2, 5, 12), (3, 5, 14), (4, 6, 14), (5, 6, 12)],
+    )
+    def test_three_way_differential(self, seed, p, gates):
+        circuit = random_circuit(seed, num_inputs=p, num_gates=gates)
+        exh_f, exh_g = _tables(circuit, ExhaustiveBackend())
+        ser_f, ser_g = _tables(circuit, SerialBackend())
+        ful_f, ful_g = _tables(
+            circuit, SampledBackend(1 << p, seed=seed + 100)
+        )
+        _assert_identical(exh_f, ser_f)
+        _assert_identical(exh_g, ser_g)
+        _assert_identical(exh_f, ful_f)
+        _assert_identical(exh_g, ful_g)
+
+    @pytest.mark.parametrize("seed,p,gates", [(6, 8, 16), (7, 10, 18)])
+    def test_full_sample_degenerates_to_exhaustive(self, seed, p, gates):
+        # Larger p: the serial engine is too slow, but the full-coverage
+        # sampled draw must still match the exhaustive engine exactly.
+        circuit = random_circuit(seed, num_inputs=p, num_gates=gates)
+        exh_f, exh_g = _tables(circuit, ExhaustiveBackend())
+        ful_f, ful_g = _tables(circuit, SampledBackend(1 << p, seed=seed))
+        assert ful_f.universe.exhaustive  # canonicalized full draw
+        _assert_identical(exh_f, ful_f)
+        _assert_identical(exh_g, ful_g)
+
+    def test_full_sample_worst_case_matches(self):
+        circuit = random_circuit(8, num_inputs=6, num_gates=14)
+        exh_f, exh_g = _tables(circuit, ExhaustiveBackend())
+        ful_f, ful_g = _tables(circuit, SampledBackend(64, seed=9))
+        exact = WorstCaseAnalysis(exh_f, exh_g)
+        full = WorstCaseAnalysis(ful_f, ful_g)
+        assert exact.nmin_values() == full.nmin_values()
+        assert full.estimated_nmin_values() == full.nmin_values()
+
+
+class TestSampledEstimates:
+    """Sub-sample popcounts estimate the exact quantities."""
+
+    SEEDS = range(40)
+    K = 32  # half of the 2**6 universe
+
+    @pytest.fixture(scope="class")
+    def circuit(self):
+        return random_circuit(11, num_inputs=6, num_gates=14)
+
+    @pytest.fixture(scope="class")
+    def exact_universe(self, circuit):
+        return FaultUniverse(circuit)
+
+    @pytest.fixture(scope="class")
+    def sampled_tables(self, circuit):
+        return [
+            FaultUniverse(
+                circuit, backend=SampledBackend(self.K, seed=s)
+            ).target_table
+            for s in self.SEEDS
+        ]
+
+    def test_count_estimates_unbiased(self, exact_universe, sampled_tables):
+        exact = exact_universe.target_table.counts()
+        num_faults = len(exact)
+        sums = [0.0] * num_faults
+        for table in sampled_tables:
+            for i, est in enumerate(table.estimated_counts()):
+                sums[i] += est
+        # Calibrated: the worst per-fault |mean - exact| over these seeds
+        # is ~0.85 on a 64-vector universe; 3.0 leaves generous slack.
+        for i in range(num_faults):
+            assert abs(sums[i] / len(sampled_tables) - exact[i]) < 3.0
+
+    def test_estimates_bounded_by_universe(self, sampled_tables):
+        for table in sampled_tables[:5]:
+            space = table.universe.space
+            for est in table.estimated_counts():
+                assert 0.0 <= est <= space
+
+    def test_nmin_estimates_near_exact(self, circuit, exact_universe):
+        exact = WorstCaseAnalysis(
+            exact_universe.target_table, exact_universe.untargeted_table
+        )
+        exact_n = exact.guaranteed_n()
+        assert exact_n is not None
+        estimates = []
+        for s in range(30):
+            u = FaultUniverse(circuit, backend=SampledBackend(self.K, seed=s))
+            w = WorstCaseAnalysis(u.target_table, u.untargeted_table)
+            est = w.estimated_guaranteed_n()
+            if est is not None:
+                estimates.append(est)
+        assert len(estimates) >= 20
+        # Calibrated: mean over these seeds is ~5.3 vs exact 5; the min
+        # of noisy per-fault estimates biases slightly, hence the slack.
+        assert abs(statistics.mean(estimates) - exact_n) < 2.5
+
+    def test_sampled_tables_internally_consistent(self, sampled_tables):
+        for table in sampled_tables[:5]:
+            assert table.universe.size == self.K
+            for sig in table.signatures:
+                assert sig >> self.K == 0  # no bits beyond the universe
+
+
+class TestSampledPipeline:
+    """The whole analysis stack runs coherently on a sampled universe."""
+
+    @pytest.fixture(scope="class")
+    def universe(self):
+        circuit = random_circuit(12, num_inputs=6, num_gates=14)
+        return FaultUniverse(circuit, backend=SampledBackend(24, seed=5))
+
+    def test_procedure1_average_case_escape(self, universe):
+        family = build_random_ndetection_sets(
+            universe.target_table, n_max=3, num_sets=10, seed=1
+        )
+        assert family.universe == universe.target_table.universe
+        # test_vectors maps sample bits back to real drawn vectors.
+        vectors = family.test_vectors(3, 0)
+        assert set(vectors) <= set(universe.target_table.universe.vectors)
+        worst = WorstCaseAnalysis(
+            universe.target_table, universe.untargeted_table
+        )
+        average = AverageCaseAnalysis(family, universe.untargeted_table)
+        assert all(0.0 <= p <= 1.0 for p in average.probabilities(3))
+        reports = EscapeAnalysis(worst, average).curve()
+        assert len(reports) == 3
+        assert all(r.expected_escapes >= 0 for r in reports)
+
+    def test_def2_counting_translates_vectors(self, universe):
+        # Definition 2 simulates tij cubes of *decimal* vectors; on a
+        # sampled universe the bit indices must be translated first.
+        fam_a = build_random_ndetection_sets(
+            universe.target_table, n_max=2, num_sets=4, seed=2,
+            counting="def2",
+        )
+        fam_b = build_random_ndetection_sets(
+            universe.target_table, n_max=2, num_sets=4, seed=2,
+            counting="def2",
+        )
+        assert fam_a.snapshots == fam_b.snapshots  # deterministic
+        k_universe = universe.target_table.universe.size
+        for snap in fam_a.snapshots[-1]:
+            assert snap >> k_universe == 0
+
+    def test_worst_case_rejects_mixed_universes(self, universe):
+        exhaustive = FaultUniverse(
+            universe.circuit, backend=ExhaustiveBackend()
+        )
+        with pytest.raises(AnalysisError, match="universe"):
+            WorstCaseAnalysis(
+                exhaustive.target_table, universe.untargeted_table
+            )
+
+    def test_average_case_rejects_mixed_universes(self, universe):
+        exhaustive = FaultUniverse(
+            universe.circuit, backend=ExhaustiveBackend()
+        )
+        family = build_random_ndetection_sets(
+            exhaustive.target_table, n_max=2, num_sets=4, seed=1
+        )
+        with pytest.raises(AnalysisError, match="universe"):
+            AverageCaseAnalysis(family, universe.untargeted_table)
