@@ -3,29 +3,52 @@
 Microbenchmarks (real timing statistics, multiple rounds) for the hot
 paths behind every table: exhaustive signatures, detection-table
 construction for both fault models (exhaustive and sampled-U backends),
-the worst-case nmin scan, and Procedure 1 throughput.
+the worst-case nmin scan (big-int and numpy-packed), and Procedure 1
+throughput.  ``test_packed_nmin_scan_speedup`` is the acceptance
+benchmark of the packed backend: it times the big-int and packed nmin
+scans on the wide sampled circuits, prints the comparison, and asserts
+a minimum aggregate speedup.
 
 ``REPRO_BENCH_CIRCUIT`` overrides the benchmark circuit (CI smoke runs
 use a small one); ``REPRO_BENCH_SAMPLES`` sizes the sampled backend's
-draw.
+draw.  The packed-speedup comparison has its own knobs:
+``REPRO_BENCH_WIDE_CIRCUITS`` (default ``wide28,wide32,wide40``),
+``REPRO_BENCH_WIDE_SAMPLES`` (default 128), and
+``REPRO_BENCH_MIN_SPEEDUP`` (default 5.0; CI smoke on shared runners
+lowers it to avoid timing flakes while still recording the numbers).
 """
 
 from __future__ import annotations
 
 import os
+import time
 
 import pytest
 
 from repro.bench_suite.registry import get_circuit
 from repro.core.procedure1 import build_random_ndetection_sets
 from repro.core.worst_case import WorstCaseAnalysis
-from repro.faultsim.backends import SampledBackend
+from repro.faultsim.backends import PackedBackend, SampledBackend
 from repro.faultsim.detection import DetectionTable
 from repro.simulation.exhaustive import line_signatures
 
 # mid-size default: 60 gates, 6 inputs
 CIRCUIT = os.environ.get("REPRO_BENCH_CIRCUIT", "beecount")
 SAMPLES = int(os.environ.get("REPRO_BENCH_SAMPLES", "1024"))
+WIDE_CIRCUITS = [
+    name.strip()
+    for name in os.environ.get(
+        "REPRO_BENCH_WIDE_CIRCUITS", "wide28,wide32,wide40"
+    ).split(",")
+    if name.strip()
+]
+WIDE_SAMPLES = int(os.environ.get("REPRO_BENCH_WIDE_SAMPLES", "128"))
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "5.0"))
+#: Per-circuit floor: by default packed must never be slower; CI smoke on
+#: shared runners can relax it below 1.0 alongside MIN_SPEEDUP.
+MIN_CIRCUIT_SPEEDUP = float(
+    os.environ.get("REPRO_BENCH_MIN_CIRCUIT_SPEEDUP", "1.0")
+)
 
 
 @pytest.fixture(scope="module")
@@ -76,6 +99,95 @@ def test_worst_case_scan(benchmark, tables):
     targets, untargeted = tables
     analysis = benchmark(WorstCaseAnalysis, targets, untargeted)
     assert len(analysis) == len(untargeted)
+
+
+@pytest.fixture(scope="module")
+def packed_tables(circuit, tables):
+    pytest.importorskip("numpy")
+    from repro.faultsim.packed_table import PackedDetectionTable
+
+    targets, untargeted = tables
+    return (
+        PackedDetectionTable.from_table(targets),
+        PackedDetectionTable.from_table(untargeted),
+    )
+
+
+def test_worst_case_scan_packed(benchmark, tables, packed_tables):
+    targets, untargeted = tables
+    packed_t, packed_g = packed_tables
+    analysis = benchmark(WorstCaseAnalysis, packed_t, packed_g)
+    # The vectorized scan is a drop-in: identical records.
+    assert analysis.records == WorstCaseAnalysis(targets, untargeted).records
+
+
+def _best_of(builder, rounds=3):
+    times = []
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = builder()
+        times.append(time.perf_counter() - start)
+    return min(times), result
+
+
+def test_packed_nmin_scan_speedup():
+    """Acceptance: packed nmin scan vs big-int scan on wide circuits.
+
+    Builds both backends' tables over the same sampled universe, times
+    ``WorstCaseAnalysis`` (the nmin scan) for each, proves the records
+    are identical, and asserts the aggregate speedup across the wide
+    suite clears ``REPRO_BENCH_MIN_SPEEDUP``.
+    """
+    pytest.importorskip("numpy")
+    from repro.faults.universe import FaultUniverse
+
+    total_big = total_packed = 0.0
+    lines = []
+    for name in WIDE_CIRCUITS:
+        circuit = get_circuit(name)
+        samples = min(WIDE_SAMPLES, (1 << circuit.num_inputs) // 2)
+        big = FaultUniverse(
+            circuit, backend=SampledBackend(samples, seed=7)
+        )
+        packed = FaultUniverse(
+            circuit, backend=PackedBackend(samples=samples, seed=7)
+        )
+        big_t, big_g = big.target_table, big.untargeted_table
+        packed_t, packed_g = packed.target_table, packed.untargeted_table
+        def packed_cold():
+            # Drop the scan cached on the table so every round pays the
+            # full one-time setup (sorted matrix, dedup, bit unpack) a
+            # cold `repro analyze` run would pay.
+            packed_t.__dict__.pop("_packed_nmin_scan", None)
+            return WorstCaseAnalysis(packed_t, packed_g)
+
+        big_time, big_analysis = _best_of(
+            lambda: WorstCaseAnalysis(big_t, big_g)
+        )
+        packed_time, packed_analysis = _best_of(packed_cold)
+        assert big_analysis.records == packed_analysis.records
+        total_big += big_time
+        total_packed += packed_time
+        lines.append(
+            f"  {name}: big-int {big_time * 1e3:8.1f} ms   "
+            f"packed {packed_time * 1e3:8.1f} ms   "
+            f"speedup {big_time / packed_time:5.1f}x"
+        )
+        assert big_time / packed_time >= MIN_CIRCUIT_SPEEDUP, (
+            f"{name}: packed/big-int speedup "
+            f"{big_time / packed_time:.2f}x below the per-circuit floor "
+            f"{MIN_CIRCUIT_SPEEDUP:.2f}x"
+        )
+    aggregate = total_big / total_packed
+    report = (
+        f"\npacked nmin scan vs big-int (K={WIDE_SAMPLES}):\n"
+        + "\n".join(lines)
+        + f"\n  aggregate speedup: {aggregate:.1f}x"
+        + f" (required >= {MIN_SPEEDUP:.1f}x)\n"
+    )
+    print(report, end="")
+    assert aggregate >= MIN_SPEEDUP, report
 
 
 def test_procedure1_def1(benchmark, tables):

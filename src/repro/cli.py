@@ -14,10 +14,13 @@ Commands regenerate the paper's artifacts::
     repro partition CIRCUIT          # Section 4 cone-partitioned analysis
     repro analyze CIRCUIT            # one-circuit worst-case analysis
 
-``analyze`` and ``escape`` accept ``--backend exhaustive|sampled|serial``
-(with ``--samples K`` / ``--seed`` / ``--replacement`` for ``sampled``),
-so circuits beyond the 24-input exhaustive cap can be analyzed via
-Monte-Carlo sampled-U detection tables.
+``analyze`` and ``escape`` accept
+``--backend exhaustive|sampled|serial|packed`` (with ``--samples K`` /
+``--seed`` / ``--replacement`` for ``sampled`` and ``packed``), so
+circuits beyond the 24-input exhaustive cap can be analyzed via
+Monte-Carlo sampled-U detection tables; ``packed`` stores the same
+signatures as numpy ``uint64`` blocks and runs the worst-case ``nmin``
+scan vectorized.
 """
 
 from __future__ import annotations
@@ -75,12 +78,12 @@ def _add_backend(parser: argparse.ArgumentParser) -> None:
         "--samples",
         type=int,
         default=None,
-        help="sampled backend only: number K of random vectors to draw",
+        help="sampled/packed backends: number K of random vectors to draw",
     )
     parser.add_argument(
         "--replacement",
         action="store_true",
-        help="sampled backend only: draw vectors with replacement",
+        help="sampled/packed backends: draw vectors with replacement",
     )
 
 
@@ -88,15 +91,27 @@ def _backend_from_args(args: argparse.Namespace):
     from repro.errors import AnalysisError
     from repro.faultsim.backends import make_backend
 
-    if args.backend != "sampled" and args.samples is not None:
+    sampling_backends = ("sampled", "packed")
+    if args.backend not in sampling_backends and args.samples is not None:
         raise AnalysisError(
-            f"--samples only applies to --backend sampled "
+            f"--samples only applies to --backend sampled or packed "
             f"(got --backend {args.backend})"
         )
-    if args.backend != "sampled" and getattr(args, "replacement", False):
+    if args.backend not in sampling_backends and getattr(
+        args, "replacement", False
+    ):
         raise AnalysisError(
-            f"--replacement only applies to --backend sampled "
+            f"--replacement only applies to --backend sampled or packed "
             f"(got --backend {args.backend})"
+        )
+    if (
+        args.backend == "packed"
+        and args.samples is None
+        and getattr(args, "replacement", False)
+    ):
+        raise AnalysisError(
+            "--replacement implies sampling; --backend packed without "
+            "--samples is exhaustive"
         )
     return make_backend(
         args.backend,

@@ -20,6 +20,7 @@ from collections.abc import Sequence
 from repro.core.procedure1 import NDetectionFamily
 from repro.errors import AnalysisError
 from repro.faultsim.detection import DetectionTable
+from repro.faultsim.sampling import VectorUniverse
 
 TABLE5_THRESHOLDS: tuple[float, ...] = (
     1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1, 0.0,
@@ -50,10 +51,15 @@ class AverageCaseAnalysis:
             raise AnalysisError(
                 "test-set family and detection table disagree on input count"
             )
-        if (
-            family.universe is not None
-            and family.universe != untargeted_table.universe
-        ):
+        # A family without an explicit universe is an exhaustive-space
+        # family; comparing it as such rejects the silent mix of an
+        # exhaustive family with a sampled untargeted table.
+        family_universe = (
+            family.universe
+            if family.universe is not None
+            else VectorUniverse(family.num_inputs)
+        )
+        if family_universe != untargeted_table.universe:
             raise AnalysisError(
                 "test-set family and detection table were built over "
                 "different vector universes; use the same backend for both"
@@ -66,22 +72,39 @@ class AverageCaseAnalysis:
             else list(range(len(untargeted_table)))
         )
 
+    def _snapshots_for(self, n: int) -> list[int]:
+        """Iteration-``n`` test-set snapshots, with ``n`` validated.
+
+        ``n = 0`` would silently wrap to the *largest* n via Python
+        negative indexing, and ``n > n_max`` would raise a bare
+        ``IndexError``; both are caller errors and get an
+        :class:`AnalysisError`.
+        """
+        limit = len(self.family.snapshots)
+        if not 1 <= n <= limit:
+            raise AnalysisError(
+                f"n must be in [1, {limit}], got {n}"
+            )
+        return self.family.snapshots[n - 1]
+
+    def _probability(self, signature: int, snapshots: list[int]) -> float:
+        return sum(1 for tk in snapshots if tk & signature) / (
+            self.family.num_sets
+        )
+
     def detection_probability(self, n: int, fault_index: int) -> float:
         """``p(n, g)`` for one untargeted fault."""
-        sig = self.table.signatures[fault_index]
-        snapshots = self.family.snapshots[n - 1]
-        hits = sum(1 for tk in snapshots if tk & sig)
-        return hits / self.family.num_sets
+        return self._probability(
+            self.table.signatures[fault_index], self._snapshots_for(n)
+        )
 
     def probabilities(self, n: int) -> list[float]:
         """``p(n, g)`` for every analyzed fault (in ``fault_indices`` order)."""
-        snapshots = self.family.snapshots[n - 1]
-        k = self.family.num_sets
-        out = []
-        for j in self.fault_indices:
-            sig = self.table.signatures[j]
-            out.append(sum(1 for tk in snapshots if tk & sig) / k)
-        return out
+        snapshots = self._snapshots_for(n)
+        return [
+            self._probability(self.table.signatures[j], snapshots)
+            for j in self.fault_indices
+        ]
 
     def histogram(self, n: int) -> list[int]:
         """Counts of faults with ``p(n, g) >= threshold`` (Table 5 row)."""

@@ -20,21 +20,28 @@ all threshold queries).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.errors import AnalysisError
 from repro.faultsim.detection import DetectionTable
 from repro.faultsim.sampling import estimate_nmin
+from repro.logic.packed import (
+    _np,
+    PackedSignatureMatrix,
+    pack_signature,
+    popcount_words,
+)
 
 
-@dataclass(frozen=True, slots=True)
-class NminRecord:
+class NminRecord(NamedTuple):
     """Worst-case result for one untargeted fault.
 
     ``nmin`` is ``None`` when no target fault overlaps ``g`` (no guarantee
     at any ``n``).  ``witness`` is the index (into the target table) of a
     target fault achieving the minimum, and ``witness_overlap`` its
-    ``M(g, f)``.
+    ``M(g, f)``.  (A named tuple, not a dataclass: one record is built
+    per untargeted fault, so construction cost is part of the analysis
+    hot path.)
     """
 
     fault_index: int
@@ -60,9 +67,14 @@ def nmin_for_untargeted_fault(
     """
     if g_signature == 0:
         raise AnalysisError("nmin is undefined for an undetectable fault")
-    counts = target_counts or target_table.counts()
+    # `is None`, not truthiness: an explicit empty count list (no target
+    # faults) must not silently trigger a recompute.
+    counts = target_counts if target_counts is not None else target_table.counts()
     if sorted_order is None:
         sorted_order = sorted(range(len(counts)), key=counts.__getitem__)
+    if getattr(target_table, "packed", None) is not None:
+        scan = _packed_scan_for(target_table, counts, sorted_order)
+        return scan.scan_bigint(g_signature)
     n_g = g_signature.bit_count()
     best: int | None = None
     best_idx: int | None = None
@@ -83,6 +95,213 @@ def nmin_for_untargeted_fault(
             if best == 1:
                 break  # cannot improve
     return best, best_idx, best_overlap
+
+
+def _packed_scan_for(
+    target_table: DetectionTable, counts: list[int], order: list[int]
+) -> "_PackedNminScan":
+    """A packed scan for these counts/order, cached on the table.
+
+    The latest scan is remembered on the table instance together with
+    the counts/order it was built for, so repeated single-fault queries
+    — whether the caller defaults the arguments or passes the same
+    precomputed lists, as the docstring recommends — amortize the
+    sorted-matrix construction and dedup pass instead of repeating it
+    per fault.
+    """
+    scan = getattr(target_table, "_packed_nmin_scan", None)
+    if (
+        scan is None
+        or scan.source_counts != counts
+        or scan.source_order != order
+    ):
+        scan = _PackedNminScan(
+            target_table.packed, counts, order,
+            signatures=target_table.signatures,
+        )
+        target_table._packed_nmin_scan = scan
+    return scan
+
+
+class _PackedNminScan:
+    """Batched, vectorized ascending-``N(f)`` nmin scan over packed tables.
+
+    Targets are re-ordered by ascending ``N(f)`` once; untargeted faults
+    are then scanned *together*, chunk of targets by chunk of targets, so
+    every ``N(f) - popcount(sig_f & sig_g) + 1`` evaluation is part of a
+    large numpy (or BLAS) sweep instead of a per-pair big-int operation.
+    The scalar scan's early exit survives as a *masked prefix*: after
+    each ascending-``N(f)`` chunk, the faults whose lower bound
+    ``N(f) - N(g) + 1`` can no longer beat their best candidate drop out
+    of the active set (within a chunk the bound-excluded tail rows are
+    computed but can never win, since ``M(g, f) <= N(g)`` makes their
+    candidates ``>= best``).  Duplicate target signatures are scanned
+    once — a later duplicate's candidate equals its representative's, so
+    under the scalar scan's strict-improvement rule it could never win
+    nor change the witness.  Results — including witness choice on ties,
+    via first-occurrence ``argmin`` — are identical to the scalar
+    scan's.
+
+    Two overlap kernels, picked per batch:
+
+    * small universes — unpack both sides to 0/1 ``float32`` and compute
+      chunk overlaps as one BLAS ``sgemm`` (exact: popcounts are far
+      below the 2**24 float32 integer range);
+    * otherwise — a per-target ``uint64`` AND + ``popcount`` row sweep,
+      which avoids the 64×-larger unpacked operands.
+    """
+
+    #: First prefix chunk; later chunks grow 4× up to ``_MAX_CHUNK``
+    #: (few rounds: per-round numpy overhead beats per-pair savings).
+    _FIRST_CHUNK = 64
+    _MAX_CHUNK = 2048
+    #: sgemm kernel limits: universe bits, and unpacked-bit bytes per batch.
+    _GEMM_MAX_BITS = 1024
+    _GEMM_MAX_BYTES = 1 << 28
+
+    def __init__(
+        self,
+        packed: PackedSignatureMatrix,
+        counts: list[int],
+        sorted_order: list[int],
+        signatures: list[int] | None = None,
+    ):
+        # What the scan was built from, for the table-level cache check.
+        self.source_counts = list(counts)
+        self.source_order = list(sorted_order)
+        if signatures is not None:
+            # Scan each distinct signature once, keeping the first
+            # occurrence in ascending-N(f) order as the representative
+            # (== the witness the scalar scan would pick).
+            seen: set[int] = set()
+            order = []
+            for idx in sorted_order:
+                sig = signatures[idx]
+                if sig not in seen:
+                    seen.add(sig)
+                    order.append(idx)
+        else:
+            order = list(sorted_order)
+        self.order = order
+        idx = _np.asarray(self.order, dtype=_np.intp)
+        self.counts_sorted = _np.asarray(counts, dtype=_np.int64)[idx]
+        self.matrix_sorted = packed.take(self.order)
+        self.size = packed.size
+        self._f_bits = None  # lazily unpacked float32 bits, sorted order
+
+    @staticmethod
+    def _unpack_bits(words):
+        """0/1 ``float32`` columns of a ``uint64`` block (for sgemm).
+
+        ``unpackbits`` scrambles bit positions relative to signature bit
+        order, but identically on both operands, so dot products still
+        equal ``popcount(a & b)``; pad bits beyond ``size`` are zero on
+        both sides.
+        """
+        return _np.unpackbits(
+            _np.ascontiguousarray(words).view(_np.uint8), axis=1
+        ).astype(_np.float32)
+
+    def _use_gemm(self, num_g: int) -> bool:
+        if self.size > self._GEMM_MAX_BITS:
+            return False
+        width = self.matrix_sorted.words.shape[1] * 64
+        return num_g * width * 4 <= self._GEMM_MAX_BYTES
+
+    def scan_bigint(
+        self, g_signature: int
+    ) -> tuple[int | None, int | None, int]:
+        row = pack_signature(g_signature, self.size)
+        return self.scan_batch(
+            row.reshape(1, -1), [g_signature.bit_count()]
+        )[0]
+
+    def scan_batch(
+        self, g_words, n_gs
+    ) -> list[tuple[int | None, int | None, int]]:
+        """``(nmin(g), witness, witness overlap)`` for a block of faults.
+
+        ``g_words`` is a ``(num_g, words)`` ``uint64`` block over the
+        same universe as the target matrix; ``n_gs`` the matching
+        ``N(g)`` popcounts.
+        """
+        num_g = g_words.shape[0]
+        counts = self.counts_sorted
+        num_f = len(counts)
+        # float64 "best" holds either kernel's candidates exactly
+        # (popcounts are far below 2**53); +inf means no overlap yet.
+        best = _np.full(num_g, _np.inf)
+        best_pos = _np.zeros(num_g, dtype=_np.intp)
+        n_gs = _np.asarray(n_gs, dtype=_np.int64)
+        active = _np.arange(num_g, dtype=_np.intp)
+        use_gemm = self._use_gemm(num_g)
+        if use_gemm:
+            if self._f_bits is None:
+                self._f_bits = self._unpack_bits(self.matrix_sorted.words)
+            g_bits = self._unpack_bits(g_words)
+            counts_cast = counts.astype(_np.float32)
+            sentinel = _np.float32(_np.inf)
+        else:
+            # int32 overlaps: exact for any universe below 2**31 bits
+            # (far beyond what fits in memory as signatures anyway).
+            counts_cast = counts.astype(_np.int32)
+            sentinel = _np.iinfo(_np.int32).max
+        start = 0
+        chunk = self._FIRST_CHUNK
+        while start < num_f and active.size:
+            stop = min(start + chunk, num_f)
+            whole = active.size == num_g
+            if use_gemm:
+                lhs = g_bits if whole else g_bits[active]
+                overlaps = lhs @ self._f_bits[start:stop].T
+            else:
+                g_act = g_words if whole else g_words[active]
+                rows = self.matrix_sorted.words
+                overlaps = _np.empty(
+                    (active.size, stop - start), dtype=_np.int32
+                )
+                for i in range(start, stop):
+                    overlaps[:, i - start] = popcount_words(
+                        g_act & rows[i]
+                    ).sum(axis=1, dtype=_np.int32)
+            # Candidates N(f) - M(g, f) + 1, computed in place over the
+            # overlap buffer (overlap is recoverable as N(f) - cand + 1).
+            no_overlap = overlaps == 0
+            candidates = _np.subtract(
+                counts_cast[start:stop], overlaps, out=overlaps
+            )
+            candidates += 1
+            candidates[no_overlap] = sentinel
+            # First-occurrence argmin == the scalar scan's strict-
+            # improvement tie-break in ascending-N(f) order.
+            at = candidates.argmin(axis=1)
+            chunk_best = candidates[
+                _np.arange(active.size), at
+            ].astype(_np.float64)
+            chunk_best[chunk_best == float(sentinel)] = _np.inf
+            improved = chunk_best < best[active]
+            winners = active[improved]
+            best[winners] = chunk_best[improved]
+            best_pos[winners] = start + at[improved]
+            start = stop
+            if start < num_f:
+                bound = counts[start] - n_gs[active] + 1
+                keep = (bound < best[active]) & (best[active] != 1)
+                active = active[keep]
+            chunk = min(chunk * 4, self._MAX_CHUNK)
+        results: list[tuple[int | None, int | None, int]] = []
+        counts_list = self.counts_sorted.tolist()
+        order = self.order
+        inf = _np.inf
+        for value, pos in zip(best.tolist(), best_pos.tolist()):
+            if value == inf:
+                results.append((None, None, 0))
+            else:
+                nmin = int(value)
+                results.append(
+                    (nmin, order[pos], counts_list[pos] - nmin + 1)
+                )
+        return results
 
 
 class WorstCaseAnalysis:
@@ -127,11 +346,42 @@ class WorstCaseAnalysis:
         counts = target_table.counts()
         order = sorted(range(len(counts)), key=counts.__getitem__)
         self.records: list[NminRecord] = []
-        for j, g_sig in enumerate(untargeted_table.signatures):
-            nmin, witness, overlap = nmin_for_untargeted_fault(
-                target_table, g_sig, target_counts=counts, sorted_order=order
+        packed = getattr(target_table, "packed", None)
+        if packed is not None:
+            # Vectorized hot path: all untargeted faults scanned as one
+            # batch of AND+popcount (or sgemm) sweeps over the sorted
+            # target matrix.  Records depend on g only through its
+            # signature, so duplicate untargeted signatures (common for
+            # bridging faults) are scanned once and fanned back out.
+            scan = _packed_scan_for(target_table, counts, order)
+            g_packed = getattr(untargeted_table, "packed", None)
+            if g_packed is None:
+                g_packed = PackedSignatureMatrix.from_bigints(
+                    untargeted_table.signatures, packed.size
+                )
+            rows = g_packed.words
+            as_void = _np.ascontiguousarray(rows).view(
+                _np.dtype((_np.void, rows.shape[1] * rows.itemsize))
+            ).ravel()
+            _, rep_idx, lookup = _np.unique(
+                as_void, return_index=True, return_inverse=True
             )
-            self.records.append(NminRecord(j, nmin, witness, overlap))
+            rep_rows = rows[rep_idx]
+            rep_counts = popcount_words(rep_rows).sum(
+                axis=1, dtype=_np.int64
+            )
+            results = scan.scan_batch(rep_rows, rep_counts)
+            self.records = [
+                NminRecord(j, *results[slot])
+                for j, slot in enumerate(lookup.tolist())
+            ]
+        else:
+            for j, g_sig in enumerate(untargeted_table.signatures):
+                nmin, witness, overlap = nmin_for_untargeted_fault(
+                    target_table, g_sig,
+                    target_counts=counts, sorted_order=order,
+                )
+                self.records.append(NminRecord(j, nmin, witness, overlap))
 
     # ------------------------------------------------------------------
     # Threshold queries (Tables 2 and 3)

@@ -10,9 +10,15 @@ reproduce the full-size experiment:
 ``REPRO_K``          overrides the number of random test sets.
 ``REPRO_NMAX``       overrides nmax (paper: 10).
 ``REPRO_CIRCUITS``   comma-separated circuit subset for suite tables.
-``REPRO_BACKEND``    detection-table engine (exhaustive|sampled|serial).
-``REPRO_SAMPLES``    sampled backend: number of vectors K.
-``REPRO_SEED``       sampled backend: universe draw seed.
+``REPRO_BACKEND``    detection-table engine
+                     (exhaustive|sampled|serial|packed).
+``REPRO_SAMPLES``    sampled/packed backends: number of vectors K
+                     (optional for packed, which is exhaustive without it).
+``REPRO_SEED``       sampled/packed backends: universe draw seed.
+
+Backends are frozen dataclasses, so the universe / worst-case caches key
+on the exact backend configuration — ``REPRO_BACKEND=packed`` tables
+never alias the big-int ones.
 """
 
 from __future__ import annotations

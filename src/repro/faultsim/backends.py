@@ -23,6 +23,14 @@ strategy for building one.  Three engines are provided:
     Per-vector serial fault simulation — the deliberately independent
     slow path, used by the differential test harness to cross-validate
     the other two.
+``packed``
+    Numpy-packed engine: the exact same signatures as ``exhaustive``
+    (or, with ``--samples``, as ``sampled``), stored additionally as
+    ``numpy.uint64`` word blocks
+    (:class:`~repro.faultsim.packed_table.PackedDetectionTable`) so the
+    worst-case ``nmin`` scan runs as vectorized AND+popcount sweeps
+    instead of per-pair big-int operations.  Bit-identical tables,
+    hardware-speed popcounts; requires numpy.
 
 Backends are small frozen dataclasses (hashable, so cached layers can
 key on them) and share the :class:`DetectionBackend` protocol.
@@ -46,7 +54,7 @@ from repro.faultsim.sampling import VectorUniverse, draw_universe
 from repro.logic.bitops import MAX_EXHAUSTIVE_INPUTS
 
 #: Names accepted by :func:`make_backend` (and the CLI ``--backend`` flag).
-BACKEND_NAMES: tuple[str, ...] = ("exhaustive", "sampled", "serial")
+BACKEND_NAMES: tuple[str, ...] = ("exhaustive", "sampled", "serial", "packed")
 
 
 @runtime_checkable
@@ -206,6 +214,93 @@ class SampledBackend:
         )
 
 
+# ----------------------------------------------------------------------
+# Packed (numpy uint64 blocks; vectorized popcounts for the nmin scan)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PackedBackend:
+    """Exact-or-sampled tables stored as numpy-packed signature blocks.
+
+    Without ``samples`` the universe is the exhaustive one (same cap as
+    the exhaustive engine); with ``samples`` it is the same seeded draw
+    the sampled engine uses.  Either way the tables are bit-identical to
+    the corresponding big-int engine's — only the storage (and the speed
+    of every popcount-heavy query) changes.
+    """
+
+    samples: int | None = None
+    seed: int = 0
+    replacement: bool = False
+    name: str = "packed"
+    needs_base_signatures = True
+
+    def __post_init__(self) -> None:
+        from repro.logic.packed import require_numpy
+
+        require_numpy()
+        if self.samples is None:
+            # Exhaustive universe: seed/replacement are meaningless.
+            # Canonicalize them so equivalent backends share one cache
+            # key in the experiment layer (tables weigh hundreds of MB).
+            object.__setattr__(self, "seed", 0)
+            object.__setattr__(self, "replacement", False)
+        elif self.samples < 1:
+            raise AnalysisError(
+                f"samples must be >= 1, got {self.samples}"
+            )
+
+    def universe_for(self, circuit: Circuit) -> VectorUniverse:
+        if self.samples is None:
+            if circuit.num_inputs > MAX_EXHAUSTIVE_INPUTS:
+                raise AnalysisError(
+                    f"the packed backend without --samples is exhaustive "
+                    f"and capped at {MAX_EXHAUSTIVE_INPUTS} inputs "
+                    f"(circuit {circuit.name!r} has {circuit.num_inputs}); "
+                    f"pass --samples K to sample the universe"
+                )
+            return VectorUniverse(circuit.num_inputs)
+        return _drawn_universe(
+            circuit.num_inputs, self.samples, self.seed, self.replacement
+        )
+
+    def line_signatures(self, circuit: Circuit) -> list[int]:
+        return universe_line_signatures(circuit, self.universe_for(circuit))
+
+    def build_stuck_at(
+        self,
+        circuit: Circuit,
+        faults: list[StuckAtFault] | None = None,
+        base_signatures: list[int] | None = None,
+        drop_undetectable: bool = False,
+    ) -> DetectionTable:
+        from repro.faultsim.packed_table import PackedDetectionTable
+
+        return PackedDetectionTable.for_stuck_at(
+            circuit,
+            faults=faults,
+            base_signatures=base_signatures,
+            drop_undetectable=drop_undetectable,
+            universe=self.universe_for(circuit),
+        )
+
+    def build_bridging(
+        self,
+        circuit: Circuit,
+        faults: list[BridgingFault] | None = None,
+        base_signatures: list[int] | None = None,
+        drop_undetectable: bool = True,
+    ) -> DetectionTable:
+        from repro.faultsim.packed_table import PackedDetectionTable
+
+        return PackedDetectionTable.for_bridging(
+            circuit,
+            faults=faults,
+            base_signatures=base_signatures,
+            drop_undetectable=drop_undetectable,
+            universe=self.universe_for(circuit),
+        )
+
+
 @lru_cache(maxsize=32)
 def _drawn_universe(
     num_inputs: int, samples: int, seed: int, replacement: bool
@@ -311,12 +406,17 @@ def make_backend(
 ) -> DetectionBackend:
     """Backend factory behind the CLI / env configuration.
 
-    ``samples`` is required (and only meaningful) for ``sampled``.
+    ``samples`` is required for ``sampled``, optional for ``packed``
+    (which is exhaustive without it), and meaningless elsewhere.
     """
     if name == "exhaustive":
         return ExhaustiveBackend()
     if name == "serial":
         return SerialBackend()
+    if name == "packed":
+        return PackedBackend(
+            samples=samples, seed=seed, replacement=replacement
+        )
     if name == "sampled":
         if samples is None:
             raise AnalysisError(

@@ -167,7 +167,11 @@ class DetectionTable:
             universe = VectorUniverse(circuit.num_inputs)
         if faults is None:
             faults = collapsed_stuck_at_faults(circuit)
-        sigs = base_signatures or universe_line_signatures(circuit, universe)
+        # `is None`, not truthiness: an explicit (if degenerate) empty
+        # signature list must not silently trigger a recompute.
+        if base_signatures is None:
+            base_signatures = universe_line_signatures(circuit, universe)
+        sigs = base_signatures
         mask = universe.mask
         cone_cache: dict[int, list[int]] = {}
         table = []
@@ -206,7 +210,9 @@ class DetectionTable:
             universe = VectorUniverse(circuit.num_inputs)
         if faults is None:
             faults = four_way_bridging_faults(circuit)
-        sigs = base_signatures or universe_line_signatures(circuit, universe)
+        if base_signatures is None:
+            base_signatures = universe_line_signatures(circuit, universe)
+        sigs = base_signatures
         mask = universe.mask
         cone_cache: dict[int, list[int]] = {}
         table = []

@@ -1,0 +1,91 @@
+"""Detection tables backed by a numpy-packed signature matrix.
+
+A :class:`PackedDetectionTable` is a drop-in
+:class:`~repro.faultsim.detection.DetectionTable`: it keeps the big-int
+signature list (so every existing consumer — set-cover greedy passes,
+Procedure 1, the escape analysis — keeps working unchanged) and carries
+the same bits as a :class:`~repro.logic.packed.PackedSignatureMatrix`,
+which the popcount-heavy queries and the worst-case ``nmin`` scan
+dispatch to.  Construction goes through the exact same cone-resimulation
+machinery as the plain table; packing is a pure representation change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FaultError
+from repro.faultsim.detection import DetectionTable
+from repro.logic.packed import _np, PackedSignatureMatrix, pack_signature
+
+
+@dataclass
+class PackedDetectionTable(DetectionTable):
+    """A :class:`DetectionTable` whose signatures are also numpy-packed.
+
+    ``packed`` is derived from ``signatures`` when not supplied;
+    supplying both (e.g. after :meth:`PackedSignatureMatrix.take`) must
+    keep them bit-identical — the invariant every vectorized query
+    relies on.
+    """
+
+    packed: PackedSignatureMatrix | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.packed is None:
+            self.packed = PackedSignatureMatrix.from_bigints(
+                self.signatures, self.universe.size
+            )
+        else:
+            if len(self.packed) != len(self.signatures):
+                raise FaultError(
+                    "packed matrix and signatures length mismatch"
+                )
+            if self.packed.size != self.universe.size:
+                raise FaultError(
+                    "packed matrix and universe disagree on the bit size"
+                )
+
+    @classmethod
+    def from_table(cls, table: DetectionTable) -> "PackedDetectionTable":
+        """Pack an existing table (same faults, signatures, universe)."""
+        if isinstance(table, PackedDetectionTable):
+            return table
+        return cls(
+            table.circuit,
+            list(table.faults),
+            list(table.signatures),
+            table.universe,
+        )
+
+    # ------------------------------------------------------------------
+    # Vectorized overrides of the popcount-heavy queries
+    # ------------------------------------------------------------------
+    def counts(self) -> list[int]:
+        return [int(c) for c in self.packed.popcount_rows()]
+
+    def num_detectable(self) -> int:
+        return int((self.packed.popcount_rows() > 0).sum())
+
+    def detectable_indices(self) -> list[int]:
+        hits = _np.nonzero(self.packed.popcount_rows() > 0)[0]
+        return [int(i) for i in hits]
+
+    def detected_by(self, test_signature: int) -> list[int]:
+        row = pack_signature(test_signature, self.universe.size)
+        hits = _np.nonzero(self.packed.and_popcount(row) > 0)[0]
+        return [int(i) for i in hits]
+
+    def detection_counts(self, test_signature: int) -> list[int]:
+        row = pack_signature(test_signature, self.universe.size)
+        return [int(c) for c in self.packed.and_popcount(row)]
+
+    def coverage(self, test_signature: int) -> float:
+        detectable = self.packed.popcount_rows() > 0
+        total = int(detectable.sum())
+        if total == 0:
+            return 1.0
+        row = pack_signature(test_signature, self.universe.size)
+        hit = int((detectable & (self.packed.and_popcount(row) > 0)).sum())
+        return hit / total

@@ -14,6 +14,9 @@ Modules
     Signature helpers: masks, input patterns, popcounts, bit iteration.
 ``cube``
     Partially-specified input vectors (used by Definition 2's ``tij`` tests).
+``packed``
+    Numpy-packed signature blocks (``uint64`` words) with vectorized
+    popcounts — the storage behind the ``packed`` detection backend.
 """
 
 from repro.logic.values import (
@@ -39,6 +42,11 @@ from repro.logic.bitops import (
     vectors_from_signature,
 )
 from repro.logic.cube import Cube, common_cube
+from repro.logic.packed import (
+    PackedSignatureMatrix,
+    pack_signature,
+    unpack_signature,
+)
 
 __all__ = [
     "ZERO",
@@ -61,4 +69,7 @@ __all__ = [
     "vectors_from_signature",
     "Cube",
     "common_cube",
+    "PackedSignatureMatrix",
+    "pack_signature",
+    "unpack_signature",
 ]

@@ -1,0 +1,231 @@
+"""Numpy-packed signatures: ``uint64`` word blocks behind the hot paths.
+
+The big-int signature representation (:mod:`repro.logic.bitops`) makes
+whole-space simulation a one-expression-per-gate affair, but the
+worst-case analysis then burns its time in millions of
+``(sig_f & sig_g).bit_count()`` evaluations over fault pairs — pure
+popcount work that the Python object layer serializes.  A
+:class:`PackedSignatureMatrix` stores the same signatures as a dense
+``numpy.uint64`` array (one row per fault, ``ceil(size / 64)`` words per
+row) so the AND + popcount of one fault against *every* other fault is a
+single vectorized pass.
+
+The packing is exact and bit-order preserving: bit ``i`` of the big-int
+signature lives in word ``i // 64`` at in-word position ``i % 64``
+(little-endian words), so round-tripping through
+:meth:`PackedSignatureMatrix.from_bigints` /
+:meth:`PackedSignatureMatrix.to_bigints` is the identity and popcounts
+agree bit for bit with ``int.bit_count()``.
+
+numpy is an optional dependency of this module alone: importing it
+without numpy succeeds, and every entry point raises
+:class:`~repro.errors.AnalysisError` with an actionable message instead
+of an ``ImportError``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.errors import AnalysisError
+
+try:  # pragma: no cover - exercised only on numpy-less installs
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+WORD_BITS = 64
+_WORD_BYTES = WORD_BITS // 8
+
+
+def have_numpy() -> bool:
+    """Whether the packed substrate is usable in this interpreter."""
+    return _np is not None
+
+
+def require_numpy() -> None:
+    """Raise :class:`AnalysisError` when numpy is unavailable."""
+    if _np is None:
+        raise AnalysisError(
+            "packed signatures require numpy, which is not installed; "
+            "install numpy or choose another backend"
+        )
+
+
+def words_for(size: int) -> int:
+    """Number of ``uint64`` words holding a ``size``-bit signature."""
+    if size < 0:
+        raise AnalysisError(f"signature size must be >= 0, got {size}")
+    return max(1, (size + WORD_BITS - 1) // WORD_BITS)
+
+
+if _np is not None and hasattr(_np, "bitwise_count"):
+
+    def popcount_words(words):
+        """Per-word popcounts of a ``uint64`` array (any shape)."""
+        return _np.bitwise_count(words)
+
+else:  # numpy < 2.0: byte-LUT fallback
+
+    _BYTE_POPCOUNT = (
+        _np.array([bin(b).count("1") for b in range(256)], dtype=_np.uint8)
+        if _np is not None
+        else None
+    )
+
+    def popcount_words(words):
+        """Per-word popcounts of a ``uint64`` array (any shape)."""
+        as_bytes = _np.ascontiguousarray(words).view(_np.uint8)
+        per_byte = _BYTE_POPCOUNT[as_bytes]
+        return per_byte.reshape(*words.shape, _WORD_BYTES).sum(
+            axis=-1, dtype=_np.uint8
+        )
+
+
+def pack_signature(signature: int, size: int):
+    """One big-int signature as a ``(words_for(size),)`` ``uint64`` row."""
+    require_numpy()
+    if signature < 0:
+        raise AnalysisError("signatures are non-negative bitsets")
+    if signature >> size:
+        raise AnalysisError(
+            f"signature has bits beyond the {size}-bit universe"
+        )
+    words = words_for(size)
+    raw = signature.to_bytes(words * _WORD_BYTES, "little")
+    return _np.frombuffer(raw, dtype="<u8").astype(_np.uint64, copy=False)
+
+
+def unpack_signature(row) -> int:
+    """Inverse of :func:`pack_signature`."""
+    require_numpy()
+    raw = _np.ascontiguousarray(row, dtype="<u8").tobytes()
+    return int.from_bytes(raw, "little")
+
+
+class PackedSignatureMatrix:
+    """Dense ``uint64`` block of detection signatures, one row per fault.
+
+    Attributes
+    ----------
+    words:
+        ``(num_rows, words_for(size))`` ``numpy.uint64`` array; bit ``i``
+        of row ``r`` is bit ``i`` of fault ``r``'s big-int signature.
+    size:
+        Number of meaningful bits per row (the universe size); bits at
+        positions ``>= size`` are zero by construction.
+    """
+
+    __slots__ = ("words", "size")
+
+    def __init__(self, words, size: int):
+        require_numpy()
+        if words.ndim != 2:
+            raise AnalysisError(
+                f"packed matrix must be 2-D, got {words.ndim}-D"
+            )
+        if words.shape[1] != words_for(size):
+            raise AnalysisError(
+                f"packed matrix has {words.shape[1]} words per row; "
+                f"a {size}-bit universe needs {words_for(size)}"
+            )
+        self.words = _np.ascontiguousarray(words, dtype=_np.uint64)
+        self.size = size
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_bigints(
+        cls, signatures: Sequence[int], size: int
+    ) -> "PackedSignatureMatrix":
+        """Pack big-int signatures (bit-order preserving, exact)."""
+        require_numpy()
+        num_words = words_for(size)
+        row_bytes = num_words * _WORD_BYTES
+        chunks = []
+        for sig in signatures:
+            if sig < 0:
+                raise AnalysisError("signatures are non-negative bitsets")
+            if sig >> size:
+                raise AnalysisError(
+                    f"signature has bits beyond the {size}-bit universe"
+                )
+            chunks.append(sig.to_bytes(row_bytes, "little"))
+        raw = b"".join(chunks)
+        words = _np.frombuffer(raw, dtype="<u8").astype(
+            _np.uint64, copy=False
+        )
+        return cls(words.reshape(len(signatures), num_words), size)
+
+    def to_bigints(self) -> list[int]:
+        """Rows back as big-int signatures (inverse of :meth:`from_bigints`)."""
+        row_bytes = self.words.shape[1] * _WORD_BYTES
+        raw = self.words.astype("<u8", copy=False).tobytes()
+        return [
+            int.from_bytes(raw[i : i + row_bytes], "little")
+            for i in range(0, len(raw), row_bytes)
+        ]
+
+    def row(self, index: int):
+        """One packed row (a ``uint64`` vector), by fault index."""
+        return self.words[index]
+
+    def row_bigint(self, index: int) -> int:
+        """One row as a big-int signature."""
+        return unpack_signature(self.words[index])
+
+    # ------------------------------------------------------------------
+    # Vectorized popcount kernels (the nmin hot path)
+    # ------------------------------------------------------------------
+    def popcount_rows(self):
+        """``N(f)`` for every row, as an ``int64`` vector."""
+        return popcount_words(self.words).sum(axis=1, dtype=_np.int64)
+
+    def and_popcount(self, row):
+        """``popcount(row & self[r])`` for every row ``r`` (``int64``).
+
+        ``row`` is a packed ``uint64`` vector over the same universe —
+        this is ``M(g, f)`` for one ``g`` against the whole matrix in a
+        single vectorized pass.
+        """
+        if row.shape[-1] != self.words.shape[1]:
+            raise AnalysisError(
+                "packed row and matrix disagree on the word count; were "
+                "they built over the same universe?"
+            )
+        return popcount_words(self.words & row).sum(
+            axis=1, dtype=_np.int64
+        )
+
+    def take(self, order: Iterable[int]) -> "PackedSignatureMatrix":
+        """Row-reordered copy (e.g. targets sorted by ascending ``N(f)``)."""
+        idx = _np.asarray(list(order), dtype=_np.intp)
+        return PackedSignatureMatrix(self.words[idx], self.size)
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.words.shape[0]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PackedSignatureMatrix):
+            return NotImplemented
+        return self.size == other.size and bool(
+            _np.array_equal(self.words, other.words)
+        )
+
+    def __hash__(self) -> int:  # mutable array payload
+        raise TypeError("PackedSignatureMatrix is unhashable")
+
+    def __repr__(self) -> str:
+        return (
+            f"PackedSignatureMatrix(rows={self.words.shape[0]}, "
+            f"size={self.size})"
+        )
+
+
+def and_popcount(row, matrix: PackedSignatureMatrix):
+    """Module-level alias: ``popcount(row & matrix[r])`` for every row."""
+    return matrix.and_popcount(row)

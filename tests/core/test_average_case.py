@@ -103,3 +103,74 @@ class TestHistogram:
         assert TABLE5_THRESHOLDS[0] == 1.0
         assert TABLE5_THRESHOLDS[-1] == 0.0
         assert len(TABLE5_THRESHOLDS) == 11
+
+
+class TestValidation:
+    """Regression tests: argument validation added after PR 1."""
+
+    def test_n_zero_rejected(self, setup):
+        """n = 0 used to wrap to the *largest* n via negative indexing."""
+        _family, avg, _wc = setup
+        with pytest.raises(AnalysisError, match=r"n must be in \[1, 5\]"):
+            avg.detection_probability(0, 0)
+        with pytest.raises(AnalysisError, match=r"n must be in \[1, 5\]"):
+            avg.probabilities(0)
+
+    def test_negative_n_rejected(self, setup):
+        _family, avg, _wc = setup
+        with pytest.raises(AnalysisError, match="n must be"):
+            avg.probabilities(-2)
+
+    def test_n_beyond_nmax_rejected(self, setup):
+        """n > n_max used to raise a bare IndexError."""
+        _family, avg, _wc = setup
+        with pytest.raises(AnalysisError, match="n must be"):
+            avg.detection_probability(6, 0)
+        with pytest.raises(AnalysisError, match="n must be"):
+            avg.histogram(99)
+
+    def test_valid_bounds_still_accepted(self, setup):
+        _family, avg, _wc = setup
+        assert avg.probabilities(1)
+        assert avg.probabilities(5)
+
+    def test_exhaustive_family_vs_sampled_table_rejected(self):
+        """A family without an explicit universe is an exhaustive-space
+        family; pairing it with a sampled table used to pass silently."""
+        from repro.bench_suite.randlogic import random_circuit
+        from repro.core.procedure1 import NDetectionFamily
+        from repro.faults.universe import FaultUniverse
+        from repro.faultsim.backends import SampledBackend
+
+        circuit = random_circuit(17, num_inputs=6, num_gates=14)
+        sampled = FaultUniverse(circuit, backend=SampledBackend(16, seed=1))
+        family = NDetectionFamily(
+            num_inputs=circuit.num_inputs,
+            n_max=1,
+            num_sets=2,
+            counting="def1",
+            snapshots=[[0b11, 0b101]],
+            final_orders=[[0, 1], [0, 2]],
+            universe=None,  # exhaustive by convention
+        )
+        with pytest.raises(AnalysisError, match="universe"):
+            AverageCaseAnalysis(family, sampled.untargeted_table)
+
+    def test_exhaustive_family_vs_exhaustive_table_accepted(
+        self, example_universe
+    ):
+        from repro.core.procedure1 import NDetectionFamily
+
+        family = NDetectionFamily(
+            num_inputs=example_universe.circuit.num_inputs,
+            n_max=1,
+            num_sets=1,
+            counting="def1",
+            snapshots=[[0b1]],
+            final_orders=[[0]],
+            universe=None,
+        )
+        avg = AverageCaseAnalysis(family, example_universe.untargeted_table)
+        assert len(avg.probabilities(1)) == len(
+            example_universe.untargeted_table
+        )

@@ -149,3 +149,27 @@ class TestThresholdQueries:
         )
         with pytest.raises(AnalysisError, match="undetectable"):
             WorstCaseAnalysis(u.target_table, bad)
+
+
+class TestExplicitEmptyCounts:
+    """Regression: an explicit empty target_counts list used to be
+    silently replaced by a recompute (falsy-list defaulting)."""
+
+    def test_empty_counts_honored(self, analyses):
+        u, _wc = analyses["example"]
+        g_sig = u.untargeted_table.signatures[0]
+        nmin, witness, overlap = nmin_for_untargeted_fault(
+            u.target_table, g_sig, target_counts=[], sorted_order=None
+        )
+        # No target counts => no targets to scan => no guarantee.
+        assert (nmin, witness, overlap) == (None, None, 0)
+
+    def test_none_counts_still_recomputed(self, analyses):
+        u, _wc = analyses["example"]
+        g_sig = u.untargeted_table.signatures[0]
+        with_none = nmin_for_untargeted_fault(u.target_table, g_sig)
+        explicit = nmin_for_untargeted_fault(
+            u.target_table, g_sig, target_counts=u.target_table.counts()
+        )
+        assert with_none == explicit
+        assert with_none[0] is not None

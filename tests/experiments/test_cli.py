@@ -126,6 +126,33 @@ class TestAnalyze:
         assert "256 of 4294967296 vectors" in out
         assert "guaranteed detected at n=10" in out
 
+    def test_packed_matches_exhaustive_summary(self, capsys):
+        assert main(["analyze", "paper_example"]) == 0
+        exhaustive_out = capsys.readouterr().out
+        assert main(["analyze", "paper_example", "--backend", "packed"]) == 0
+        packed_out = capsys.readouterr().out
+        strip = lambda s: [
+            ln for ln in s.splitlines() if "backend" not in ln
+        ]
+        assert strip(exhaustive_out) == strip(packed_out)
+
+    def test_packed_matches_sampled_summary(self, capsys):
+        """Same seed + samples: the packed engine reproduces the
+        sampled analysis line for line."""
+        args = ["--samples", "64", "--seed", "7"]
+        assert main(
+            ["analyze", "wide28", "--backend", "sampled", *args]
+        ) == 0
+        sampled_out = capsys.readouterr().out
+        assert main(
+            ["analyze", "wide28", "--backend", "packed", *args]
+        ) == 0
+        packed_out = capsys.readouterr().out
+        strip = lambda s: [
+            ln for ln in s.splitlines() if "backend" not in ln
+        ]
+        assert strip(sampled_out) == strip(packed_out)
+
     def test_escape_with_sampled_backend(self, capsys):
         assert main(
             [
@@ -168,6 +195,24 @@ class TestBackendErrorPaths:
     def test_replacement_without_sampled_backend(self, capsys):
         assert main(["analyze", "lion", "--replacement"]) == 2
         assert "--replacement only applies" in capsys.readouterr().err
+
+    def test_packed_accepts_samples(self, capsys):
+        assert main(
+            ["analyze", "lion", "--backend", "packed", "--samples", "8"]
+        ) == 0
+        assert "8 of 16 vectors" in capsys.readouterr().out
+
+    def test_packed_without_samples_beyond_cap(self, capsys):
+        # Exhaustive-packed is capped like the exhaustive engine.
+        assert main(["analyze", "wide28", "--backend", "packed"]) == 2
+        assert "--samples" in capsys.readouterr().err
+
+    def test_packed_replacement_without_samples(self, capsys):
+        # --replacement implies sampling; exhaustive-packed has none.
+        assert main(
+            ["analyze", "lion", "--backend", "packed", "--replacement"]
+        ) == 2
+        assert "implies sampling" in capsys.readouterr().err
 
     def test_exhaustive_beyond_cap(self, capsys):
         # The wide circuits are out of the exhaustive engine's reach.

@@ -172,7 +172,9 @@ class TestBackendObjects:
         assert make_backend("sampled", samples=16, seed=3) == SampledBackend(
             16, seed=3
         )
-        assert set(BACKEND_NAMES) == {"exhaustive", "sampled", "serial"}
+        assert set(BACKEND_NAMES) == {
+            "exhaustive", "sampled", "serial", "packed",
+        }
 
     def test_make_backend_errors(self):
         with pytest.raises(AnalysisError, match="unknown backend"):

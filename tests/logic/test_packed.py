@@ -1,0 +1,123 @@
+"""Packed signature matrices: exact, bit-order-preserving conversions."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.errors import AnalysisError
+from repro.logic.packed import (
+    PackedSignatureMatrix,
+    and_popcount,
+    pack_signature,
+    popcount_words,
+    unpack_signature,
+    words_for,
+)
+
+
+def random_signatures(rng, size, count):
+    return [rng.getrandbits(size) for _ in range(count)]
+
+
+class TestWordGeometry:
+    def test_words_for(self):
+        assert words_for(0) == 1
+        assert words_for(1) == 1
+        assert words_for(64) == 1
+        assert words_for(65) == 2
+        assert words_for(2048) == 32
+
+    def test_words_for_rejects_negative(self):
+        with pytest.raises(AnalysisError, match=">= 0"):
+            words_for(-1)
+
+
+class TestPackUnpack:
+    @pytest.mark.parametrize("size", [1, 7, 63, 64, 65, 128, 300, 1024])
+    def test_roundtrip_is_identity(self, size):
+        rng = random.Random(size)
+        for sig in random_signatures(rng, size, 20):
+            assert unpack_signature(pack_signature(sig, size)) == sig
+
+    def test_bit_order_preserved(self):
+        # Bit i of the big int lives in word i // 64, position i % 64.
+        for i in (0, 1, 63, 64, 100, 127):
+            row = pack_signature(1 << i, 128)
+            assert int(row[i // 64]) == 1 << (i % 64)
+
+    def test_rejects_out_of_range_bits(self):
+        with pytest.raises(AnalysisError, match="beyond"):
+            pack_signature(1 << 10, 10)
+        with pytest.raises(AnalysisError, match="non-negative"):
+            pack_signature(-1, 10)
+
+
+class TestMatrixConversion:
+    @pytest.mark.parametrize("size", [5, 64, 100, 257])
+    def test_bigint_roundtrip(self, size):
+        rng = random.Random(size * 7)
+        sigs = random_signatures(rng, size, 17)
+        m = PackedSignatureMatrix.from_bigints(sigs, size)
+        assert len(m) == 17
+        assert m.to_bigints() == sigs
+        for i, sig in enumerate(sigs):
+            assert m.row_bigint(i) == sig
+
+    def test_empty_matrix(self):
+        m = PackedSignatureMatrix.from_bigints([], 12)
+        assert len(m) == 0
+        assert m.to_bigints() == []
+        assert list(m.popcount_rows()) == []
+
+    def test_rejects_oversized_signature(self):
+        with pytest.raises(AnalysisError, match="beyond"):
+            PackedSignatureMatrix.from_bigints([1 << 8], 8)
+
+    def test_equality(self):
+        a = PackedSignatureMatrix.from_bigints([3, 5], 8)
+        b = PackedSignatureMatrix.from_bigints([3, 5], 8)
+        c = PackedSignatureMatrix.from_bigints([3, 6], 8)
+        assert a == b
+        assert a != c
+
+
+class TestPopcounts:
+    @pytest.mark.parametrize("size", [9, 64, 130, 1000])
+    def test_popcount_rows_matches_bit_count(self, size):
+        rng = random.Random(size * 3)
+        sigs = random_signatures(rng, size, 25)
+        m = PackedSignatureMatrix.from_bigints(sigs, size)
+        assert list(m.popcount_rows()) == [s.bit_count() for s in sigs]
+
+    @pytest.mark.parametrize("size", [9, 64, 130, 1000])
+    def test_and_popcount_matches_bigint(self, size):
+        rng = random.Random(size * 5)
+        sigs = random_signatures(rng, size, 25)
+        m = PackedSignatureMatrix.from_bigints(sigs, size)
+        for probe in random_signatures(rng, size, 5):
+            row = pack_signature(probe, size)
+            expected = [(s & probe).bit_count() for s in sigs]
+            assert list(m.and_popcount(row)) == expected
+            assert list(and_popcount(row, m)) == expected
+
+    def test_and_popcount_rejects_mismatched_row(self):
+        m = PackedSignatureMatrix.from_bigints([1], 64)
+        with pytest.raises(AnalysisError, match="word count"):
+            m.and_popcount(pack_signature(1, 130))
+
+    def test_popcount_words_shapes(self):
+        a = np.array([[1, 3], [7, 255]], dtype=np.uint64)
+        assert popcount_words(a).sum() == 1 + 2 + 3 + 8
+
+
+class TestTake:
+    def test_take_reorders_rows(self):
+        sigs = [0b1, 0b11, 0b111]
+        m = PackedSignatureMatrix.from_bigints(sigs, 8)
+        t = m.take([2, 0])
+        assert t.to_bigints() == [0b111, 0b1]
+        assert t.size == 8

@@ -10,6 +10,10 @@ engines agree wherever their domains overlap.
   bit (its universe canonicalizes to the exhaustive mapping);
 * sampled-U with ``K < 2**p`` — popcount estimates land near the exact
   ``N(f)`` / ``nmin`` values, averaged over seeds.
+
+The numpy-packed engine's differential suite lives in
+``tests/test_packed_differential.py`` (kept separate so this module
+still runs on numpy-less installs).
 """
 
 from __future__ import annotations
