@@ -16,6 +16,18 @@ draw.  The packed-speedup comparison has its own knobs:
 ``REPRO_BENCH_WIDE_SAMPLES`` (default 128), and
 ``REPRO_BENCH_MIN_SPEEDUP`` (default 5.0; CI smoke on shared runners
 lowers it to avoid timing flakes while still recording the numbers).
+
+``test_parallel_build_speedup`` is the acceptance benchmark of the
+sharded multiprocessing subsystem: it times single-process vs
+``jobs=2`` / ``jobs=4`` detection-table builds (shard cache disabled,
+so real construction is measured) on the wide sampled circuits, proves
+the tables bit-identical, records the numbers into the
+``BENCH_faultsim.json`` trajectory, and asserts the aggregate speedup
+at the highest jobs value clears ``REPRO_BENCH_MIN_PARALLEL_SPEEDUP``
+(default 1.5; auto-waived — but still recorded — on single-core
+machines, where a process pool cannot physically speed anything up).
+``REPRO_BENCH_PARALLEL_SAMPLES`` (default 512) sizes the builds,
+``REPRO_BENCH_PARALLEL_JOBS`` (default ``2,4``) the pool sweep.
 """
 
 from __future__ import annotations
@@ -28,8 +40,10 @@ import pytest
 from repro.bench_suite.registry import get_circuit
 from repro.core.procedure1 import build_random_ndetection_sets
 from repro.core.worst_case import WorstCaseAnalysis
+from repro.faults.universe import FaultUniverse
 from repro.faultsim.backends import PackedBackend, SampledBackend
 from repro.faultsim.detection import DetectionTable
+from repro.parallel import ParallelBackend
 from repro.simulation.exhaustive import line_signatures
 
 # mid-size default: 60 gates, 6 inputs
@@ -48,6 +62,18 @@ MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "5.0"))
 #: shared runners can relax it below 1.0 alongside MIN_SPEEDUP.
 MIN_CIRCUIT_SPEEDUP = float(
     os.environ.get("REPRO_BENCH_MIN_CIRCUIT_SPEEDUP", "1.0")
+)
+#: Parallel-build acceptance knobs (see module docstring).
+PARALLEL_SAMPLES = int(
+    os.environ.get("REPRO_BENCH_PARALLEL_SAMPLES", "512")
+)
+PARALLEL_JOBS = [
+    int(j)
+    for j in os.environ.get("REPRO_BENCH_PARALLEL_JOBS", "2,4").split(",")
+    if j.strip()
+]
+MIN_PARALLEL_SPEEDUP = float(
+    os.environ.get("REPRO_BENCH_MIN_PARALLEL_SPEEDUP", "1.5")
 )
 
 
@@ -131,7 +157,7 @@ def _best_of(builder, rounds=3):
     return min(times), result
 
 
-def test_packed_nmin_scan_speedup():
+def test_packed_nmin_scan_speedup(record_speedup):
     """Acceptance: packed nmin scan vs big-int scan on wide circuits.
 
     Builds both backends' tables over the same sampled universe, times
@@ -140,7 +166,6 @@ def test_packed_nmin_scan_speedup():
     suite clears ``REPRO_BENCH_MIN_SPEEDUP``.
     """
     pytest.importorskip("numpy")
-    from repro.faults.universe import FaultUniverse
 
     total_big = total_packed = 0.0
     lines = []
@@ -169,6 +194,16 @@ def test_packed_nmin_scan_speedup():
         assert big_analysis.records == packed_analysis.records
         total_big += big_time
         total_packed += packed_time
+        record_speedup(
+            {
+                "name": "packed_nmin_scan",
+                "circuit": name,
+                "samples": samples,
+                "bigint_s": big_time,
+                "packed_s": packed_time,
+                "speedup": big_time / packed_time,
+            }
+        )
         lines.append(
             f"  {name}: big-int {big_time * 1e3:8.1f} ms   "
             f"packed {packed_time * 1e3:8.1f} ms   "
@@ -188,6 +223,87 @@ def test_packed_nmin_scan_speedup():
     )
     print(report, end="")
     assert aggregate >= MIN_SPEEDUP, report
+
+
+def test_parallel_build_speedup(record_speedup):
+    """Acceptance: sharded multiprocessing table builds on wide circuits.
+
+    For every wide sampled circuit, times the full detection-table
+    construction (both fault models, shard cache disabled) single-
+    process and at each ``PARALLEL_JOBS`` value, proves the parallel
+    tables bit-identical to the single-process ones, records every
+    timing into the ``BENCH_faultsim.json`` trajectory, and asserts the
+    aggregate speedup at the highest jobs value clears
+    ``MIN_PARALLEL_SPEEDUP``.  On a single-core machine the assertion
+    is waived (a process pool cannot beat the GIL-free single process
+    there) but the numbers are still recorded.
+    """
+    pytest.importorskip("numpy")
+
+    def build(circuit, backend):
+        universe = FaultUniverse(circuit, backend=backend)
+        return universe.target_table, universe.untargeted_table
+
+    totals = {0: 0.0, **{j: 0.0 for j in PARALLEL_JOBS}}
+    lines = []
+    for name in WIDE_CIRCUITS:
+        circuit = get_circuit(name)
+        samples = min(PARALLEL_SAMPLES, (1 << circuit.num_inputs) // 2)
+        base = PackedBackend(samples=samples, seed=7)
+        single_time, (single_f, single_g) = _best_of(
+            lambda: build(circuit, base), rounds=2
+        )
+        totals[0] += single_time
+        row = [f"  {name}: single {single_time * 1e3:8.1f} ms"]
+        entry = {
+            "name": "parallel_table_build",
+            "circuit": name,
+            "samples": samples,
+            "single_s": single_time,
+        }
+        for jobs in PARALLEL_JOBS:
+            backend = ParallelBackend(base=base, jobs=jobs, use_cache=False)
+            par_time, (par_f, par_g) = _best_of(
+                lambda: build(circuit, backend), rounds=2
+            )
+            assert par_f.signatures == single_f.signatures
+            assert par_g.signatures == single_g.signatures
+            assert par_g.faults == single_g.faults
+            totals[jobs] += par_time
+            entry[f"jobs{jobs}_s"] = par_time
+            entry[f"jobs{jobs}_speedup"] = single_time / par_time
+            row.append(
+                f"jobs={jobs} {par_time * 1e3:8.1f} ms "
+                f"({single_time / par_time:4.2f}x)"
+            )
+        record_speedup(entry)
+        lines.append("   ".join(row))
+    top_jobs = max(PARALLEL_JOBS)
+    aggregate = totals[0] / totals[top_jobs]
+    record_speedup(
+        {
+            "name": "parallel_table_build_aggregate",
+            "samples": PARALLEL_SAMPLES,
+            "jobs": top_jobs,
+            "single_s": totals[0],
+            "parallel_s": totals[top_jobs],
+            "speedup": aggregate,
+            "cpu_count": os.cpu_count(),
+        }
+    )
+    cpus = os.cpu_count() or 1
+    report = (
+        f"\nparallel table build vs single-process "
+        f"(K={PARALLEL_SAMPLES}, {cpus} cpus):\n"
+        + "\n".join(lines)
+        + f"\n  aggregate speedup at jobs={top_jobs}: {aggregate:.2f}x"
+        + f" (required >= {MIN_PARALLEL_SPEEDUP:.1f}x"
+        + (", waived: single-core machine" if cpus < 2 else "")
+        + ")\n"
+    )
+    print(report, end="")
+    if cpus >= 2:
+        assert aggregate >= MIN_PARALLEL_SPEEDUP, report
 
 
 def test_procedure1_def1(benchmark, tables):

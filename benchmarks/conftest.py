@@ -6,14 +6,25 @@ single round — these are minutes-scale analyses, not microbenchmarks)
 and writes the rendered table to ``benchmarks/out/<name>.txt`` so the
 rows can be compared against the paper (see EXPERIMENTS.md).
 
+At session end the harness also writes a machine-readable perf
+trajectory to ``benchmarks/out/BENCH_faultsim.json``: per-bench wall
+times harvested from pytest-benchmark (when enabled) plus the speedup
+comparisons the acceptance benches record through the
+``record_speedup`` fixture (packed-vs-bigint nmin scan, parallel-vs-
+single-process table builds).  CI uploads the file as an artifact, so
+the trajectory accumulates across commits.
+
 Heavyweight parameters honour the same environment overrides as the
 experiment layer: ``REPRO_K``, ``REPRO_NMAX``, ``REPRO_CIRCUITS``.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 import sys
+import time
 from pathlib import Path
 
 import pytest
@@ -21,6 +32,11 @@ import pytest
 sys.path.insert(0, str(Path(__file__).parent))
 
 OUT_DIR = Path(__file__).parent / "out"
+TRAJECTORY_NAME = "BENCH_faultsim.json"
+
+#: Session accumulator behind :func:`record_speedup`; written to the
+#: trajectory file by ``pytest_sessionfinish``.
+_SPEEDUPS: list[dict] = []
 
 
 @pytest.fixture(scope="session")
@@ -39,6 +55,72 @@ def save_artifact(artifact_dir):
         sys.stdout.write(f"\n[artifact] {path}\n{text}\n")
 
     return save
+
+
+@pytest.fixture
+def record_speedup():
+    """Append one speedup-comparison entry to the perf trajectory.
+
+    Entries are free-form dicts (``name`` plus whatever timings the
+    bench measured); they land in the ``speedups`` array of
+    ``BENCH_faultsim.json`` at session end.
+    """
+
+    def record(entry: dict) -> None:
+        _SPEEDUPS.append(dict(entry))
+
+    return record
+
+
+def _harvested_benchmarks(session) -> list[dict]:
+    """Per-bench wall times from pytest-benchmark (empty when disabled)."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    out: list[dict] = []
+    if bench_session is None:
+        return out
+    for bench in getattr(bench_session, "benchmarks", []):
+        stats = getattr(bench, "stats", None)
+        if stats is None:
+            continue
+        try:
+            out.append(
+                {
+                    "name": bench.fullname,
+                    "mean_s": stats.mean,
+                    "min_s": stats.min,
+                    "max_s": stats.max,
+                    "stddev_s": stats.stddev,
+                    "rounds": stats.rounds,
+                }
+            )
+        except (AttributeError, TypeError, ZeroDivisionError):
+            continue
+    return out
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit the machine-readable perf trajectory (best effort)."""
+    try:
+        payload = {
+            "schema": 1,
+            "created_unix": time.time(),
+            "machine": {
+                "python": platform.python_version(),
+                "platform": platform.platform(),
+                "cpu_count": os.cpu_count(),
+            },
+            "exit_status": int(exitstatus),
+            "benches": _harvested_benchmarks(session),
+            "speedups": list(_SPEEDUPS),
+        }
+        if not payload["benches"] and not payload["speedups"]:
+            return  # nothing measured (e.g. collect-only / unrelated run)
+        OUT_DIR.mkdir(exist_ok=True)
+        path = OUT_DIR / TRAJECTORY_NAME
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        sys.stdout.write(f"\n[artifact] {path}\n")
+    except Exception as exc:  # never fail the session over telemetry
+        sys.stderr.write(f"[bench-trajectory] skipped: {exc}\n")
 
 
 def env_int(var: str, default: int) -> int:

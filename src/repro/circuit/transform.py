@@ -73,14 +73,19 @@ def cone_support(circuit: Circuit, output_name: str) -> set[int]:
     return {i for i in circuit.inputs if i in cone}
 
 
-def output_partitions(circuit: Circuit, max_inputs: int) -> list[Circuit]:
+def output_partitions(
+    circuit: Circuit, max_inputs: int, allow_wide: bool = False
+) -> list[Circuit]:
     """Greedily group outputs into cones with bounded input support.
 
     Outputs are sorted by decreasing support size and placed first-fit
     into the first group whose combined support stays within
     ``max_inputs``.  Each group becomes an independent sub-circuit via
-    :func:`extract_cone`.  Raises when a single output's support already
-    exceeds the bound.
+    :func:`extract_cone`.  An output whose own support already exceeds
+    the bound raises — unless ``allow_wide`` is set, in which case it
+    becomes a singleton cone (nothing can first-fit into a group that
+    is already over the bound) for the caller to analyze with a
+    sampled/packed backend.
     """
     if max_inputs < 1:
         raise CircuitError("max_inputs must be >= 1")
@@ -88,7 +93,7 @@ def output_partitions(circuit: Circuit, max_inputs: int) -> list[Circuit]:
     for lid in circuit.outputs:
         nm = circuit.lines[lid].name
         sup = cone_support(circuit, nm)
-        if len(sup) > max_inputs:
+        if len(sup) > max_inputs and not allow_wide:
             raise CircuitError(
                 f"output {nm!r} depends on {len(sup)} inputs "
                 f"(> max_inputs={max_inputs}); cannot partition"

@@ -13,14 +13,19 @@ Commands regenerate the paper's artifacts::
     repro show-example               # Figure 1 circuit
     repro partition CIRCUIT          # Section 4 cone-partitioned analysis
     repro analyze CIRCUIT            # one-circuit worst-case analysis
+    repro cache info|clear           # inspect / empty the shard cache
 
-``analyze`` and ``escape`` accept
+``analyze``, ``escape``, and ``partition`` accept
 ``--backend exhaustive|sampled|serial|packed`` (with ``--samples K`` /
 ``--seed`` / ``--replacement`` for ``sampled`` and ``packed``), so
 circuits beyond the 24-input exhaustive cap can be analyzed via
 Monte-Carlo sampled-U detection tables; ``packed`` stores the same
 signatures as numpy ``uint64`` blocks and runs the worst-case ``nmin``
-scan vectorized.
+scan vectorized.  ``--jobs N`` (or env ``REPRO_JOBS``) shards
+detection-table construction across ``N`` worker processes — results
+are bit-for-bit identical to the single-process build, and shard
+results persist in an on-disk cache (``REPRO_CACHE_DIR``) that the
+``cache`` subcommand inspects and clears.
 """
 
 from __future__ import annotations
@@ -85,12 +90,26 @@ def _add_backend(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="sampled/packed backends: draw vectors with replacement",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for detection-table construction "
+            "(default: REPRO_JOBS, else 1; results are identical at "
+            "any value)"
+        ),
+    )
 
 
 def _backend_from_args(args: argparse.Namespace):
     from repro.errors import AnalysisError
     from repro.faultsim.backends import make_backend
+    from repro.parallel import resolve_jobs
 
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None and jobs < 1:
+        raise AnalysisError(f"--jobs must be >= 1, got {jobs}")
     sampling_backends = ("sampled", "packed")
     if args.backend not in sampling_backends and args.samples is not None:
         raise AnalysisError(
@@ -118,6 +137,7 @@ def _backend_from_args(args: argparse.Namespace):
         samples=args.samples,
         seed=getattr(args, "seed", 0),
         replacement=getattr(args, "replacement", False),
+        jobs=resolve_jobs(jobs),
     )
 
 
@@ -167,6 +187,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("partition", help="Section 4 cone-partitioned analysis")
     p.add_argument("circuit")
     p.add_argument("--max-inputs", type=int, default=12)
+    p.add_argument("--seed", type=int, default=2005)
+    _add_backend(p)
+
+    p = sub.add_parser(
+        "cache", help="inspect or clear the persistent shard cache"
+    )
+    p.add_argument("action", choices=["info", "clear"])
+    p.add_argument(
+        "--cache-dir",
+        help="shard-cache directory (default: REPRO_CACHE_DIR or the "
+        "user cache directory)",
+    )
 
     p = sub.add_parser(
         "gen-tests", help="generate a compact n-detection test set"
@@ -228,21 +260,56 @@ def _cmd_suite() -> str:
     return render_rows(header, rows) + "\n"
 
 
-def _cmd_partition(name: str, max_inputs: int) -> str:
+def _cmd_partition(args: argparse.Namespace) -> str:
     from repro.core.partition import PartitionedAnalysis
+    from repro.faultsim.backends import PackedBackend, SampledBackend
+    from repro.parallel import ParallelBackend
 
-    circuit = get_circuit(name)
-    analysis = PartitionedAnalysis(circuit, max_inputs=max_inputs)
-    lines = [f"Cone-partitioned analysis of {name} (max {max_inputs} inputs)"]
+    backend = _backend_from_args(args)
+    jobs = backend.jobs if isinstance(backend, ParallelBackend) else None
+    base = backend.base if isinstance(backend, ParallelBackend) else backend
+    if not isinstance(base, (SampledBackend, PackedBackend)):
+        # Exhaustive/serial cannot cover cones wider than the bound;
+        # keep the legacy strict behavior (wide outputs raise).  `jobs`
+        # is orthogonal and stays threaded through the cone builds.
+        backend = None
+    circuit = get_circuit(args.circuit)
+    analysis = PartitionedAnalysis(
+        circuit, max_inputs=args.max_inputs, backend=backend, jobs=jobs
+    )
+    lines = [
+        f"Cone-partitioned analysis of {args.circuit} "
+        f"(max {args.max_inputs} inputs)"
+    ]
     for key, value in analysis.summary().items():
         lines.append(f"  {key}: {value}")
     for cone in analysis.cones:
         g = cone.analysis.guaranteed_n()
+        tag = (
+            ""
+            if cone.analysis.universe.exact
+            else f" backend={base.name}"
+        )
         lines.append(
             f"  cone {cone.circuit.name}: inputs={cone.circuit.num_inputs} "
-            f"faults={len(cone.analysis)} guaranteed_n={g}"
+            f"faults={len(cone.analysis)} guaranteed_n={g}{tag}"
         )
     return "\n".join(lines) + "\n"
+
+
+def _cmd_cache(args: argparse.Namespace) -> str:
+    from repro.parallel import ShardCache
+
+    cache = ShardCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        return f"removed {removed} shard entries from {cache.root}\n"
+    entries = cache.entries()
+    return (
+        f"shard cache: {cache.root}\n"
+        f"  entries: {len(entries)}\n"
+        f"  size: {cache.total_bytes()} bytes\n"
+    )
 
 
 def _cmd_gen_tests(args: argparse.Namespace) -> str:
@@ -309,15 +376,20 @@ def _cmd_analyze(args: argparse.Namespace) -> str:
     from repro.core.worst_case import WorstCaseAnalysis
     from repro.faults.universe import FaultUniverse
     from repro.faultsim.sampling import count_interval
+    from repro.parallel import ParallelBackend
 
     circuit = get_circuit(args.circuit)
-    universe = FaultUniverse(circuit, backend=_backend_from_args(args))
+    backend = _backend_from_args(args)
+    label = args.backend
+    if isinstance(backend, ParallelBackend):
+        label += f" jobs={backend.jobs}"
+    universe = FaultUniverse(circuit, backend=backend)
     worst = WorstCaseAnalysis(
         universe.target_table, universe.untargeted_table
     )
     vu = worst.universe
     lines = [
-        f"Worst-case analysis of {args.circuit} (backend={args.backend})",
+        f"Worst-case analysis of {args.circuit} (backend={label})",
         f"  inputs: {circuit.num_inputs}  |U| = 2**{circuit.num_inputs}",
         f"  vector universe: {vu.size} of {vu.space} vectors"
         + ("" if vu.exact else f" (sampled, seed={args.seed})"),
@@ -417,7 +489,9 @@ def _dispatch(args: argparse.Namespace) -> int:
     elif args.command == "show-example":
         out = paper_example_ascii() + "\n"
     elif args.command == "partition":
-        out = _cmd_partition(args.circuit, args.max_inputs)
+        out = _cmd_partition(args)
+    elif args.command == "cache":
+        out = _cmd_cache(args)
     elif args.command == "gen-tests":
         out = _cmd_gen_tests(args)
     elif args.command == "escape":

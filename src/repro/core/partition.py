@@ -15,16 +15,28 @@ test set *of that cone* when ``n >= nmin``.  Faults whose lines span two
 cones (e.g. bridges between cones) are outside the partitioned model and
 reported as uncovered — the method trades completeness for scalability,
 as the paper notes.
+
+Partitioning alone used to hit a hard wall whenever a single output
+depended on more than ``max_inputs`` inputs.  Passing ``backend=`` (a
+sampled or packed sampled backend) removes the wall: cones within the
+bound keep the exact exhaustive analysis, and each too-wide output
+becomes its own cone analyzed over that backend's sampled universe —
+its ``nmin`` values are Monte-Carlo sample-space results rather than
+exact ones, flagged by ``ConeResult.analysis.universe.exact``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.circuit.netlist import Circuit
 from repro.circuit.transform import output_partitions
 from repro.core.worst_case import WorstCaseAnalysis
 from repro.faults.universe import FaultUniverse
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faultsim.backends import DetectionBackend
 
 
 @dataclass
@@ -46,13 +58,36 @@ class PartitionedAnalysis:
     max_inputs:
         Bound on each cone's input support (the per-cone analysis cost is
         ``O(2**max_inputs)`` bits per signature).
+    backend:
+        Optional sampled/packed backend for cones *wider* than
+        ``max_inputs``.  Without it a too-wide output raises (the
+        legacy behavior); with it the wide cone is analyzed over the
+        backend's sampled universe instead of being skipped.  Cones
+        within the bound always use the exact exhaustive engine.
+    jobs:
+        Worker processes for each cone's table builds (sharded
+        multiprocessing via :class:`repro.parallel.ParallelBackend`);
+        orthogonal to ``backend`` — it changes construction speed,
+        never results.
     """
 
-    def __init__(self, circuit: Circuit, max_inputs: int = 16):
+    def __init__(
+        self,
+        circuit: Circuit,
+        max_inputs: int = 16,
+        backend: "DetectionBackend | None" = None,
+        jobs: int | None = None,
+    ):
         self.circuit = circuit
         self.cones: list[ConeResult] = []
-        for sub in output_partitions(circuit, max_inputs):
-            universe = FaultUniverse(sub)
+        subs = output_partitions(
+            circuit, max_inputs, allow_wide=backend is not None
+        )
+        for sub in subs:
+            cone_backend = (
+                backend if sub.num_inputs > max_inputs else None
+            )
+            universe = FaultUniverse(sub, backend=cone_backend, jobs=jobs)
             if len(universe.untargeted_table) == 0:
                 continue  # no bridging sites inside this cone
             analysis = WorstCaseAnalysis(

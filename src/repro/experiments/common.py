@@ -15,16 +15,23 @@ reproduce the full-size experiment:
 ``REPRO_SAMPLES``    sampled/packed backends: number of vectors K
                      (optional for packed, which is exhaustive without it).
 ``REPRO_SEED``       sampled/packed backends: universe draw seed.
+``REPRO_JOBS``       worker processes for detection-table construction
+                     (> 1 shards every table build across a process
+                     pool; composes with any REPRO_BACKEND engine).
 
 Backends are frozen dataclasses, so the universe / worst-case caches key
 on the exact backend configuration — ``REPRO_BACKEND=packed`` tables
-never alias the big-int ones.
+never alias the big-int ones.  One deliberate exception: a
+parallel-wrapped backend produces tables *bit-for-bit identical* to its
+base engine's, so the caches key on the unwrapped base — a ``jobs=4``
+run and a single-process run of the same engine share one in-memory
+table instead of holding two identical multi-hundred-MB copies.
 """
 
 from __future__ import annotations
 
 import os
-from functools import lru_cache
+from collections import OrderedDict
 
 from repro.bench_suite.registry import get_circuit, suite_table_groups
 from repro.core.worst_case import WorstCaseAnalysis
@@ -34,6 +41,7 @@ from repro.faultsim.backends import (
     ExhaustiveBackend,
     make_backend,
 )
+from repro.parallel import ParallelBackend, maybe_parallel, resolve_jobs
 
 #: The paper reports Tables 3/5/6 only for circuits that have faults with
 #: nmin >= 11; these are the Table 5 rows of the paper (the analogues in
@@ -67,17 +75,24 @@ THRESHOLD_NOT_GUARANTEED = 11  # faults with nmin >= 11 escape a 10-detection se
 def backend_from_env() -> DetectionBackend | None:
     """Detection backend from the REPRO_BACKEND family of env overrides.
 
-    Returns None (caller default: exhaustive) when REPRO_BACKEND is
-    unset, so the cached layers keep their zero-config behavior.
+    Returns None (caller default: exhaustive) when neither REPRO_BACKEND
+    nor REPRO_JOBS is set, so the cached layers keep their zero-config
+    behavior.  ``REPRO_JOBS > 1`` wraps the engine (default: exhaustive)
+    in a sharded multiprocessing
+    :class:`~repro.parallel.ParallelBackend`.
     """
     name = os.environ.get("REPRO_BACKEND")
+    jobs = resolve_jobs(None)
     if not name:
-        return None
+        if jobs <= 1:
+            return None
+        return maybe_parallel(ExhaustiveBackend(), jobs)
     samples = os.environ.get("REPRO_SAMPLES")
     return make_backend(
         name,
         samples=int(samples) if samples else None,
         seed=env_int("REPRO_SEED", 0),
+        jobs=jobs,
     )
 
 
@@ -86,55 +101,76 @@ def get_universe(
 ) -> FaultUniverse:
     """Fault universe (with detection tables) for a suite circuit.
 
-    ``backend`` defaults to the REPRO_BACKEND env override, then the
-    exhaustive engine.  The env override is resolved *before* the cache
-    lookup, so changing REPRO_BACKEND mid-process switches universes
-    instead of silently replaying the first backend's cached tables.
+    ``backend`` defaults to the REPRO_BACKEND / REPRO_JOBS env
+    overrides, then the exhaustive engine.  The env overrides are
+    resolved *before* the cache lookup, so changing them mid-process
+    switches universes instead of silently replaying the first
+    backend's cached tables.
     """
-    return _get_universe_cached(name, _normalize_backend(backend))
+    backend = backend or backend_from_env()
+    key = (name, _table_identity(backend))
+    universe = _cache_get(_UNIVERSE_CACHE, key)
+    if universe is None:
+        universe = FaultUniverse(get_circuit(name), backend=backend)
+        # Touch the tables so the cache holds fully-built universes.
+        universe.target_table
+        universe.untargeted_table
+        _cache_put(_UNIVERSE_CACHE, key, universe)
+    return universe
 
 
-def _normalize_backend(
+def _table_identity(
     backend: DetectionBackend | None,
 ) -> DetectionBackend | None:
-    """Canonical cache key: the default and explicit exhaustive collide."""
-    backend = backend or backend_from_env()
+    """Cache key for "which tables does this backend produce?".
+
+    Two canonicalizations: the default and explicit exhaustive collide,
+    and a parallel wrapper collides with its base (the sharded build is
+    bit-for-bit identical — only construction speed differs).
+    """
+    if isinstance(backend, ParallelBackend):
+        backend = backend.base
     if backend == ExhaustiveBackend():
         return None
     return backend
 
 
-@lru_cache(maxsize=40)
-def _get_universe_cached(
-    name: str, backend: DetectionBackend | None
-) -> FaultUniverse:
-    """Backend-keyed universe cache (backends are frozen dataclasses).
+#: Backend-identity-keyed LRUs (backends are frozen dataclasses).
+#: Sized to hold the whole 35-circuit suite: suite-wide tables (2, 3,
+#: 5) revisit every circuit, and rebuilding the biggest detection
+#: tables costs ~10 s each.  Total footprint stays within a few GB
+#: (the two largest tables are ~400 MB each).
+_CACHE_SIZE = 40
+_UNIVERSE_CACHE: OrderedDict = OrderedDict()
+_WORST_CASE_CACHE: OrderedDict = OrderedDict()
 
-    Sized to hold the whole 35-circuit suite: suite-wide tables (2, 3,
-    5) revisit every circuit, and rebuilding the biggest detection
-    tables costs ~10 s each.  Total footprint stays within a few GB
-    (the two largest tables are ~400 MB each).
-    """
-    universe = FaultUniverse(get_circuit(name), backend=backend)
-    # Touch the tables so the cache holds fully-built universes.
-    universe.target_table
-    universe.untargeted_table
-    return universe
+
+def _cache_get(cache: OrderedDict, key):
+    value = cache.get(key)
+    if value is not None:
+        cache.move_to_end(key)
+    return value
+
+
+def _cache_put(cache: OrderedDict, key, value) -> None:
+    cache[key] = value
+    cache.move_to_end(key)
+    while len(cache) > _CACHE_SIZE:
+        cache.popitem(last=False)
 
 
 def get_worst_case(
     name: str, backend: DetectionBackend | None = None
 ) -> WorstCaseAnalysis:
     """Worst-case analysis for a suite circuit (cached)."""
-    return _get_worst_case_cached(name, _normalize_backend(backend))
-
-
-@lru_cache(maxsize=40)
-def _get_worst_case_cached(
-    name: str, backend: DetectionBackend | None
-) -> WorstCaseAnalysis:
-    u = _get_universe_cached(name, backend)
-    return WorstCaseAnalysis(u.target_table, u.untargeted_table)
+    backend = backend or backend_from_env()
+    key = (name, _table_identity(backend))
+    analysis = _cache_get(_WORST_CASE_CACHE, key)
+    if analysis is None:
+        u = get_universe(name, backend)
+        analysis = WorstCaseAnalysis(u.target_table, u.untargeted_table)
+        _cache_put(_WORST_CASE_CACHE, key, analysis)
+    return analysis
 
 
 def env_int(var: str, default: int) -> int:

@@ -14,8 +14,11 @@ Tables are built by a pluggable
 :class:`~repro.faultsim.backends.DetectionBackend` (default: the exact
 exhaustive engine; pass a
 :class:`~repro.faultsim.backends.SampledBackend` to analyze circuits
-beyond the exhaustive input cap).  Everything is built lazily and
-cached, so experiments can share one universe per circuit.
+beyond the exhaustive input cap).  ``jobs > 1`` shards both table
+builds across worker processes via
+:class:`repro.parallel.ParallelBackend` — the result is bit-for-bit
+identical, only faster.  Everything is built lazily and cached, so
+experiments can share one universe per circuit.
 """
 
 from __future__ import annotations
@@ -40,19 +43,34 @@ class FaultUniverse:
     """Targets ``F``, untargeted ``G``, and their detection tables."""
 
     def __init__(
-        self, circuit: Circuit, backend: "DetectionBackend | None" = None
+        self,
+        circuit: Circuit,
+        backend: "DetectionBackend | None" = None,
+        jobs: int | None = None,
     ):
         self.circuit = circuit
         self._backend = backend
+        self._jobs = jobs
 
     @cached_property
     def backend(self) -> "DetectionBackend":
-        """The table-construction engine (default: exhaustive)."""
-        if self._backend is not None:
-            return self._backend
-        from repro.faultsim.backends import ExhaustiveBackend
+        """The table-construction engine (default: exhaustive).
 
-        return ExhaustiveBackend()
+        ``jobs > 1`` wraps the configured engine in a sharded
+        multiprocessing :class:`~repro.parallel.ParallelBackend`
+        (already-parallel engines pass through unchanged).
+        """
+        if self._backend is not None:
+            backend = self._backend
+        else:
+            from repro.faultsim.backends import ExhaustiveBackend
+
+            backend = ExhaustiveBackend()
+        if self._jobs is not None:
+            from repro.parallel import maybe_parallel, resolve_jobs
+
+            backend = maybe_parallel(backend, resolve_jobs(self._jobs))
+        return backend
 
     @cached_property
     def base_signatures(self) -> list[int]:

@@ -33,7 +33,11 @@ strategy for building one.  Three engines are provided:
     hardware-speed popcounts; requires numpy.
 
 Backends are small frozen dataclasses (hashable, so cached layers can
-key on them) and share the :class:`DetectionBackend` protocol.
+key on them) and share the :class:`DetectionBackend` protocol.  Any of
+them can be wrapped by :class:`repro.parallel.ParallelBackend` (CLI:
+``--jobs N`` / env ``REPRO_JOBS``), which shards the fault list across
+worker processes, reuses shards from a persistent on-disk cache, and
+merges a table bit-for-bit identical to the single-process build.
 """
 
 from __future__ import annotations
@@ -403,30 +407,42 @@ def make_backend(
     samples: int | None = None,
     seed: int = 0,
     replacement: bool = False,
+    jobs: int | None = None,
 ) -> DetectionBackend:
     """Backend factory behind the CLI / env configuration.
 
     ``samples`` is required for ``sampled``, optional for ``packed``
     (which is exhaustive without it), and meaningless elsewhere.
+    ``jobs > 1`` wraps the engine in a
+    :class:`repro.parallel.ParallelBackend` (sharded multiprocessing
+    build with the persistent shard cache); ``jobs=1``/``None`` stays
+    single-process.
     """
     if name == "exhaustive":
-        return ExhaustiveBackend()
-    if name == "serial":
-        return SerialBackend()
-    if name == "packed":
-        return PackedBackend(
+        backend: DetectionBackend = ExhaustiveBackend()
+    elif name == "serial":
+        backend = SerialBackend()
+    elif name == "packed":
+        backend = PackedBackend(
             samples=samples, seed=seed, replacement=replacement
         )
-    if name == "sampled":
+    elif name == "sampled":
         if samples is None:
             raise AnalysisError(
                 "--backend sampled requires --samples K (the number of "
                 "random vectors to draw)"
             )
-        return SampledBackend(samples, seed=seed, replacement=replacement)
-    raise AnalysisError(
-        f"unknown backend {name!r}; choose from {', '.join(BACKEND_NAMES)}"
-    )
+        backend = SampledBackend(samples, seed=seed, replacement=replacement)
+    else:
+        raise AnalysisError(
+            f"unknown backend {name!r}; choose from "
+            f"{', '.join(BACKEND_NAMES)}"
+        )
+    if jobs is not None and jobs != 1:
+        from repro.parallel import maybe_parallel, resolve_jobs
+
+        backend = maybe_parallel(backend, resolve_jobs(jobs))
+    return backend
 
 
 def default_backend_for(circuit: Circuit, samples: int = 1 << 14,

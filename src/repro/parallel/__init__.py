@@ -1,0 +1,61 @@
+"""Sharded parallel execution of detection-table construction.
+
+Building the fault × vector detection table dominates every analysis in
+this library and is embarrassingly parallel over faults.  This package
+turns that observation into a subsystem:
+
+``plan``
+    :class:`ShardPlan` — balanced, deterministic, jobs-independent
+    splits of a fault list into contiguous shards.
+``worker``
+    :class:`ShardTask` / :func:`run_shard` — the picklable unit of work
+    executed in worker processes, delegating to the base backend's own
+    build path.
+``cache``
+    :class:`ShardCache` — persistent on-disk shard results, content-
+    addressed by circuit structure × backend configuration × fault
+    slice, written atomically.
+``backend``
+    :class:`ParallelBackend` — a
+    :class:`~repro.faultsim.backends.DetectionBackend` wrapping any base
+    engine; merges per-shard results into a table bit-for-bit identical
+    to the single-process build.
+
+Entry points: ``--jobs N`` on the CLI, ``REPRO_JOBS`` in the
+environment, ``FaultUniverse(circuit, jobs=N)`` in code.
+"""
+
+from repro.parallel.backend import (
+    ParallelBackend,
+    maybe_parallel,
+    resolve_jobs,
+)
+from repro.parallel.cache import (
+    ShardCache,
+    backend_cache_key,
+    cache_stats,
+    circuit_digest,
+    default_cache_dir,
+    reset_cache_stats,
+    shard_key,
+)
+from repro.parallel.plan import DEFAULT_NUM_SHARDS, Shard, ShardPlan
+from repro.parallel.worker import ShardTask, run_shard
+
+__all__ = [
+    "ParallelBackend",
+    "maybe_parallel",
+    "resolve_jobs",
+    "ShardCache",
+    "backend_cache_key",
+    "cache_stats",
+    "circuit_digest",
+    "default_cache_dir",
+    "reset_cache_stats",
+    "shard_key",
+    "DEFAULT_NUM_SHARDS",
+    "Shard",
+    "ShardPlan",
+    "ShardTask",
+    "run_shard",
+]

@@ -1,0 +1,239 @@
+"""The :class:`ParallelBackend`: sharded multiprocessing table builds.
+
+Wraps any base :class:`~repro.faultsim.backends.DetectionBackend`
+(exhaustive / sampled / packed / serial) and satisfies the same
+protocol, so every consumer — :class:`~repro.faults.universe.FaultUniverse`,
+the experiment caches, the CLI — composes with it unchanged.  A build
+
+1. cuts the fault list with a :class:`~repro.parallel.plan.ShardPlan`
+   (deterministic, independent of the worker count),
+2. satisfies shards from the persistent
+   :class:`~repro.parallel.cache.ShardCache` where possible,
+3. executes the remaining shards as :func:`~repro.parallel.worker.run_shard`
+   tasks on a ``concurrent.futures.ProcessPoolExecutor``,
+4. concatenates the per-shard signature lists in shard order and applies
+   ``drop_undetectable`` once — producing a table *bit-for-bit
+   identical* to the base backend's single-process build (the parallel
+   differential suite enforces this for every base engine).
+
+Fault-free line signatures are computed once in the parent and shipped
+to every worker, so the sharded build never repeats the base
+simulation.  With ``jobs=1`` (or a single shard) everything runs in
+process — no pool, no pickling — which is also the fallback the CLI
+uses when ``--jobs``/``REPRO_JOBS`` are absent.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.circuit.netlist import Circuit
+from repro.errors import AnalysisError
+from repro.faults.bridging import BridgingFault, four_way_bridging_faults
+from repro.faults.stuck_at import StuckAtFault, collapsed_stuck_at_faults
+from repro.faultsim.backends import DetectionBackend
+from repro.faultsim.detection import DetectionTable
+from repro.faultsim.sampling import VectorUniverse
+from repro.parallel.cache import ShardCache, shard_key
+from repro.parallel.plan import DEFAULT_NUM_SHARDS, ShardPlan
+from repro.parallel.worker import ShardTask, run_shard
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker count: the explicit value, else ``REPRO_JOBS``, else 1.
+
+    Malformed or non-positive values raise :class:`AnalysisError` (the
+    CLI's friendly-exit path), never fall back silently.
+    """
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS")
+        if raw is None or raw == "":
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise AnalysisError(
+                f"REPRO_JOBS must be a positive integer, got {raw!r}"
+            ) from None
+    if jobs < 1:
+        raise AnalysisError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def maybe_parallel(
+    backend: DetectionBackend,
+    jobs: int,
+    cache_dir: str | None = None,
+    use_cache: bool = True,
+) -> DetectionBackend:
+    """Wrap ``backend`` for ``jobs`` workers; identity at ``jobs=1``.
+
+    Already-parallel backends pass through (their own ``jobs`` wins), so
+    layered configuration — explicit backend plus ``REPRO_JOBS`` — never
+    nests pools.
+    """
+    if jobs <= 1 or isinstance(backend, ParallelBackend):
+        return backend
+    return ParallelBackend(
+        base=backend, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache
+    )
+
+
+@dataclass(frozen=True)
+class ParallelBackend:
+    """Sharded multiprocessing wrapper around a base backend.
+
+    Parameters
+    ----------
+    base:
+        Any non-parallel :class:`DetectionBackend`; fixes the vector
+        universe, the engine, and the table type of the result.
+    jobs:
+        Maximum worker processes per build.
+    shards:
+        Shard count (default :data:`DEFAULT_NUM_SHARDS`).  Deliberately
+        *not* defaulted from ``jobs``: a jobs-independent layout means
+        runs with different ``--jobs`` share cache entries.
+    cache_dir:
+        Shard-cache directory override (default: ``REPRO_CACHE_DIR`` /
+        the user cache dir, resolved at build time).
+    use_cache:
+        Disable the persistent cache entirely (benchmarks time real
+        construction with this).
+    """
+
+    base: DetectionBackend
+    jobs: int = 2
+    shards: int | None = None
+    cache_dir: str | None = None
+    use_cache: bool = True
+    name: str = "parallel"
+
+    def __post_init__(self) -> None:
+        if isinstance(self.base, ParallelBackend):
+            raise AnalysisError(
+                "parallel backends do not nest; wrap the innermost "
+                "engine once"
+            )
+        if self.jobs < 1:
+            raise AnalysisError(f"jobs must be >= 1, got {self.jobs}")
+        if self.shards is not None and self.shards < 1:
+            raise AnalysisError(
+                f"shards must be >= 1, got {self.shards}"
+            )
+
+    # -- protocol delegation -------------------------------------------
+    @property
+    def needs_base_signatures(self) -> bool:
+        return getattr(self.base, "needs_base_signatures", True)
+
+    def universe_for(self, circuit: Circuit) -> VectorUniverse:
+        return self.base.universe_for(circuit)
+
+    def line_signatures(self, circuit: Circuit) -> list[int]:
+        return self.base.line_signatures(circuit)
+
+    def build_stuck_at(
+        self,
+        circuit: Circuit,
+        faults: list[StuckAtFault] | None = None,
+        base_signatures: list[int] | None = None,
+        drop_undetectable: bool = False,
+    ) -> DetectionTable:
+        if faults is None:
+            faults = collapsed_stuck_at_faults(circuit)
+        return self._build(
+            circuit, "stuck_at", list(faults), base_signatures,
+            drop_undetectable,
+        )
+
+    def build_bridging(
+        self,
+        circuit: Circuit,
+        faults: list[BridgingFault] | None = None,
+        base_signatures: list[int] | None = None,
+        drop_undetectable: bool = True,
+    ) -> DetectionTable:
+        if faults is None:
+            faults = four_way_bridging_faults(circuit)
+        return self._build(
+            circuit, "bridging", list(faults), base_signatures,
+            drop_undetectable,
+        )
+
+    # -- the sharded build ---------------------------------------------
+    def _build(
+        self,
+        circuit: Circuit,
+        kind: str,
+        faults: list,
+        base_signatures: list[int] | None,
+        drop_undetectable: bool,
+    ) -> DetectionTable:
+        universe = self.base.universe_for(circuit)
+        if self.needs_base_signatures and base_signatures is None:
+            base_signatures = self.base.line_signatures(circuit)
+        shipped = (
+            tuple(base_signatures) if base_signatures is not None else None
+        )
+        plan = ShardPlan(self.shards or DEFAULT_NUM_SHARDS)
+        slices = plan.split(faults)
+        cache = ShardCache(self.cache_dir) if self.use_cache else None
+        results: dict[int, list[int]] = {}
+        pending: list[tuple[str | None, ShardTask]] = []
+        for index, shard_faults in enumerate(slices):
+            key = None
+            if cache is not None:
+                key = shard_key(circuit, self.base, kind, shard_faults)
+                cached = cache.get(key)
+                if cached is not None:
+                    results[index] = cached
+                    continue
+            pending.append(
+                (
+                    key,
+                    ShardTask(
+                        circuit=circuit,
+                        backend=self.base,
+                        kind=kind,
+                        faults=tuple(shard_faults),
+                        base_signatures=shipped,
+                        shard_index=index,
+                    ),
+                )
+            )
+        if pending:
+            outcomes = self._run([task for _, task in pending])
+            for (key, _task), (index, signatures) in zip(pending, outcomes):
+                results[index] = signatures
+                if cache is not None and key is not None:
+                    cache.put(key, signatures)
+        signatures = [
+            sig for index in range(len(slices)) for sig in results[index]
+        ]
+        if drop_undetectable:
+            kept = [(f, s) for f, s in zip(faults, signatures) if s]
+            faults = [f for f, _ in kept]
+            signatures = [s for _, s in kept]
+        if getattr(self.base, "name", "") == "packed":
+            from repro.faultsim.packed_table import PackedDetectionTable
+
+            return PackedDetectionTable(
+                circuit, list(faults), signatures, universe
+            )
+        return DetectionTable(circuit, list(faults), signatures, universe)
+
+    def _run(
+        self, tasks: list[ShardTask]
+    ) -> list[tuple[int, list[int]]]:
+        """Execute tasks on the pool (inline at ``jobs=1`` / one task)."""
+        if self.jobs == 1 or len(tasks) == 1:
+            return [run_shard(task) for task in tasks]
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(tasks))
+        ) as pool:
+            # map() preserves submission order, which `_build` zips back
+            # to the shards' cache keys.
+            return list(pool.map(run_shard, tasks))

@@ -1,0 +1,229 @@
+"""Persistent, content-addressed shard cache.
+
+A shard's detection signatures are a pure function of three things: the
+circuit's structure, the backend configuration (which fixes the vector
+universe — engine, ``K``, seed, replacement), and the fault slice.  The
+cache keys on a digest of exactly those inputs, so
+
+* repeated experiments (the ``table1``–``table6`` drivers re-analyze the
+  same circuits run after run) reload shards instead of re-simulating;
+* runs with different ``--jobs`` values share entries, because the shard
+  layout itself never depends on the worker count
+  (:mod:`repro.parallel.plan`);
+* any change to the circuit, the backend parameters, or the fault slice
+  changes the key — stale results are unreachable, never returned.
+
+Entries are written atomically (temp file + ``os.replace`` in the same
+directory), so a crashed or concurrent writer can never leave a
+partially-written entry behind; a corrupt or unreadable entry is treated
+as a miss and overwritten.  The directory is ``REPRO_CACHE_DIR`` when
+set, else ``$XDG_CACHE_HOME/repro/shards`` (``~/.cache/repro/shards``).
+``repro cache info`` / ``repro cache clear`` inspect and empty it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Iterable
+
+from repro.circuit.netlist import Circuit
+from repro.faults.bridging import BridgingFault
+from repro.faults.stuck_at import StuckAtFault
+
+#: Bumped whenever the cached payload layout or the key material changes;
+#: part of every key, so old entries simply stop being addressed.
+CACHE_FORMAT_VERSION = 1
+
+#: Process-wide counters, aggregated over every :class:`ShardCache`
+#: instance (one is created per table build, so per-instance counters
+#: alone could not observe "the second build hit the cache").
+_GLOBAL_STATS = {"hits": 0, "misses": 0, "stores": 0}
+
+
+def cache_stats() -> dict[str, int]:
+    """Snapshot of the process-wide hit/miss/store counters."""
+    return dict(_GLOBAL_STATS)
+
+
+def reset_cache_stats() -> None:
+    """Zero the process-wide counters (test isolation)."""
+    for key in _GLOBAL_STATS:
+        _GLOBAL_STATS[key] = 0
+
+
+def default_cache_dir() -> Path:
+    """``REPRO_CACHE_DIR`` or the platform user-cache shard directory."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "shards"
+
+
+# ----------------------------------------------------------------------
+# Key material
+# ----------------------------------------------------------------------
+def circuit_digest(circuit: Circuit) -> str:
+    """Structural digest of a netlist (names excluded).
+
+    Detection signatures depend on connectivity, gate functions, and the
+    input/output orders — never on line names — so structurally identical
+    circuits share cache entries regardless of naming.
+    """
+    h = hashlib.sha256()
+    for line in circuit.lines:
+        gate = line.gate_type.name if line.gate_type is not None else "-"
+        h.update(
+            (
+                f"{line.lid}:{line.kind.value}:{gate}:"
+                f"{','.join(map(str, line.fanin))}:{int(line.is_output)};"
+            ).encode()
+        )
+    h.update(("I" + ",".join(map(str, circuit.inputs))).encode())
+    h.update(("O" + ",".join(map(str, circuit.outputs))).encode())
+    return h.hexdigest()
+
+
+def backend_cache_key(backend) -> str:
+    """Canonical text form of a frozen backend dataclass.
+
+    ``repr`` of a frozen dataclass lists every field deterministically,
+    which is exactly the configuration that fixes the vector universe.
+    """
+    return f"{type(backend).__name__}({backend!r})"
+
+
+def _fault_token(fault) -> str:
+    if isinstance(fault, StuckAtFault):
+        return f"s{fault.lid}/{fault.value}"
+    if isinstance(fault, BridgingFault):
+        return (
+            f"b{fault.victim},{fault.victim_value},"
+            f"{fault.aggressor},{fault.aggressor_value}"
+        )
+    # Future fault models: fall back to repr (stable for dataclasses).
+    return repr(fault)
+
+
+def shard_key(
+    circuit: Circuit,
+    backend,
+    kind: str,
+    faults: Iterable,
+) -> str:
+    """Content-addressed key for one shard's signature list."""
+    material = "|".join(
+        (
+            f"v{CACHE_FORMAT_VERSION}",
+            circuit_digest(circuit),
+            backend_cache_key(backend),
+            kind,
+            ";".join(_fault_token(f) for f in faults),
+        )
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# The on-disk store
+# ----------------------------------------------------------------------
+class ShardCache:
+    """Directory of pickled shard results, addressed by :func:`shard_key`.
+
+    Instance counters (``hits`` / ``misses`` / ``stores``) track one
+    build; the module-level :func:`cache_stats` aggregates across
+    instances for cross-build assertions.
+    """
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def get(self, key: str) -> list[int] | None:
+        """Cached signature list, or ``None`` on miss/corruption."""
+        try:
+            with open(self._path(key), "rb") as fh:
+                payload = pickle.load(fh)
+            signatures = payload["signatures"]
+            if payload["version"] != CACHE_FORMAT_VERSION or not isinstance(
+                signatures, list
+            ):
+                raise ValueError("unexpected payload layout")
+        except (OSError, pickle.UnpicklingError, EOFError, ValueError,
+                KeyError, TypeError, AttributeError, ImportError,
+                IndexError, MemoryError):
+            self.misses += 1
+            _GLOBAL_STATS["misses"] += 1
+            return None
+        self.hits += 1
+        _GLOBAL_STATS["hits"] += 1
+        return signatures
+
+    def put(self, key: str, signatures: list[int]) -> None:
+        """Atomically persist one shard's signatures (best effort).
+
+        A read-only or full filesystem never fails the build — the cache
+        silently degrades to a no-op.
+        """
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "signatures": list(signatures),
+        }
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return
+        self.stores += 1
+        _GLOBAL_STATS["stores"] += 1
+
+    # -- inspection (the `repro cache` subcommand) ---------------------
+    def entries(self) -> list[Path]:
+        """Entry files currently in the cache directory (sorted)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.pkl"))
+
+    def total_bytes(self) -> int:
+        total = 0
+        for path in self.entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def clear(self) -> int:
+        """Delete every entry (and stray temp file); returns the count."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in list(self.root.glob("*.pkl")) + list(
+            self.root.glob("*.tmp")
+        ):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        return removed

@@ -1,0 +1,96 @@
+"""Shard plans: balanced, deterministic splits of a fault list.
+
+Detection-table construction is embarrassingly parallel over faults:
+``T(f)`` depends only on the circuit, the vector universe, and ``f``
+itself, never on any other fault in the table.  A :class:`ShardPlan`
+exploits that by cutting the ordered fault list into contiguous,
+near-equal slices.  Contiguity is what makes the parallel build
+*bit-identical* to the single-process one — the merge step is plain
+concatenation in shard order, so fault order (and therefore signature
+order, witness indices, and every downstream record) is preserved
+exactly.
+
+The plan is a pure function of ``(num_shards, len(faults))`` — it never
+consults the worker count — so the same fault list always cuts into the
+same slices regardless of how many processes execute them.  That
+determinism is what lets the persistent shard cache
+(:mod:`repro.parallel.cache`) reuse shard results across runs with
+different ``--jobs`` values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, TypeVar
+
+from repro.errors import AnalysisError
+
+_T = TypeVar("_T")
+
+#: Default shard count of :class:`~repro.parallel.backend.ParallelBackend`.
+#: Deliberately independent of ``jobs`` (see the module docstring): a
+#: ``jobs=2`` and a ``jobs=4`` run cut identical shards and therefore
+#: share cache entries.  Eight shards keep all cores of typical desktop
+#: machines busy while staying coarse enough that per-shard process and
+#: pickling overhead is amortized.
+DEFAULT_NUM_SHARDS = 8
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous slice of the fault list (``[start, stop)``)."""
+
+    index: int
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise AnalysisError(f"shard index must be >= 0, got {self.index}")
+        if not 0 <= self.start < self.stop:
+            raise AnalysisError(
+                f"shard bounds must satisfy 0 <= start < stop, got "
+                f"[{self.start}, {self.stop})"
+            )
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Deterministic balanced split into at most ``num_shards`` slices.
+
+    Sizes differ by at most one (the first ``len(items) % num_shards``
+    shards take the extra element); empty shards are never emitted, so a
+    list shorter than ``num_shards`` yields one single-element shard per
+    item.
+    """
+
+    num_shards: int = DEFAULT_NUM_SHARDS
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise AnalysisError(
+                f"num_shards must be >= 1, got {self.num_shards}"
+            )
+
+    def shards(self, num_items: int) -> list[Shard]:
+        """Shard records covering ``range(num_items)`` in order."""
+        if num_items < 0:
+            raise AnalysisError(f"num_items must be >= 0, got {num_items}")
+        if num_items == 0:
+            return []
+        parts = min(self.num_shards, num_items)
+        quotient, remainder = divmod(num_items, parts)
+        out: list[Shard] = []
+        start = 0
+        for index in range(parts):
+            size = quotient + (1 if index < remainder else 0)
+            out.append(Shard(index, start, start + size))
+            start += size
+        return out
+
+    def split(self, items: Sequence[_T]) -> list[Sequence[_T]]:
+        """The item slices behind :meth:`shards`, in shard order."""
+        return [items[s.start : s.stop] for s in self.shards(len(items))]

@@ -1,0 +1,89 @@
+"""The picklable unit of parallel work: one fault shard, one process.
+
+A :class:`ShardTask` carries everything a worker process needs to
+rebuild one shard of a detection table — the circuit, the *base* backend
+(exhaustive / sampled / packed / serial, a small frozen dataclass), the
+fault slice, and the precomputed fault-free line signatures when the
+base engine consumes them.  :func:`run_shard` is a module-level function
+(picklable by reference under any multiprocessing start method) that
+executes the task by delegating to the base backend's own ``build_*``
+method, so a sharded build runs *exactly* the single-process code path
+on each slice.
+
+Workers always build with ``drop_undetectable=False`` and return raw
+signature lists; the merge step applies the drop once after
+concatenation, which is precisely what the single-process build does —
+one source of the bit-for-bit identity guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.netlist import Circuit
+from repro.errors import AnalysisError
+
+_KINDS = ("stuck_at", "bridging")
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Self-contained spec of one shard build (fully picklable).
+
+    Attributes
+    ----------
+    circuit:
+        The analyzed circuit.
+    backend:
+        The *base* detection backend (never a
+        :class:`~repro.parallel.backend.ParallelBackend` — nesting is
+        rejected at construction time there).
+    kind:
+        ``"stuck_at"`` or ``"bridging"`` — which table family to build.
+    faults:
+        The shard's fault slice, in table order.
+    base_signatures:
+        Fault-free line signatures over the backend's universe, or
+        ``None`` for engines that ignore them (serial) — computed once
+        in the parent and shipped to every worker instead of being
+        re-derived per process.
+    shard_index:
+        Position of this shard in the plan (merge order).
+    """
+
+    circuit: Circuit
+    backend: object
+    kind: str
+    faults: tuple
+    base_signatures: tuple[int, ...] | None
+    shard_index: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise AnalysisError(
+                f"shard kind must be one of {_KINDS}, got {self.kind!r}"
+            )
+
+
+def run_shard(task: ShardTask) -> tuple[int, list[int]]:
+    """Build one shard's signatures via the base backend's own engine.
+
+    Returns ``(shard_index, signatures)`` so out-of-order completion can
+    be reassembled deterministically.
+    """
+    build = (
+        task.backend.build_stuck_at
+        if task.kind == "stuck_at"
+        else task.backend.build_bridging
+    )
+    table = build(
+        task.circuit,
+        faults=list(task.faults),
+        base_signatures=(
+            list(task.base_signatures)
+            if task.base_signatures is not None
+            else None
+        ),
+        drop_undetectable=False,
+    )
+    return task.shard_index, list(table.signatures)

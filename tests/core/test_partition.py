@@ -51,6 +51,85 @@ class TestPartitionedExample:
         }
 
 
+class TestWideConeBackend:
+    """Partition × sampled composition: wide cones stop being a wall."""
+
+    def test_wide_output_raises_without_backend(self):
+        from repro.bench_suite.registry import get_circuit
+        from repro.errors import CircuitError
+
+        with pytest.raises(CircuitError, match="cannot partition"):
+            PartitionedAnalysis(get_circuit("wide28"), max_inputs=10)
+
+    def test_wide_suite_circuit_smoke(self):
+        from repro.bench_suite.registry import get_circuit
+        from repro.faultsim.backends import SampledBackend
+
+        parts = PartitionedAnalysis(
+            get_circuit("wide28"),
+            max_inputs=10,
+            backend=SampledBackend(64, seed=1),
+        )
+        wide = [c for c in parts.cones if c.circuit.num_inputs > 10]
+        narrow = [c for c in parts.cones if c.circuit.num_inputs <= 10]
+        assert wide and narrow
+        # Wide cones run on the sampled universe, narrow ones stay exact.
+        assert all(not c.analysis.universe.exact for c in wide)
+        assert all(c.universe.target_table.universe.size == 64 for c in wide)
+        assert all(c.analysis.universe.exact for c in narrow)
+        assert 0.0 <= parts.coverage_of_fault_sites <= 1.0
+        summary = parts.summary()
+        assert summary["cones"] == len(parts.cones)
+        assert summary["analyzed_faults"] > 0
+
+    def test_narrow_circuit_ignores_backend(self, example_circuit):
+        from repro.faultsim.backends import SampledBackend
+
+        exact = PartitionedAnalysis(example_circuit, max_inputs=4)
+        with_backend = PartitionedAnalysis(
+            example_circuit,
+            max_inputs=4,
+            backend=SampledBackend(8, seed=1),
+        )
+        # No cone exceeds the bound, so the sampled backend never engages
+        # and the results are the exact ones.
+        assert all(
+            c.analysis.universe.exact for c in with_backend.cones
+        )
+        assert with_backend.guaranteed_n() == exact.guaranteed_n()
+
+    def test_jobs_threaded_to_cone_builds(self, example_circuit, tmp_path,
+                                          monkeypatch):
+        from repro.parallel import ParallelBackend
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        parts = PartitionedAnalysis(example_circuit, max_inputs=3, jobs=2)
+        assert parts.cones
+        assert all(
+            isinstance(c.universe.backend, ParallelBackend)
+            for c in parts.cones
+        )
+        # jobs changes construction speed, never results.
+        exact = PartitionedAnalysis(example_circuit, max_inputs=3)
+        assert parts.guaranteed_n() == exact.guaranteed_n()
+
+    def test_deterministic(self):
+        from repro.bench_suite.registry import get_circuit
+        from repro.faultsim.backends import SampledBackend
+
+        def build():
+            return PartitionedAnalysis(
+                get_circuit("wide28"),
+                max_inputs=10,
+                backend=SampledBackend(32, seed=5),
+            )
+
+        a, b = build(), build()
+        assert [c.analysis.guaranteed_n() for c in a.cones] == (
+            [c.analysis.guaranteed_n() for c in b.cones]
+        )
+
+
 class TestWholeCircuitPartition:
     def test_single_cone_matches_direct_analysis(self, example_circuit):
         """With a bound covering all inputs, per-cone results must agree

@@ -223,3 +223,115 @@ class TestBackendErrorPaths:
     def test_unknown_circuit(self, capsys):
         assert main(["analyze", "does_not_exist"]) == 2
         assert "unknown circuit" in capsys.readouterr().err
+
+
+class TestJobsAndCache:
+    """--jobs / REPRO_JOBS threading and the `repro cache` subcommand."""
+
+    def test_jobs_matches_single_process_summary(self, capsys, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert main(["analyze", "lion"]) == 0
+        single_out = capsys.readouterr().out
+        assert main(["analyze", "lion", "--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        strip = lambda s: [
+            ln for ln in s.splitlines() if "backend" not in ln
+        ]
+        assert strip(single_out) == strip(parallel_out)
+        assert "jobs=2" in parallel_out
+
+    def test_jobs_zero_rejected(self, capsys):
+        assert main(["analyze", "lion", "--jobs", "0"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "--jobs" in err
+
+    def test_jobs_negative_rejected(self, capsys):
+        assert main(["analyze", "lion", "--jobs", "-3"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_malformed_repro_jobs_rejected(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        assert main(["analyze", "lion"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "REPRO_JOBS" in err
+
+    def test_explicit_jobs_beats_env(self, capsys, monkeypatch):
+        # With --jobs given, the (malformed) env var is never consulted.
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        assert main(["analyze", "lion", "--jobs", "1"]) == 0
+        assert "guaranteed n" in capsys.readouterr().out
+
+    def test_cache_info_and_clear(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "shards"))
+        assert main(["analyze", "lion", "--jobs", "2"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "entries:" in out and str(tmp_path) in out
+        assert "entries: 0" not in out  # the analyze run stored shards
+        assert main(["cache", "clear"]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "info"]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+    def test_cache_dir_flag_overrides_env(self, capsys, tmp_path,
+                                          monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        assert main(
+            ["cache", "info", "--cache-dir", str(tmp_path / "flag")]
+        ) == 0
+        assert "flag" in capsys.readouterr().out
+
+    def test_partition_wide_backend(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(
+            [
+                "partition", "wide28",
+                "--max-inputs", "10",
+                "--backend", "sampled",
+                "--samples", "32",
+                "--seed", "3",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "backend=sampled" in out  # wide cones analyzed, not skipped
+        assert "Cone-partitioned" in out
+
+    def test_partition_wide_without_backend_fails(self, capsys):
+        assert main(["partition", "wide28", "--max-inputs", "10"]) == 2
+        assert "cannot partition" in capsys.readouterr().err
+
+    def test_partition_wide_packed_tagged_correctly(self, capsys,
+                                                    tmp_path, monkeypatch):
+        pytest.importorskip("numpy")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(
+            [
+                "partition", "wide28",
+                "--max-inputs", "10",
+                "--backend", "packed",
+                "--samples", "32",
+                "--seed", "3",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "backend=packed" in out  # tag names the engine in use
+
+    def test_partition_jobs_threaded(self, capsys, tmp_path, monkeypatch):
+        # --jobs must not be dropped for the default exhaustive backend:
+        # the cone builds go through the shard cache, observable on disk.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "shards"))
+        assert main(["partition", "paper_example", "--max-inputs", "3"]) == 0
+        single_out = capsys.readouterr().out
+        assert not (tmp_path / "shards").exists()
+        assert main(
+            ["partition", "paper_example", "--max-inputs", "3",
+             "--jobs", "2"]
+        ) == 0
+        jobs_out = capsys.readouterr().out
+        assert jobs_out == single_out  # identical analysis
+        assert list((tmp_path / "shards").glob("*.pkl"))  # sharded build ran

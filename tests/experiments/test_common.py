@@ -75,13 +75,78 @@ class TestEnvOverrides:
 
     def test_backend_from_env_default(self, monkeypatch):
         monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
         assert backend_from_env() is None
 
     def test_backend_from_env_sampled(self, monkeypatch):
         monkeypatch.setenv("REPRO_BACKEND", "sampled")
         monkeypatch.setenv("REPRO_SAMPLES", "64")
         monkeypatch.setenv("REPRO_SEED", "3")
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
         assert backend_from_env() == SampledBackend(64, seed=3)
+
+    def test_backend_from_env_jobs_only(self, monkeypatch):
+        from repro.faultsim.backends import ExhaustiveBackend
+        from repro.parallel import ParallelBackend
+
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        backend = backend_from_env()
+        assert isinstance(backend, ParallelBackend)
+        assert backend.base == ExhaustiveBackend()
+        assert backend.jobs == 2
+
+    def test_backend_from_env_jobs_wraps_engine(self, monkeypatch):
+        from repro.parallel import ParallelBackend
+
+        monkeypatch.setenv("REPRO_BACKEND", "sampled")
+        monkeypatch.setenv("REPRO_SAMPLES", "64")
+        monkeypatch.setenv("REPRO_SEED", "3")
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        backend = backend_from_env()
+        assert isinstance(backend, ParallelBackend)
+        assert backend.base == SampledBackend(64, seed=3)
+
+    def test_backend_from_env_jobs_one_is_single_process(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        assert backend_from_env() is None
+
+
+class TestParallelCacheComposition:
+    """Parallel-built universes share entries with their base backend
+    (the tables are bit-identical, so caching them twice would only
+    duplicate hundreds of megabytes)."""
+
+    def test_parallel_shares_base_cache_entry(self, tmp_path, monkeypatch):
+        from repro.parallel import ParallelBackend
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        base = SampledBackend(8, seed=2)
+        u_base = get_universe("lion", base)
+        u_parallel = get_universe(
+            "lion", ParallelBackend(base=base, jobs=2)
+        )
+        assert u_parallel is u_base
+
+    def test_parallel_exhaustive_shares_default_entry(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.parallel import ParallelBackend
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        u_default = get_universe("lion")
+        wrapped = ParallelBackend(base=ExhaustiveBackend(), jobs=2)
+        assert get_universe("lion", wrapped) is u_default
+        assert get_worst_case("lion", wrapped) is get_worst_case("lion")
+
+    def test_env_jobs_shares_default_entry(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        u_default = get_universe("lion")
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        assert get_universe("lion") is u_default
 
 
 class TestRenderRows:

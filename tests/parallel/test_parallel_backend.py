@@ -1,0 +1,219 @@
+"""ParallelBackend: protocol conformance, identity, cache behavior.
+
+The bit-for-bit differential sweeps against every base engine live in
+``tests/test_backend_differential.py`` (and the packed variants in
+``tests/test_packed_differential.py``); this module covers the
+subsystem's own contract — configuration validation, shard-layout
+independence, the warm-cache acceptance property, and the ``jobs``
+threading through :class:`~repro.faults.universe.FaultUniverse`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench_suite.registry import get_circuit
+from repro.errors import AnalysisError
+from repro.faults.universe import FaultUniverse
+from repro.faultsim.backends import (
+    DetectionBackend,
+    ExhaustiveBackend,
+    SampledBackend,
+    make_backend,
+)
+from repro.parallel import (
+    ParallelBackend,
+    cache_stats,
+    maybe_parallel,
+    reset_cache_stats,
+    resolve_jobs,
+)
+
+
+@pytest.fixture()
+def cache_dir(tmp_path):
+    return str(tmp_path / "shards")
+
+
+class TestConfiguration:
+    def test_satisfies_protocol(self):
+        assert isinstance(
+            ParallelBackend(base=ExhaustiveBackend()), DetectionBackend
+        )
+
+    def test_rejects_nesting(self):
+        inner = ParallelBackend(base=ExhaustiveBackend())
+        with pytest.raises(AnalysisError, match="nest"):
+            ParallelBackend(base=inner)
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(AnalysisError, match="jobs"):
+            ParallelBackend(base=ExhaustiveBackend(), jobs=0)
+
+    def test_rejects_bad_shards(self):
+        with pytest.raises(AnalysisError, match="shards"):
+            ParallelBackend(base=ExhaustiveBackend(), shards=0)
+
+    def test_hashable_for_cache_keys(self):
+        a = ParallelBackend(base=SampledBackend(8, seed=1), jobs=2)
+        b = ParallelBackend(base=SampledBackend(8, seed=1), jobs=2)
+        assert a == b and hash(a) == hash(b)
+
+    def test_delegates_needs_base_signatures(self):
+        from repro.faultsim.backends import SerialBackend
+
+        assert ParallelBackend(base=ExhaustiveBackend()).needs_base_signatures
+        assert not ParallelBackend(base=SerialBackend()).needs_base_signatures
+
+    def test_maybe_parallel(self):
+        base = ExhaustiveBackend()
+        assert maybe_parallel(base, 1) is base
+        wrapped = maybe_parallel(base, 3)
+        assert isinstance(wrapped, ParallelBackend)
+        assert wrapped.jobs == 3
+        # Already-parallel backends pass through un-nested.
+        assert maybe_parallel(wrapped, 2) is wrapped
+
+    def test_resolve_jobs(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(4) == 4
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(None) == 3
+        assert resolve_jobs(2) == 2  # explicit beats env
+        monkeypatch.setenv("REPRO_JOBS", "zero")
+        with pytest.raises(AnalysisError, match="REPRO_JOBS"):
+            resolve_jobs(None)
+        with pytest.raises(AnalysisError, match="jobs"):
+            resolve_jobs(0)
+
+    def test_make_backend_jobs(self):
+        backend = make_backend("sampled", samples=8, seed=1, jobs=2)
+        assert isinstance(backend, ParallelBackend)
+        assert backend.base == SampledBackend(8, seed=1)
+        assert make_backend("exhaustive", jobs=1) == ExhaustiveBackend()
+
+
+class TestShardLayoutIndependence:
+    """The merged table never depends on the shard or worker count."""
+
+    def test_any_shard_count_is_identical(self, cache_dir):
+        circuit = get_circuit("lion")
+        reference = FaultUniverse(circuit)
+        for shards in (1, 2, 3, 5, 64):
+            backend = ParallelBackend(
+                base=ExhaustiveBackend(),
+                jobs=2,
+                shards=shards,
+                cache_dir=cache_dir,
+            )
+            u = FaultUniverse(circuit, backend=backend)
+            assert u.target_table.signatures == (
+                reference.target_table.signatures
+            )
+            assert u.untargeted_table.signatures == (
+                reference.untargeted_table.signatures
+            )
+            assert u.untargeted_table.faults == (
+                reference.untargeted_table.faults
+            )
+
+    def test_drop_undetectable_applied_after_merge(self, cache_dir):
+        # More shards than detectable faults: the drop must behave as if
+        # the table had been built in one piece.
+        circuit = get_circuit("lion")
+        backend = ParallelBackend(
+            base=ExhaustiveBackend(), jobs=2, shards=64, cache_dir=cache_dir
+        )
+        single = FaultUniverse(circuit).untargeted_table
+        parallel = FaultUniverse(circuit, backend=backend).untargeted_table
+        assert parallel.faults == single.faults
+        assert all(sig for sig in parallel.signatures)
+
+    def test_explicit_empty_fault_list(self, cache_dir):
+        circuit = get_circuit("lion")
+        backend = ParallelBackend(
+            base=ExhaustiveBackend(), jobs=2, cache_dir=cache_dir
+        )
+        table = backend.build_stuck_at(circuit, faults=[])
+        assert len(table) == 0
+
+
+class TestShardCacheAcceptance:
+    """A repeated build hits the warm shard cache (acceptance criterion)."""
+
+    def test_warm_cache_hit_on_repeated_build(self, cache_dir):
+        circuit = get_circuit("beecount")
+        backend = ParallelBackend(
+            base=SampledBackend(16, seed=3), jobs=2, cache_dir=cache_dir
+        )
+        reset_cache_stats()
+        cold = FaultUniverse(circuit, backend=backend)
+        cold.target_table, cold.untargeted_table
+        cold_stats = cache_stats()
+        assert cold_stats["hits"] == 0
+        assert cold_stats["stores"] > 0
+        warm = FaultUniverse(circuit, backend=backend)
+        warm.target_table, warm.untargeted_table
+        warm_stats = cache_stats()
+        assert warm_stats["misses"] == cold_stats["misses"]  # no new misses
+        assert warm_stats["hits"] == cold_stats["stores"]  # every shard hit
+        assert warm.target_table.signatures == cold.target_table.signatures
+
+    def test_cache_shared_across_jobs_values(self, cache_dir):
+        # The shard layout is jobs-independent, so a jobs=4 run reuses
+        # every shard a jobs=2 run stored.
+        circuit = get_circuit("lion")
+        first = ParallelBackend(
+            base=ExhaustiveBackend(), jobs=2, cache_dir=cache_dir
+        )
+        u1 = FaultUniverse(circuit, backend=first)
+        u1.target_table, u1.untargeted_table
+        reset_cache_stats()
+        second = ParallelBackend(
+            base=ExhaustiveBackend(), jobs=4, cache_dir=cache_dir
+        )
+        u2 = FaultUniverse(circuit, backend=second)
+        u2.target_table, u2.untargeted_table
+        stats = cache_stats()
+        assert stats["misses"] == 0
+        assert stats["hits"] > 0
+        assert u2.target_table.signatures == u1.target_table.signatures
+
+    def test_use_cache_false_never_touches_disk(self, tmp_path):
+        root = tmp_path / "never"
+        backend = ParallelBackend(
+            base=ExhaustiveBackend(),
+            jobs=2,
+            cache_dir=str(root),
+            use_cache=False,
+        )
+        u = FaultUniverse(get_circuit("lion"), backend=backend)
+        u.target_table, u.untargeted_table
+        assert not root.exists()
+
+
+class TestFaultUniverseJobs:
+    def test_jobs_wraps_backend(self, cache_dir):
+        u = FaultUniverse(get_circuit("lion"), jobs=2)
+        assert isinstance(u.backend, ParallelBackend)
+        assert u.backend.base == ExhaustiveBackend()
+
+    def test_jobs_one_stays_single_process(self):
+        u = FaultUniverse(get_circuit("lion"), jobs=1)
+        assert u.backend == ExhaustiveBackend()
+
+    def test_jobs_composes_with_backend(self):
+        base = SampledBackend(8, seed=1)
+        u = FaultUniverse(get_circuit("lion"), backend=base, jobs=2)
+        assert isinstance(u.backend, ParallelBackend)
+        assert u.backend.base == base
+
+    def test_parallel_backend_passes_through(self):
+        backend = ParallelBackend(base=ExhaustiveBackend(), jobs=3)
+        u = FaultUniverse(get_circuit("lion"), backend=backend, jobs=2)
+        assert u.backend is backend
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(AnalysisError, match="jobs"):
+            FaultUniverse(get_circuit("lion"), jobs=0).backend

@@ -1,0 +1,136 @@
+"""The persistent shard cache: keying, atomicity, degradation."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.bench_suite.registry import get_circuit
+from repro.faults.stuck_at import collapsed_stuck_at_faults
+from repro.faultsim.backends import ExhaustiveBackend, SampledBackend
+from repro.parallel import (
+    ShardCache,
+    backend_cache_key,
+    cache_stats,
+    circuit_digest,
+    default_cache_dir,
+    reset_cache_stats,
+    shard_key,
+)
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ShardCache(tmp_path / "shards")
+
+
+class TestKeys:
+    def test_circuit_digest_stable(self):
+        assert circuit_digest(get_circuit("lion")) == circuit_digest(
+            get_circuit("lion")
+        )
+
+    def test_circuit_digest_distinguishes_structures(self):
+        assert circuit_digest(get_circuit("lion")) != circuit_digest(
+            get_circuit("train4")
+        )
+
+    def test_backend_key_covers_configuration(self):
+        assert backend_cache_key(SampledBackend(8, seed=1)) != (
+            backend_cache_key(SampledBackend(8, seed=2))
+        )
+        assert backend_cache_key(SampledBackend(8, seed=1)) == (
+            backend_cache_key(SampledBackend(8, seed=1))
+        )
+
+    def test_shard_key_sensitivity(self):
+        circuit = get_circuit("lion")
+        faults = collapsed_stuck_at_faults(circuit)
+        base = shard_key(circuit, ExhaustiveBackend(), "stuck_at", faults[:4])
+        assert base == shard_key(
+            circuit, ExhaustiveBackend(), "stuck_at", faults[:4]
+        )
+        # Any input change re-addresses the entry.
+        assert base != shard_key(
+            circuit, ExhaustiveBackend(), "stuck_at", faults[:5]
+        )
+        assert base != shard_key(
+            circuit, ExhaustiveBackend(), "bridging", faults[:4]
+        )
+        assert base != shard_key(
+            circuit, SampledBackend(8), "stuck_at", faults[:4]
+        )
+        assert base != shard_key(
+            get_circuit("train4"), ExhaustiveBackend(), "stuck_at", faults[:4]
+        )
+
+
+class TestStore:
+    KEY = "a" * 64
+
+    def test_roundtrip(self, cache):
+        signatures = [0, 1, (1 << 200) - 3]
+        cache.put(self.KEY, signatures)
+        assert cache.get(self.KEY) == signatures
+        assert cache.hits == 1 and cache.misses == 0 and cache.stores == 1
+
+    def test_miss(self, cache):
+        assert cache.get(self.KEY) is None
+        assert cache.misses == 1
+
+    def test_overwrite_is_atomic_replace(self, cache):
+        cache.put(self.KEY, [1])
+        cache.put(self.KEY, [2])
+        assert cache.get(self.KEY) == [2]
+        assert len(cache.entries()) == 1
+        # No stray temp files left behind.
+        assert list(cache.root.glob("*.tmp")) == []
+
+    def test_corrupt_entry_is_a_miss(self, cache):
+        cache.put(self.KEY, [7])
+        path = cache.entries()[0]
+        path.write_bytes(b"not a pickle")
+        assert cache.get(self.KEY) is None
+
+    def test_wrong_version_is_a_miss(self, cache):
+        cache.put(self.KEY, [7])
+        path = cache.entries()[0]
+        path.write_bytes(
+            pickle.dumps({"version": -1, "signatures": [7]})
+        )
+        assert cache.get(self.KEY) is None
+
+    def test_clear_and_inspect(self, cache):
+        for i in range(3):
+            cache.put(f"{i}" * 64, [i])
+        assert len(cache.entries()) == 3
+        assert cache.total_bytes() > 0
+        assert cache.clear() == 3
+        assert cache.entries() == []
+        assert cache.total_bytes() == 0
+
+    def test_unwritable_root_degrades_silently(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the cache dir should be")
+        cache = ShardCache(blocker)  # mkdir will fail with EEXIST/ENOTDIR
+        cache.put(self.KEY, [1])  # must not raise
+        assert cache.stores == 0
+        assert cache.get(self.KEY) is None
+
+    def test_global_stats_aggregate_instances(self, tmp_path):
+        reset_cache_stats()
+        a = ShardCache(tmp_path / "s")
+        a.put(self.KEY, [5])
+        b = ShardCache(tmp_path / "s")  # a fresh instance, same directory
+        assert b.get(self.KEY) == [5]
+        stats = cache_stats()
+        assert stats["stores"] == 1
+        assert stats["hits"] == 1
+
+    def test_default_dir_honours_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "repro" / "shards"

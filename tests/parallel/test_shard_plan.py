@@ -1,0 +1,63 @@
+"""Shard plans: balance, determinism, and jobs-independence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.parallel import DEFAULT_NUM_SHARDS, Shard, ShardPlan
+
+
+class TestShardPlan:
+    def test_balanced_cover(self):
+        plan = ShardPlan(4)
+        shards = plan.shards(10)
+        assert [len(s) for s in shards] == [3, 3, 2, 2]
+        assert shards[0].start == 0
+        assert shards[-1].stop == 10
+        for prev, cur in zip(shards, shards[1:]):
+            assert cur.start == prev.stop  # contiguous, ordered
+
+    def test_sizes_differ_by_at_most_one(self):
+        for num_shards in (1, 2, 3, 7, 8, 16):
+            for n in (1, 5, 16, 97, 256):
+                sizes = [len(s) for s in ShardPlan(num_shards).shards(n)]
+                assert sum(sizes) == n
+                assert max(sizes) - min(sizes) <= 1
+
+    def test_no_empty_shards(self):
+        shards = ShardPlan(8).shards(3)
+        assert len(shards) == 3
+        assert all(len(s) == 1 for s in shards)
+
+    def test_zero_items(self):
+        assert ShardPlan(4).shards(0) == []
+        assert ShardPlan(4).split([]) == []
+
+    def test_split_concatenates_back(self):
+        items = list(range(23))
+        parts = ShardPlan(5).split(items)
+        assert [x for part in parts for x in part] == items
+
+    def test_deterministic(self):
+        assert ShardPlan(6).shards(50) == ShardPlan(6).shards(50)
+
+    def test_plan_is_jobs_independent(self):
+        # The default plan never consults a worker count: the same fault
+        # list cuts identically no matter how many processes run it —
+        # the property behind cross-`--jobs` shard-cache sharing.
+        assert ShardPlan().num_shards == DEFAULT_NUM_SHARDS
+
+    def test_invalid_num_shards(self):
+        with pytest.raises(AnalysisError, match="num_shards"):
+            ShardPlan(0)
+
+    def test_invalid_num_items(self):
+        with pytest.raises(AnalysisError, match="num_items"):
+            ShardPlan(2).shards(-1)
+
+    def test_invalid_shard_bounds(self):
+        with pytest.raises(AnalysisError, match="bounds"):
+            Shard(0, 3, 3)
+        with pytest.raises(AnalysisError, match="index"):
+            Shard(-1, 0, 1)

@@ -9,20 +9,28 @@ engines agree wherever their domains overlap.
   Monte-Carlo engine degenerates to the exact exhaustive result, bit for
   bit (its universe canonicalizes to the exhaustive mapping);
 * sampled-U with ``K < 2**p`` — popcount estimates land near the exact
-  ``N(f)`` / ``nmin`` values, averaged over seeds.
+  ``N(f)`` / ``nmin`` values, averaged over seeds;
+* sharded multiprocessing (``ParallelBackend(jobs=2)``) over any base
+  engine — signatures, counts, ``nmin`` records, and ``guaranteed_n``
+  are *bit-identical* to the single-process build, on random and suite
+  circuits alike (``REPRO_DIFF_SUITE=full`` sweeps every suite
+  circuit, as the CI workflow does).
 
 The numpy-packed engine's differential suite lives in
 ``tests/test_packed_differential.py`` (kept separate so this module
-still runs on numpy-less installs).
+still runs on numpy-less installs; the packed-base parallel case below
+guards its numpy import the same way).
 """
 
 from __future__ import annotations
 
+import os
 import statistics
 
 import pytest
 
 from repro.bench_suite.randlogic import random_circuit
+from repro.bench_suite.registry import suite_table_groups
 from repro.core.average_case import AverageCaseAnalysis
 from repro.core.escape import EscapeAnalysis
 from repro.core.procedure1 import build_random_ndetection_sets
@@ -34,6 +42,16 @@ from repro.faultsim.backends import (
     SampledBackend,
     SerialBackend,
 )
+from repro.parallel import ParallelBackend
+
+#: Representative tier-1 subset; REPRO_DIFF_SUITE=full sweeps them all.
+_SUITE_SUBSET = ("lion", "train4", "mc", "s8", "beecount")
+
+
+def _suite_circuits() -> list[str]:
+    if os.environ.get("REPRO_DIFF_SUITE") == "full":
+        return list(suite_table_groups())
+    return list(_SUITE_SUBSET)
 
 
 def _tables(circuit, backend):
@@ -85,6 +103,70 @@ class TestExactEnginesAgree:
         full = WorstCaseAnalysis(ful_f, ful_g)
         assert exact.nmin_values() == full.nmin_values()
         assert full.estimated_nmin_values() == full.nmin_values()
+
+
+class TestParallelDifferential:
+    """``ParallelBackend(jobs=2)`` ≡ the single-process build, bit for bit.
+
+    Sweeps every base engine; the shard cache is disabled so each case
+    measures a real sharded construction, not a replay.
+    """
+
+    @staticmethod
+    def _parallel(base):
+        return ParallelBackend(base=base, jobs=2, use_cache=False)
+
+    def _assert_equivalent(self, circuit, base):
+        single = FaultUniverse(circuit, backend=base)
+        parallel = FaultUniverse(circuit, backend=self._parallel(base))
+        for mine, theirs in (
+            (parallel.target_table, single.target_table),
+            (parallel.untargeted_table, single.untargeted_table),
+        ):
+            assert mine.faults == theirs.faults
+            assert mine.signatures == theirs.signatures
+            assert mine.universe == theirs.universe
+            assert mine.counts() == theirs.counts()
+        single_analysis = WorstCaseAnalysis(
+            single.target_table, single.untargeted_table
+        )
+        parallel_analysis = WorstCaseAnalysis(
+            parallel.target_table, parallel.untargeted_table
+        )
+        assert parallel_analysis.records == single_analysis.records
+        assert parallel_analysis.guaranteed_n() == (
+            single_analysis.guaranteed_n()
+        )
+
+    @pytest.mark.parametrize("seed,p,gates", [(21, 5, 12), (22, 6, 14)])
+    def test_exhaustive_base_random(self, seed, p, gates):
+        circuit = random_circuit(seed, num_inputs=p, num_gates=gates)
+        self._assert_equivalent(circuit, ExhaustiveBackend())
+
+    @pytest.mark.parametrize("seed,p,gates", [(23, 6, 14), (24, 7, 16)])
+    def test_sampled_base_random(self, seed, p, gates):
+        circuit = random_circuit(seed, num_inputs=p, num_gates=gates)
+        self._assert_equivalent(
+            circuit, SampledBackend(24, seed=seed)
+        )
+
+    def test_packed_base_random(self):
+        pytest.importorskip("numpy")
+        from repro.faultsim.backends import PackedBackend
+
+        circuit = random_circuit(25, num_inputs=6, num_gates=14)
+        self._assert_equivalent(circuit, PackedBackend())
+        self._assert_equivalent(circuit, PackedBackend(samples=24, seed=9))
+
+    def test_serial_base_random(self):
+        circuit = random_circuit(26, num_inputs=5, num_gates=12)
+        self._assert_equivalent(circuit, SerialBackend())
+
+    @pytest.mark.parametrize("name", _suite_circuits())
+    def test_suite_circuit(self, name):
+        from repro.bench_suite.registry import get_circuit
+
+        self._assert_equivalent(get_circuit(name), ExhaustiveBackend())
 
 
 class TestSampledEstimates:
