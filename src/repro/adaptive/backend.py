@@ -1,0 +1,178 @@
+"""``AdaptiveBackend``: the controller behind the backend protocol.
+
+The adaptive controller inherently couples the two table builds — one
+growth trajectory serves both ``F`` and ``G`` — while the
+:class:`~repro.faultsim.backends.DetectionBackend` protocol asks for
+them one at a time.  The backend therefore runs the controller once per
+circuit (memoized on the instance) and serves both builds, the final
+universe, and the line signatures from the same
+:class:`~repro.adaptive.controller.AdaptiveReport`.
+
+Parallelism is *internal*: each growth round shards its delta build
+through :class:`~repro.parallel.ParallelBackend`, so the backend
+exposes :meth:`with_jobs` and must never itself be wrapped in a
+parallel backend (wrapping would re-run the whole controller once per
+fault shard; :func:`repro.parallel.maybe_parallel` knows to inject the
+worker count here instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.circuit.netlist import Circuit
+from repro.errors import AnalysisError
+from repro.faults.bridging import BridgingFault
+from repro.faults.stuck_at import StuckAtFault
+from repro.faultsim.detection import (
+    DetectionTable,
+    universe_line_signatures,
+)
+from repro.faultsim.sampling import VectorUniverse
+from repro.adaptive.controller import (
+    AdaptiveReport,
+    AdaptiveSampler,
+    StoppingRule,
+)
+
+
+@dataclass(frozen=True)
+class AdaptiveBackend:
+    """Adaptive-``K`` detection tables behind the standard protocol.
+
+    Frozen and hashable like every other engine, so the experiment-layer
+    caches key on the full configuration.  ``jobs`` is excluded from
+    equality/hash on purpose: the trajectory is bit-identical at any
+    worker count (the adaptive differential suite enforces this), so a
+    ``jobs=4`` run must share cached tables with a single-process run.
+    """
+
+    target_halfwidth: float = 0.05
+    confidence: float = 0.95
+    k_smallest: int = 8
+    initial_samples: int = 64
+    max_samples: int = 1 << 14
+    growth: int = 2
+    seed: int = 0
+    stratify: str | None = None
+    representation: str = "auto"
+    jobs: int = field(default=1, compare=False)
+    use_cache: bool = field(default=True, compare=False)
+    name: str = "adaptive"
+    needs_base_signatures = False
+
+    def __post_init__(self) -> None:
+        self.rule  # validates every rule parameter eagerly
+        if self.jobs < 1:
+            raise AnalysisError(f"jobs must be >= 1, got {self.jobs}")
+        object.__setattr__(self, "_reports", {})
+
+    # -- configuration -------------------------------------------------
+    @property
+    def rule(self) -> StoppingRule:
+        return StoppingRule(
+            target_halfwidth=self.target_halfwidth,
+            confidence=self.confidence,
+            k_smallest=self.k_smallest,
+            initial_samples=self.initial_samples,
+            max_samples=self.max_samples,
+            growth=self.growth,
+        )
+
+    def with_jobs(self, jobs: int) -> "AdaptiveBackend":
+        """Copy with the worker count for the internal round builds."""
+        return replace(self, jobs=jobs)
+
+    # -- the memoized controller run -----------------------------------
+    def report_for(self, circuit: Circuit) -> AdaptiveReport:
+        """The adaptive run for ``circuit`` (executed once, then cached)."""
+        key = id(circuit)
+        cached = self._reports.get(key)
+        if cached is not None and cached[0] is circuit:
+            return cached[1]
+        report = AdaptiveSampler(
+            circuit,
+            rule=self.rule,
+            seed=self.seed,
+            stratify=self.stratify,
+            representation=self.representation,
+            jobs=self.jobs,
+            use_cache=self.use_cache,
+        ).run()
+        self._reports[key] = (circuit, report)
+        return report
+
+    @property
+    def builds_packed(self) -> bool:
+        if self.representation == "packed":
+            return True
+        if self.representation == "bigint":
+            return False
+        from repro.logic.packed import have_numpy
+
+        return have_numpy()
+
+    # -- protocol ------------------------------------------------------
+    def universe_for(self, circuit: Circuit) -> VectorUniverse:
+        return self.report_for(circuit).universe
+
+    def line_signatures(self, circuit: Circuit) -> list[int]:
+        return universe_line_signatures(
+            circuit, self.universe_for(circuit)
+        )
+
+    def build_stuck_at(
+        self,
+        circuit: Circuit,
+        faults: list[StuckAtFault] | None = None,
+        base_signatures: list[int] | None = None,
+        drop_undetectable: bool = False,
+    ) -> DetectionTable:
+        report = self.report_for(circuit)
+        table = report.target_table
+        self._check_faults(circuit, faults, table.faults, "stuck-at")
+        if drop_undetectable:
+            return self._dropped(table)
+        return table
+
+    def build_bridging(
+        self,
+        circuit: Circuit,
+        faults: list[BridgingFault] | None = None,
+        base_signatures: list[int] | None = None,
+        drop_undetectable: bool = True,
+    ) -> DetectionTable:
+        report = self.report_for(circuit)
+        table = report.untargeted_table
+        self._check_faults(circuit, faults, table.faults, "bridging")
+        if drop_undetectable:
+            return self._dropped(table)
+        return table
+
+    @staticmethod
+    def _check_faults(circuit, requested, available, kind) -> None:
+        if requested is not None and list(requested) != list(available):
+            raise AnalysisError(
+                f"the adaptive backend builds the standard {kind} fault "
+                f"set of {circuit.name!r} in one coupled run; pass "
+                f"faults=None (or exactly the standard list)"
+            )
+
+    @staticmethod
+    def _dropped(table: DetectionTable) -> DetectionTable:
+        kept = [
+            (f, s)
+            for f, s in zip(table.faults, table.signatures)
+            if s
+        ]
+        faults = [f for f, _ in kept]
+        signatures = [s for _, s in kept]
+        if type(table) is not DetectionTable:
+            # Numpy-packed tables re-derive the packed block from the
+            # filtered signatures (same class, same universe).
+            return type(table)(
+                table.circuit, faults, signatures, table.universe
+            )
+        return DetectionTable(
+            table.circuit, faults, signatures, table.universe
+        )

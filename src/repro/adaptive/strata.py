@@ -1,0 +1,598 @@
+"""Stratified / importance strata for rare-activation bridging faults.
+
+The heavy-``nmin`` tail of the worst-case analysis lives exactly where
+uniform sampling is weakest: bridging faults whose *activation* event
+(fault-free ``l1 = a1`` and ``l2 = a2``) holds on a tiny fraction of
+``U``.  A uniform ``K``-draw observes such a fault ``K * p_act`` times
+in expectation, so certifying its ``N(g)`` to a relative precision costs
+``K ~ 1/p_act`` — hopeless for activation probabilities in the 2**-10
+range.  Stratified sampling fixes this by carving the *activation
+regions themselves* out of ``U`` and sampling them directly.
+
+Construction (:func:`build_bridging_strata`):
+
+1. every non-feedback bridging pair site whose combined input-support
+   cone is small enough to enumerate is evaluated *exactly*: the two
+   activation events per pair (``a=0,b=1`` and ``a=1,b=0``) have their
+   probabilities computed over the ``2**|S|`` assignments of the support
+   cone (everything outside the support is irrelevant to activation);
+2. events with small positive probability become candidate
+   :class:`ActivationPredicate`\\ s (rarest first); a greedy pass selects
+   predicates while the union of their supports stays enumerable;
+3. the selected predicates form a *decision list*: stratum ``i`` is the
+   set of vectors activating predicate ``i`` but none before it, and the
+   final stratum is the bulk (no predicate active).  Classifying the
+   ``2**|T|`` assignments of the combined support ``T`` yields **exact**
+   stratum populations — every vector of ``U`` belongs to exactly one
+   stratum, so the per-stratum estimators recombine into unbiased
+   ``N(f)`` estimates.
+
+Each stratum supports direct uniform sampling: pick one of its
+(pre-enumerated) support projections uniformly, fill the free inputs
+uniformly at random.  Cube semantics (specified support bits + free
+bits) follow :mod:`repro.logic.cube`; :meth:`StrataPlan.stratum_cubes`
+exposes each stratum as explicit cubes for inspection.
+
+The estimator (:func:`stratified_interval`) is the standard stratified
+finite-population one: ``N̂(f) = Σ_h |U_h| · k_h / K_h`` with variance
+``Σ_h |U_h|² · p̃_h (1 - p̃_h) / K_h · fpc_h`` (Wilson-center smoothed
+``p̃``, per-stratum finite-population correction), recombined into a
+normal-approximation :class:`~repro.faultsim.sampling.CountEstimate`.
+Sample allocation across strata uses Neyman allocation
+(:func:`neyman_allocation`): draws proportional to ``|U_h| · σ_h``,
+which concentrates the budget on the rare, high-uncertainty strata.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.circuit.netlist import Circuit
+from repro.errors import AnalysisError
+from repro.faults.bridging import BridgingFault, bridging_pair_sites
+from repro.faultsim.sampling import (
+    CountEstimate,
+    VectorUniverse,
+    confidence_z,
+)
+from repro.logic.bitops import iter_set_bits
+from repro.logic.cube import Cube
+from repro.simulation.twoval import simulate_batch
+
+
+@dataclass(frozen=True)
+class ActivationPredicate:
+    """One rare activation event: ``line_a = value_a and line_b = value_b``.
+
+    ``support`` holds the event's input positions (0-based indices into
+    ``circuit.inputs``); ``probability`` is the *exact* activation
+    probability over ``U``, computed by enumerating the support cone.
+    The event covers the two bridging faults that share it as their
+    activation condition: ``(a, va, b, vb)`` and ``(b, vb, a, va)``.
+    """
+
+    line_a: int
+    value_a: int
+    line_b: int
+    value_b: int
+    support: tuple[int, ...]
+    probability: float
+
+    def faults(self) -> tuple[BridgingFault, BridgingFault]:
+        """The two four-way bridging faults activated by this event."""
+        return (
+            BridgingFault(self.line_a, self.value_a,
+                          self.line_b, self.value_b),
+            BridgingFault(self.line_b, self.value_b,
+                          self.line_a, self.value_a),
+        )
+
+    def label(self, circuit: Circuit) -> str:
+        a = circuit.lines[self.line_a].name
+        b = circuit.lines[self.line_b].name
+        return f"act({a}={self.value_a},{b}={self.value_b})"
+
+
+@dataclass(frozen=True)
+class Stratum:
+    """One cell of the partition of ``U``.
+
+    ``projections`` are the assignments over the plan's combined support
+    ``T`` whose extensions belong to this stratum; the population is
+    ``len(projections) * 2**(p - |T|)`` — exact, since membership
+    depends on the ``T`` bits alone.
+    """
+
+    index: int
+    label: str
+    projections: tuple[int, ...]
+    population: int
+
+
+@dataclass(frozen=True)
+class StrataPlan:
+    """A partition of ``U`` by a decision list of activation predicates.
+
+    Built once per circuit by :func:`build_bridging_strata`; pure data
+    (frozen, value-comparable), so universes built from equal plans
+    compare equal across processes and ``--jobs`` values.
+    """
+
+    num_inputs: int
+    support: tuple[int, ...]
+    predicates: tuple[ActivationPredicate, ...]
+    strata: tuple[Stratum, ...]
+    #: ``predicate_touches[i]`` — indices of the strata intersecting
+    #: predicate ``i``'s activation region.  By the decision-list
+    #: construction these never include the bulk, so a covered fault's
+    #: detection set provably avoids every untouched stratum — the
+    #: controller uses this to drop their (spurious) variance terms.
+    predicate_touches: tuple[tuple[int, ...], ...] = ()
+    _proj_to_stratum: dict = field(
+        init=False, default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.strata:
+            raise AnalysisError("a strata plan needs at least one stratum")
+        total = sum(s.population for s in self.strata)
+        if total != 1 << self.num_inputs:
+            raise AnalysisError(
+                f"strata populations sum to {total}, not "
+                f"2**{self.num_inputs} — not a partition of U"
+            )
+
+    # -- geometry ------------------------------------------------------
+    @property
+    def space(self) -> int:
+        return 1 << self.num_inputs
+
+    @property
+    def num_strata(self) -> int:
+        return len(self.strata)
+
+    @property
+    def free_bits(self) -> int:
+        """Inputs outside the combined support (free in every stratum)."""
+        return self.num_inputs - len(self.support)
+
+    # -- vector <-> stratum mapping ------------------------------------
+    def projection_of(self, vector: int) -> int:
+        """The vector's assignment over the combined support ``T``."""
+        p, t = self.num_inputs, len(self.support)
+        proj = 0
+        for i, pos in enumerate(self.support):
+            if (vector >> (p - 1 - pos)) & 1:
+                proj |= 1 << (t - 1 - i)
+        return proj
+
+    def stratum_of(self, vector: int) -> int:
+        """Index of the stratum containing ``vector``."""
+        lookup = self._proj_to_stratum
+        if lookup is None:
+            lookup = {}
+            for s in self.strata:
+                for proj in s.projections:
+                    lookup[proj] = s.index
+            object.__setattr__(self, "_proj_to_stratum", lookup)
+        return lookup[self.projection_of(vector)]
+
+    def compose(self, projection: int, free: int) -> int:
+        """Vector with ``projection`` on ``T`` and ``free`` elsewhere."""
+        p, t = self.num_inputs, len(self.support)
+        support = set(self.support)
+        v = 0
+        for i, pos in enumerate(self.support):
+            if (projection >> (t - 1 - i)) & 1:
+                v |= 1 << (p - 1 - pos)
+        bit = 0
+        for pos in range(p):
+            if pos in support:
+                continue
+            if (free >> bit) & 1:
+                v |= 1 << (p - 1 - pos)
+            bit += 1
+        return v
+
+    def draw_from_stratum(self, index: int, rng) -> int:
+        """One uniform vector from stratum ``index`` (rejection-free)."""
+        s = self.strata[index]
+        proj = s.projections[rng.randrange(len(s.projections))]
+        free = rng.getrandbits(self.free_bits) if self.free_bits else 0
+        return self.compose(proj, free)
+
+    def stratum_cubes(self, index: int) -> list[Cube]:
+        """The stratum as explicit input cubes (one per projection)."""
+        p, t = self.num_inputs, len(self.support)
+        care = 0
+        for pos in self.support:
+            care |= 1 << (p - 1 - pos)
+        cubes = []
+        for proj in self.strata[index].projections:
+            value = 0
+            for i, pos in enumerate(self.support):
+                if (proj >> (t - 1 - i)) & 1:
+                    value |= 1 << (p - 1 - pos)
+            cubes.append(Cube(p, care, value))
+        return cubes
+
+    def covered_faults(self) -> list[BridgingFault]:
+        """Bridging faults whose whole detection set is importance-covered.
+
+        A fault covered here has its activation region — and therefore
+        its entire ``T(g)`` — inside the predicate strata, never in the
+        bulk, so its count estimate enjoys the full importance-sampling
+        variance reduction.
+        """
+        out: list[BridgingFault] = []
+        for pred in self.predicates:
+            out.extend(pred.faults())
+        return out
+
+    def covered_fault_strata(self) -> dict[BridgingFault, tuple[int, ...]]:
+        """Per covered fault: the strata its detection set can touch."""
+        out: dict[BridgingFault, tuple[int, ...]] = {}
+        for i, pred in enumerate(self.predicates):
+            touches = (
+                self.predicate_touches[i]
+                if i < len(self.predicate_touches)
+                else tuple(range(self.num_strata))
+            )
+            for fault in pred.faults():
+                out[fault] = touches
+        return out
+
+
+def _support_positions(circuit: Circuit, lids: tuple[int, ...]) -> tuple:
+    """Input positions feeding any of ``lids`` (sorted, deduplicated)."""
+    pos_of = {lid: j for j, lid in enumerate(circuit.inputs)}
+    inputs = set(circuit.inputs)
+    support: set[int] = set()
+    for lid in lids:
+        cone = circuit.transitive_fanin(lid)
+        cone.add(lid)
+        support.update(pos_of[i] for i in cone & inputs)
+    return tuple(sorted(support))
+
+
+def _enumeration_vectors(
+    circuit: Circuit, support: tuple[int, ...]
+) -> list[int]:
+    """One vector per support assignment (free inputs held at 0)."""
+    p, t = circuit.num_inputs, len(support)
+    vectors = []
+    for asg in range(1 << t):
+        v = 0
+        for i, pos in enumerate(support):
+            if (asg >> (t - 1 - i)) & 1:
+                v |= 1 << (p - 1 - pos)
+        vectors.append(v)
+    return vectors
+
+
+def build_bridging_strata(
+    circuit: Circuit,
+    max_site_support: int = 12,
+    max_support: int = 16,
+    max_strata: int = 9,
+    rare_threshold: float = 1.0 / 16.0,
+    max_candidates: int = 256,
+) -> StrataPlan:
+    """Strata plan over the circuit's rare bridging activation events.
+
+    Parameters bound the enumeration work: only pair sites whose
+    combined support has at most ``max_site_support`` inputs are
+    evaluated (cheapest and most concentrated first, at most
+    ``max_candidates`` pairs), only events with exact activation
+    probability in ``(0, rare_threshold]`` become candidates, and
+    predicates are selected greedily (rarest first) while the union of
+    their supports stays within ``max_support`` inputs and the plan
+    within ``max_strata`` strata (including the bulk).
+
+    Degenerates gracefully: a circuit with no enumerable rare events
+    yields the single-stratum (bulk-only) plan, which makes stratified
+    sampling coincide with uniform sampling.
+    """
+    if max_site_support < 1 or max_support < max_site_support:
+        raise AnalysisError(
+            "strata bounds must satisfy 1 <= max_site_support <= "
+            f"max_support, got {max_site_support} / {max_support}"
+        )
+    if max_strata < 2:
+        raise AnalysisError(
+            f"max_strata must leave room for one predicate stratum plus "
+            f"the bulk (>= 2), got {max_strata}"
+        )
+    if not 0.0 < rare_threshold <= 1.0:
+        raise AnalysisError(
+            f"rare_threshold must be in (0, 1], got {rare_threshold}"
+        )
+    p = circuit.num_inputs
+    sites = []
+    for a, b in bridging_pair_sites(circuit):
+        support = _support_positions(circuit, (a, b))
+        if 0 < len(support) <= max_site_support:
+            sites.append((len(support), a, b, support))
+    sites.sort()
+    candidates: list[ActivationPredicate] = []
+    for _, a, b, support in sites[:max_candidates]:
+        t = len(support)
+        lanes = 1 << t
+        values = simulate_batch(
+            circuit, _enumeration_vectors(circuit, support)
+        )
+        word_a, word_b = values[a], values[b]
+        mask = (1 << lanes) - 1
+        for va, vb in ((0, 1), (1, 0)):
+            act = (word_a if va else ~word_a & mask) & (
+                word_b if vb else ~word_b & mask
+            )
+            count = act.bit_count()
+            probability = count / lanes
+            if 0 < probability <= rare_threshold:
+                candidates.append(
+                    ActivationPredicate(a, va, b, vb, support, probability)
+                )
+    candidates.sort(
+        key=lambda c: (c.probability, c.line_a, c.line_b, c.value_a)
+    )
+    selected: list[ActivationPredicate] = []
+    union: set[int] = set()
+    for cand in candidates:
+        widened = union | set(cand.support)
+        if len(widened) > max_support:
+            continue
+        selected.append(cand)
+        union = widened
+        if len(selected) >= max_strata - 1:
+            break
+    support = tuple(sorted(union))
+    t = len(support)
+    if not selected:
+        bulk = Stratum(0, "bulk", (0,), 1 << p)
+        return StrataPlan(p, (), (), (bulk,))
+    # Classify every assignment of the combined support by decision list.
+    lanes = 1 << t
+    mask = (1 << lanes) - 1
+    values = simulate_batch(circuit, _enumeration_vectors(circuit, support))
+    remaining = mask
+    strata: list[Stratum] = []
+    kept: list[ActivationPredicate] = []
+    acts: list[int] = []
+    cells: list[int] = []
+    free = p - t
+    for pred in selected:
+        word_a, word_b = values[pred.line_a], values[pred.line_b]
+        act = (word_a if pred.value_a else ~word_a & mask) & (
+            word_b if pred.value_b else ~word_b & mask
+        )
+        cell = act & remaining
+        if not cell:
+            continue  # fully shadowed by earlier predicates
+        remaining &= ~act
+        projections = tuple(iter_set_bits(cell))
+        kept.append(pred)
+        acts.append(act)
+        cells.append(cell)
+        strata.append(
+            Stratum(
+                len(strata),
+                pred.label(circuit),
+                projections,
+                len(projections) << free,
+            )
+        )
+    bulk_projections = tuple(iter_set_bits(remaining))
+    strata.append(
+        Stratum(
+            len(strata), "bulk", bulk_projections,
+            len(bulk_projections) << free,
+        )
+    )
+    touches = tuple(
+        tuple(h for h, cell in enumerate(cells) if act & cell)
+        for act in acts
+    )
+    return StrataPlan(p, support, tuple(kept), tuple(strata), touches)
+
+
+# ----------------------------------------------------------------------
+# The stratified universe and its estimators
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StratifiedVectorUniverse(VectorUniverse):
+    """A sampled universe whose vectors were drawn stratum by stratum.
+
+    Behaves exactly like a plain sampled
+    :class:`~repro.faultsim.sampling.VectorUniverse` (sorted distinct
+    vectors, sample-space signatures), but overrides the estimation
+    dispatch with the unbiased stratified estimator: per-stratum
+    popcounts scaled by per-stratum populations, recombined with
+    per-stratum finite-population-corrected variances.  The plan and the
+    vector list fully determine the estimator, so equal draws compare
+    equal regardless of how many worker processes built the tables.
+    """
+
+    plan: StrataPlan | None = None
+    _stratum_masks: tuple | None = field(
+        init=False, default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.plan is None:
+            raise AnalysisError(
+                "a stratified universe needs its strata plan"
+            )
+        if self.plan.num_inputs != self.num_inputs:
+            raise AnalysisError(
+                "strata plan and universe disagree on the input count"
+            )
+        if self.vectors is None:
+            raise AnalysisError(
+                "a stratified universe is always an explicit sample"
+            )
+
+    # -- per-stratum geometry ------------------------------------------
+    def _masks_and_draws(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Per-stratum signature masks and draw counts (cached)."""
+        cached = self._stratum_masks
+        if cached is None:
+            masks = [0] * self.plan.num_strata
+            for bit, vector in enumerate(self.vectors):
+                masks[self.plan.stratum_of(vector)] |= 1 << bit
+            draws = tuple(m.bit_count() for m in masks)
+            cached = (tuple(masks), draws)
+            object.__setattr__(self, "_stratum_masks", cached)
+        return cached
+
+    @property
+    def draws_per_stratum(self) -> tuple[int, ...]:
+        return self._masks_and_draws()[1]
+
+    def stratum_counts(self, signature: int) -> list[int]:
+        """Per-stratum popcounts of a signature over this universe."""
+        masks, _ = self._masks_and_draws()
+        return [(signature & m).bit_count() for m in masks]
+
+    # -- estimation dispatch (overrides the uniform estimators) --------
+    def estimate_signature(self, signature: int) -> float:
+        est = 0.0
+        masks, draws = self._masks_and_draws()
+        for stratum, mask, drawn in zip(self.plan.strata, masks, draws):
+            if drawn == 0:
+                continue  # no information; population contributes 0
+            est += stratum.population * (
+                (signature & mask).bit_count() / drawn
+            )
+        return est
+
+    def interval_for_signature(
+        self, signature: int, confidence: float = 0.95
+    ) -> CountEstimate:
+        return stratified_interval(self, signature, confidence)
+
+
+def stratified_interval(
+    universe: StratifiedVectorUniverse,
+    signature: int,
+    confidence: float = 0.95,
+) -> CountEstimate:
+    """Stratified count estimate with a recombined confidence interval.
+
+    ``N̂ = Σ_h N_h k_h / K_h``; the variance sums per-stratum binomial
+    variances with the finite-population correction, using the
+    Wilson-center smoothed proportion ``p̃ = (k + z²/2) / (K + z²)`` so
+    strata observed at exactly 0 or 1 keep a positive variance until
+    they are exhausted.  Strata with no draws contribute their *entire*
+    population to the uncertainty (we know nothing about them), so the
+    interval stays honest before every stratum has been touched.
+    """
+    z = confidence_z(confidence)
+    masks, draws = universe._masks_and_draws()
+    est = 0.0
+    var = 0.0
+    slack = 0.0
+    sample_count = 0
+    for stratum, mask, drawn in zip(universe.plan.strata, masks, draws):
+        pop = stratum.population
+        k = (signature & mask).bit_count()
+        sample_count += k
+        if drawn == 0:
+            slack += pop
+            continue
+        est += pop * (k / drawn)
+        if drawn >= pop:
+            continue  # stratum exhausted: exact, zero variance
+        smoothed = (k + z * z / 2.0) / (drawn + z * z)
+        fpc = (pop - drawn) / (pop - 1) if pop > 1 else 0.0
+        var += (pop * pop) * smoothed * (1.0 - smoothed) / drawn * fpc
+    half = z * math.sqrt(var) if var > 0.0 else 0.0
+    low = max(0.0, est - half)
+    high = min(float(universe.space), est + half + slack)
+    return CountEstimate(sample_count, est, low, high, confidence)
+
+
+def neyman_allocation(
+    plan: StrataPlan,
+    total: int,
+    sigmas: list[float],
+    drawn: list[int],
+) -> list[int]:
+    """Split ``total`` new draws across strata by Neyman allocation.
+
+    Weights are ``N_h · σ_h`` (population times pooled per-stratum
+    standard deviation); every non-exhausted stratum receives at least
+    one draw while draws remain, allocations never exceed the stratum's
+    remaining population, and the integer apportionment (largest
+    fractional remainder, stratum index as the tie-break) is fully
+    deterministic — a requirement of the bit-identical-across-jobs
+    guarantee.
+    """
+    if total < 0:
+        raise AnalysisError(f"allocation total must be >= 0, got {total}")
+    m = plan.num_strata
+    if len(sigmas) != m or len(drawn) != m:
+        raise AnalysisError(
+            "sigmas/drawn must have one entry per stratum"
+        )
+    room = [s.population - d for s, d in zip(plan.strata, drawn)]
+    if any(r < 0 for r in room):
+        raise AnalysisError("stratum overdrawn: draws exceed population")
+    total = min(total, sum(room))
+    alloc = [0] * m
+    if total == 0:
+        return alloc
+    # Floor: one draw per open stratum (importance guarantee — rare
+    # strata are never starved by a dominant bulk weight).
+    open_strata = [h for h in range(m) if room[h] > 0]
+    for h in open_strata:
+        if sum(alloc) >= total:
+            break
+        alloc[h] = 1
+    while True:
+        rest = total - sum(alloc)
+        if rest <= 0:
+            break
+        weights = [
+            (plan.strata[h].population * max(sigmas[h], 1e-12))
+            if alloc[h] < room[h]
+            else 0.0
+            for h in range(m)
+        ]
+        weight_sum = sum(weights)
+        if weight_sum <= 0.0:
+            # Everything with weight is full; spill into any open room.
+            for h in range(m):
+                take = min(rest, room[h] - alloc[h])
+                alloc[h] += take
+                rest -= take
+                if rest == 0:
+                    break
+            break
+        shares = [rest * w / weight_sum for w in weights]
+        extra = [min(int(s), room[h] - alloc[h]) for h, s in enumerate(shares)]
+        remainder_order = sorted(
+            range(m),
+            key=lambda h: (-(shares[h] - int(shares[h])), h),
+        )
+        spill = rest - sum(extra)
+        for h in remainder_order:
+            if spill == 0:
+                break
+            if alloc[h] + extra[h] < room[h]:
+                extra[h] += 1
+                spill -= 1
+        if all(e == 0 for e in extra):
+            # Capped everywhere; distribute leftovers linearly.
+            for h in range(m):
+                take = min(rest, room[h] - alloc[h])
+                alloc[h] += take
+                rest -= take
+                if rest == 0:
+                    break
+            break
+        for h in range(m):
+            alloc[h] += extra[h]
+    return alloc

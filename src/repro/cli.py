@@ -16,12 +16,17 @@ Commands regenerate the paper's artifacts::
     repro cache info|clear           # inspect / empty the shard cache
 
 ``analyze``, ``escape``, and ``partition`` accept
-``--backend exhaustive|sampled|serial|packed`` (with ``--samples K`` /
-``--seed`` / ``--replacement`` for ``sampled`` and ``packed``), so
-circuits beyond the 24-input exhaustive cap can be analyzed via
-Monte-Carlo sampled-U detection tables; ``packed`` stores the same
-signatures as numpy ``uint64`` blocks and runs the worst-case ``nmin``
-scan vectorized.  ``--jobs N`` (or env ``REPRO_JOBS``) shards
+``--backend exhaustive|sampled|serial|packed|adaptive`` (with
+``--samples K`` / ``--seed`` / ``--replacement`` for ``sampled`` and
+``packed``), so circuits beyond the 24-input exhaustive cap can be
+analyzed via Monte-Carlo sampled-U detection tables; ``packed`` stores
+the same signatures as numpy ``uint64`` blocks and runs the worst-case
+``nmin`` scan vectorized.  The ``adaptive`` engine sizes its own draw:
+it grows ``K`` geometrically (``--target-halfwidth`` /
+``--max-samples`` / ``--initial-samples``) until the confidence
+intervals of the smallest ``N(f)`` estimates meet the target, and
+``--stratify bridging`` adds importance strata over rare bridging
+activation regions.  ``--jobs N`` (or env ``REPRO_JOBS``) shards
 detection-table construction across ``N`` worker processes — results
 are bit-for-bit identical to the single-process build, and shard
 results persist in an on-disk cache (``REPRO_CACHE_DIR``) that the
@@ -100,6 +105,37 @@ def _add_backend(parser: argparse.ArgumentParser) -> None:
             "any value)"
         ),
     )
+    parser.add_argument(
+        "--target-halfwidth",
+        type=float,
+        default=None,
+        help=(
+            "adaptive backend: grow K until the smallest-N(f) "
+            "confidence intervals are this tight (relative precision, "
+            "default 0.05)"
+        ),
+    )
+    parser.add_argument(
+        "--max-samples",
+        type=int,
+        default=None,
+        help="adaptive backend: total vector budget (default 16384)",
+    )
+    parser.add_argument(
+        "--initial-samples",
+        type=int,
+        default=None,
+        help="adaptive backend: first-round draw size (default 64)",
+    )
+    parser.add_argument(
+        "--stratify",
+        choices=["none", "bridging"],
+        default=None,
+        help=(
+            "adaptive backend: importance strata over rare bridging "
+            "activation regions"
+        ),
+    )
 
 
 def _backend_from_args(args: argparse.Namespace):
@@ -112,9 +148,15 @@ def _backend_from_args(args: argparse.Namespace):
         raise AnalysisError(f"--jobs must be >= 1, got {jobs}")
     sampling_backends = ("sampled", "packed")
     if args.backend not in sampling_backends and args.samples is not None:
+        hint = (
+            "; the adaptive backend sizes its own draw — use "
+            "--max-samples for the budget"
+            if args.backend == "adaptive"
+            else ""
+        )
         raise AnalysisError(
             f"--samples only applies to --backend sampled or packed "
-            f"(got --backend {args.backend})"
+            f"(got --backend {args.backend}){hint}"
         )
     if args.backend not in sampling_backends and getattr(
         args, "replacement", False
@@ -138,6 +180,13 @@ def _backend_from_args(args: argparse.Namespace):
         seed=getattr(args, "seed", 0),
         replacement=getattr(args, "replacement", False),
         jobs=resolve_jobs(jobs),
+        target_halfwidth=getattr(args, "target_halfwidth", None),
+        # `is None`, not truthiness: an explicit --confidence 0.0 must
+        # reach the stopping rule's validation, not silently become 95%.
+        confidence=getattr(args, "confidence", None),
+        max_samples=getattr(args, "max_samples", None),
+        initial_samples=getattr(args, "initial_samples", None),
+        stratify=getattr(args, "stratify", None),
     )
 
 
@@ -261,6 +310,7 @@ def _cmd_suite() -> str:
 
 
 def _cmd_partition(args: argparse.Namespace) -> str:
+    from repro.adaptive import AdaptiveBackend
     from repro.core.partition import PartitionedAnalysis
     from repro.faultsim.backends import PackedBackend, SampledBackend
     from repro.parallel import ParallelBackend
@@ -268,7 +318,9 @@ def _cmd_partition(args: argparse.Namespace) -> str:
     backend = _backend_from_args(args)
     jobs = backend.jobs if isinstance(backend, ParallelBackend) else None
     base = backend.base if isinstance(backend, ParallelBackend) else backend
-    if not isinstance(base, (SampledBackend, PackedBackend)):
+    if not isinstance(
+        base, (SampledBackend, PackedBackend, AdaptiveBackend)
+    ):
         # Exhaustive/serial cannot cover cones wider than the bound;
         # keep the legacy strict behavior (wide outputs raise).  `jobs`
         # is orthogonal and stays threaded through the cone builds.
@@ -285,11 +337,11 @@ def _cmd_partition(args: argparse.Namespace) -> str:
         lines.append(f"  {key}: {value}")
     for cone in analysis.cones:
         g = cone.analysis.guaranteed_n()
-        tag = (
-            ""
-            if cone.analysis.universe.exact
-            else f" backend={base.name}"
-        )
+        universe = cone.analysis.universe
+        tag = "" if universe.exact else f" backend={base.name}"
+        if not universe.exact and isinstance(base, AdaptiveBackend):
+            # Per-cone adaptive K: each wide cone picked its own size.
+            tag += f" K={universe.size}"
         lines.append(
             f"  cone {cone.circuit.name}: inputs={cone.circuit.num_inputs} "
             f"faults={len(cone.analysis)} guaranteed_n={g}{tag}"
@@ -373,15 +425,17 @@ def _cmd_escape(args: argparse.Namespace) -> str:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> str:
+    from repro.adaptive import AdaptiveBackend
     from repro.core.worst_case import WorstCaseAnalysis
     from repro.faults.universe import FaultUniverse
-    from repro.faultsim.sampling import count_interval
     from repro.parallel import ParallelBackend
 
     circuit = get_circuit(args.circuit)
     backend = _backend_from_args(args)
     label = args.backend
     if isinstance(backend, ParallelBackend):
+        label += f" jobs={backend.jobs}"
+    elif isinstance(backend, AdaptiveBackend) and backend.jobs > 1:
         label += f" jobs={backend.jobs}"
     universe = FaultUniverse(circuit, backend=backend)
     worst = WorstCaseAnalysis(
@@ -397,6 +451,28 @@ def _cmd_analyze(args: argparse.Namespace) -> str:
         f"({universe.target_table.num_detectable()} detectable)",
         f"  untargeted faults |G|: {len(worst)}",
     ]
+    if isinstance(backend, AdaptiveBackend):
+        report = backend.report_for(circuit)
+        lines.append(
+            "  adaptive trajectory"
+            + (
+                f" ({report.plan.num_strata} strata over "
+                f"{len(report.plan.support)} support inputs)"
+                if report.stratified
+                else " (uniform growth)"
+            )
+            + ":"
+        )
+        lines.extend(f"    {line}" for line in report.trajectory_lines())
+        for fe in report.focus:
+            est = fe.estimate
+            lines.append(
+                f"    smallest N estimate [{fe.kind} "
+                f"#{fe.fault_index}]: {est.estimate:.4g} "
+                f"[{est.low:.4g}, {est.high:.4g}] "
+                f"half-width/estimate = {fe.relative_halfwidth:.4f} "
+                f"at {est.confidence:.0%}"
+            )
     guaranteed = worst.guaranteed_n()
     if vu.exact:
         lines.append(f"  guaranteed n: {guaranteed}")
@@ -408,10 +484,14 @@ def _cmd_analyze(args: argparse.Namespace) -> str:
             f"estimated over |U|: {est_text}"
         )
         # Spread of the estimator at this K, shown for the largest N(f).
-        counts = universe.target_table.counts()
-        if counts:
-            top = max(range(len(counts)), key=counts.__getitem__)
-            ci = count_interval(vu, counts[top], args.confidence)
+        # Ranked and intervalled through the table's own estimator, so
+        # stratified universes get their weighted (unbiased) version.
+        estimates = universe.target_table.estimated_counts()
+        if estimates:
+            top = max(range(len(estimates)), key=estimates.__getitem__)
+            ci = universe.target_table.count_estimate(
+                top, args.confidence
+            )
             lines.append(
                 f"  largest N(f) estimate: {ci.estimate:.1f} "
                 f"[{ci.low:.1f}, {ci.high:.1f}] "

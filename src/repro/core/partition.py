@@ -23,6 +23,13 @@ bound keep the exact exhaustive analysis, and each too-wide output
 becomes its own cone analyzed over that backend's sampled universe —
 its ``nmin`` values are Monte-Carlo sample-space results rather than
 exact ones, flagged by ``ConeResult.analysis.universe.exact``.
+
+Passing an :class:`~repro.adaptive.AdaptiveBackend` gives *per-cone
+adaptive K*: every wide cone runs its own growth loop against the
+shared stopping rule, so an easy cone stops at a small draw while a
+hard one keeps sampling — no single ``--samples`` value has to fit all
+cones (``repro partition wide28 --backend adaptive`` reports each
+cone's chosen ``K``).
 """
 
 from __future__ import annotations

@@ -393,16 +393,60 @@ class WorstCaseAnalysis:
         return [r.nmin for r in self.records]
 
     def estimated_nmin(self, nmin: int | None) -> float | int | None:
-        """``|U|``-scale estimate of one raw (sample-space) nmin value."""
+        """``|U|``-scale estimate of one raw (sample-space) nmin value.
+
+        Uniform-scale only: without the witness signatures a bare nmin
+        value cannot be re-weighted, so non-uniform universes (the
+        stratified one) must use :meth:`estimated_nmin_values`, which
+        estimates each record from its witness's exclusive detection
+        set.
+        """
         return estimate_nmin(self.universe, nmin)
+
+    def _estimated_record_nmin(
+        self, record: NminRecord
+    ) -> float | int | None:
+        """Unbiased ``|U|``-scale estimate of one record's nmin.
+
+        ``nmin(g) - 1`` counts the vectors detecting the witness ``f``
+        but not ``g`` (``T(f) \\ T(g)``), so the estimate is that
+        signature's universe estimate plus one — which routes through
+        the universe's own estimator and therefore stays unbiased under
+        stratified (non-uniform) sampling.  On uniform universes this
+        equals ``scale * (nmin - 1) + 1``, the closed form
+        :func:`~repro.faultsim.sampling.estimate_nmin` uses.
+        """
+        if record.nmin is None:
+            return None
+        if self.universe.exact or record.nmin < 1:
+            return record.nmin
+        exclusive = (
+            self.target_table.signatures[record.witness]
+            & ~self.untargeted_table.signatures[record.fault_index]
+            & self.universe.mask
+        )
+        return self.universe.estimate_signature(exclusive) + 1.0
 
     def estimated_nmin_values(self) -> list[float | int | None]:
         """``|U|``-scale nmin estimates (== raw values when exact)."""
-        return [estimate_nmin(self.universe, r.nmin) for r in self.records]
+        return [self._estimated_record_nmin(r) for r in self.records]
 
     def estimated_guaranteed_n(self) -> float | int | None:
-        """``|U|``-scale estimate of :meth:`guaranteed_n`."""
-        return estimate_nmin(self.universe, self.guaranteed_n())
+        """``|U|``-scale estimate of :meth:`guaranteed_n`.
+
+        The worst estimated record (``None`` when any fault has no
+        guarantee).  On uniform universes the estimate is monotone in
+        the sample-space nmin, so this equals scaling
+        :meth:`guaranteed_n` directly; on stratified universes the
+        per-record estimates decide.
+        """
+        worst: float | int | None = 0
+        for value in self.estimated_nmin_values():
+            if value is None:
+                return None
+            if value > worst:
+                worst = value
+        return worst
 
     def count_within(self, n: int) -> int:
         """Number of faults with ``nmin(g) <= n`` (guaranteed detection)."""

@@ -11,13 +11,20 @@ reproduce the full-size experiment:
 ``REPRO_NMAX``       overrides nmax (paper: 10).
 ``REPRO_CIRCUITS``   comma-separated circuit subset for suite tables.
 ``REPRO_BACKEND``    detection-table engine
-                     (exhaustive|sampled|serial|packed).
+                     (exhaustive|sampled|serial|packed|adaptive).
 ``REPRO_SAMPLES``    sampled/packed backends: number of vectors K
                      (optional for packed, which is exhaustive without it).
-``REPRO_SEED``       sampled/packed backends: universe draw seed.
+``REPRO_SEED``       sampled/packed/adaptive backends: universe draw seed.
 ``REPRO_JOBS``       worker processes for detection-table construction
                      (> 1 shards every table build across a process
-                     pool; composes with any REPRO_BACKEND engine).
+                     pool; composes with any REPRO_BACKEND engine —
+                     the adaptive engine takes the worker count into
+                     its per-round sharded builds).
+``REPRO_TARGET_HALFWIDTH``  adaptive backend: relative CI precision
+                     target (default 0.05).
+``REPRO_MAX_SAMPLES``       adaptive backend: total vector budget.
+``REPRO_STRATIFY``          adaptive backend: ``bridging`` for the
+                     rare-activation importance strata.
 
 Backends are frozen dataclasses, so the universe / worst-case caches key
 on the exact backend configuration — ``REPRO_BACKEND=packed`` tables
@@ -88,11 +95,16 @@ def backend_from_env() -> DetectionBackend | None:
             return None
         return maybe_parallel(ExhaustiveBackend(), jobs)
     samples = os.environ.get("REPRO_SAMPLES")
+    halfwidth = os.environ.get("REPRO_TARGET_HALFWIDTH")
+    max_samples = os.environ.get("REPRO_MAX_SAMPLES")
     return make_backend(
         name,
         samples=int(samples) if samples else None,
         seed=env_int("REPRO_SEED", 0),
         jobs=jobs,
+        target_halfwidth=float(halfwidth) if halfwidth else None,
+        max_samples=int(max_samples) if max_samples else None,
+        stratify=os.environ.get("REPRO_STRATIFY") or None,
     )
 
 
@@ -126,7 +138,10 @@ def _table_identity(
 
     Two canonicalizations: the default and explicit exhaustive collide,
     and a parallel wrapper collides with its base (the sharded build is
-    bit-for-bit identical — only construction speed differs).
+    bit-for-bit identical — only construction speed differs).  The
+    adaptive backend needs no special case here: its ``jobs`` field is
+    excluded from equality, so differently-parallel adaptive runs
+    already share one key.
     """
     if isinstance(backend, ParallelBackend):
         backend = backend.base

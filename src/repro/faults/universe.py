@@ -14,11 +14,15 @@ Tables are built by a pluggable
 :class:`~repro.faultsim.backends.DetectionBackend` (default: the exact
 exhaustive engine; pass a
 :class:`~repro.faultsim.backends.SampledBackend` to analyze circuits
-beyond the exhaustive input cap).  ``jobs > 1`` shards both table
-builds across worker processes via
+beyond the exhaustive input cap, or an
+:class:`~repro.adaptive.AdaptiveBackend` to let a stopping rule pick
+the sample size — both tables then come from the same adaptive run).
+``jobs > 1`` shards both table builds across worker processes via
 :class:`repro.parallel.ParallelBackend` — the result is bit-for-bit
-identical, only faster.  Everything is built lazily and cached, so
-experiments can share one universe per circuit.
+identical, only faster (backends that parallelize internally, like the
+adaptive engine, receive the worker count instead of being wrapped).
+Everything is built lazily and cached, so experiments can share one
+universe per circuit.
 """
 
 from __future__ import annotations

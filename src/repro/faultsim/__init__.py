@@ -37,6 +37,7 @@ from repro.faultsim.backends import (
     BACKEND_NAMES,
     DetectionBackend,
     ExhaustiveBackend,
+    FixedUniverseBackend,
     SampledBackend,
     SerialBackend,
     make_backend,
@@ -65,6 +66,7 @@ __all__ = [
     "BACKEND_NAMES",
     "DetectionBackend",
     "ExhaustiveBackend",
+    "FixedUniverseBackend",
     "SampledBackend",
     "SerialBackend",
     "make_backend",

@@ -31,6 +31,15 @@ strategy for building one.  Three engines are provided:
     worst-case ``nmin`` scan runs as vectorized AND+popcount sweeps
     instead of per-pair big-int operations.  Bit-identical tables,
     hardware-speed popcounts; requires numpy.
+``adaptive``
+    The :class:`repro.adaptive.AdaptiveBackend` controller: instead of
+    a fixed ``K`` it grows the sampled universe round by round until
+    the smallest-``N(f)`` confidence intervals meet a target
+    half-width, optionally with importance strata over rare bridging
+    activation regions (``--stratify bridging``).
+``fixed`` (:class:`FixedUniverseBackend`, API only)
+    Tables over an explicit vector list — the adaptive controller's
+    per-round delta engine; not exposed on the CLI.
 
 Backends are small frozen dataclasses (hashable, so cached layers can
 key on them) and share the :class:`DetectionBackend` protocol.  Any of
@@ -58,7 +67,13 @@ from repro.faultsim.sampling import VectorUniverse, draw_universe
 from repro.logic.bitops import MAX_EXHAUSTIVE_INPUTS
 
 #: Names accepted by :func:`make_backend` (and the CLI ``--backend`` flag).
-BACKEND_NAMES: tuple[str, ...] = ("exhaustive", "sampled", "serial", "packed")
+BACKEND_NAMES: tuple[str, ...] = (
+    "exhaustive",
+    "sampled",
+    "serial",
+    "packed",
+    "adaptive",
+)
 
 
 @runtime_checkable
@@ -68,6 +83,9 @@ class DetectionBackend(Protocol):
     ``needs_base_signatures`` tells callers whether the ``build_*``
     methods consume precomputed :meth:`line_signatures` — engines that
     ignore them (serial) advertise False so callers skip the work.
+    Engines whose tables are numpy-packed advertise ``builds_packed =
+    True`` so wrappers (the parallel merge step) reproduce the right
+    table type.
     """
 
     name: str
@@ -237,6 +255,7 @@ class PackedBackend:
     replacement: bool = False
     name: str = "packed"
     needs_base_signatures = True
+    builds_packed = True
 
     def __post_init__(self) -> None:
         from repro.logic.packed import require_numpy
@@ -297,6 +316,103 @@ class PackedBackend:
         from repro.faultsim.packed_table import PackedDetectionTable
 
         return PackedDetectionTable.for_bridging(
+            circuit,
+            faults=faults,
+            base_signatures=base_signatures,
+            drop_undetectable=drop_undetectable,
+            universe=self.universe_for(circuit),
+        )
+
+
+# ----------------------------------------------------------------------
+# Fixed-universe (explicit vector list; the adaptive controller's
+# per-round delta engine)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FixedUniverseBackend:
+    """Tables over an *explicit* list of vectors, not a seeded draw.
+
+    The adaptive sampling controller grows its universe round by round;
+    each round builds signatures for only the freshly drawn vectors.
+    This backend is that delta engine: it fixes the universe to the
+    given (sorted, distinct) vectors and builds through the exact same
+    table machinery as the sampled engine — so it composes unchanged
+    with :class:`repro.parallel.ParallelBackend` (sharded builds, shard
+    cache) and, with ``packed=True``, produces numpy-packed tables.
+
+    It is a frozen, picklable dataclass like every other engine; the
+    vectors tuple participates in equality/hashing, so cache layers key
+    on the exact universe.
+    """
+
+    num_inputs: int
+    vectors: tuple[int, ...]
+    packed: bool = False
+    name: str = "fixed"
+    needs_base_signatures = True
+
+    def __post_init__(self) -> None:
+        if not self.vectors:
+            raise AnalysisError(
+                "a fixed-universe backend needs at least 1 vector"
+            )
+        if self.packed:
+            from repro.logic.packed import require_numpy
+
+            require_numpy()
+        # Validate sortedness/range once, eagerly (VectorUniverse would
+        # only catch it at build time, far from the mistake).
+        self.universe
+
+    @property
+    def builds_packed(self) -> bool:
+        return self.packed
+
+    @property
+    def universe(self) -> VectorUniverse:
+        return VectorUniverse(self.num_inputs, self.vectors)
+
+    def universe_for(self, circuit: Circuit) -> VectorUniverse:
+        if circuit.num_inputs != self.num_inputs:
+            raise AnalysisError(
+                f"fixed universe is over {self.num_inputs} inputs but "
+                f"circuit {circuit.name!r} has {circuit.num_inputs}"
+            )
+        return self.universe
+
+    def line_signatures(self, circuit: Circuit) -> list[int]:
+        return universe_line_signatures(circuit, self.universe_for(circuit))
+
+    def _table_cls(self):
+        if self.packed:
+            from repro.faultsim.packed_table import PackedDetectionTable
+
+            return PackedDetectionTable
+        return DetectionTable
+
+    def build_stuck_at(
+        self,
+        circuit: Circuit,
+        faults: list[StuckAtFault] | None = None,
+        base_signatures: list[int] | None = None,
+        drop_undetectable: bool = False,
+    ) -> DetectionTable:
+        return self._table_cls().for_stuck_at(
+            circuit,
+            faults=faults,
+            base_signatures=base_signatures,
+            drop_undetectable=drop_undetectable,
+            universe=self.universe_for(circuit),
+        )
+
+    def build_bridging(
+        self,
+        circuit: Circuit,
+        faults: list[BridgingFault] | None = None,
+        base_signatures: list[int] | None = None,
+        drop_undetectable: bool = True,
+    ) -> DetectionTable:
+        return self._table_cls().for_bridging(
             circuit,
             faults=faults,
             base_signatures=base_signatures,
@@ -408,6 +524,12 @@ def make_backend(
     seed: int = 0,
     replacement: bool = False,
     jobs: int | None = None,
+    *,
+    target_halfwidth: float | None = None,
+    confidence: float | None = None,
+    max_samples: int | None = None,
+    initial_samples: int | None = None,
+    stratify: str | None = None,
 ) -> DetectionBackend:
     """Backend factory behind the CLI / env configuration.
 
@@ -416,8 +538,28 @@ def make_backend(
     ``jobs > 1`` wraps the engine in a
     :class:`repro.parallel.ParallelBackend` (sharded multiprocessing
     build with the persistent shard cache); ``jobs=1``/``None`` stays
-    single-process.
+    single-process.  The keyword-only parameters configure the
+    ``adaptive`` engine (:class:`repro.adaptive.AdaptiveBackend`):
+    target CI half-width, confidence, sample budget, initial draw, and
+    the stratification scheme (``None``/``"none"`` or ``"bridging"``);
+    for adaptive, ``jobs`` is threaded *into* the controller's sharded
+    round builds instead of wrapping the backend.
     """
+    adaptive_flags = {
+        "--target-halfwidth": target_halfwidth,
+        "--max-samples": max_samples,
+        "--initial-samples": initial_samples,
+        "--stratify": None if stratify in (None, "none") else stratify,
+    }
+    if name != "adaptive":
+        bad = [flag for flag, value in adaptive_flags.items()
+               if value is not None]
+        if bad:
+            raise AnalysisError(
+                f"{', '.join(bad)} only appl"
+                f"{'y' if len(bad) > 1 else 'ies'} to --backend adaptive "
+                f"(got --backend {name})"
+            )
     if name == "exhaustive":
         backend: DetectionBackend = ExhaustiveBackend()
     elif name == "serial":
@@ -433,6 +575,42 @@ def make_backend(
                 "random vectors to draw)"
             )
         backend = SampledBackend(samples, seed=seed, replacement=replacement)
+    elif name == "adaptive":
+        if samples is not None:
+            raise AnalysisError(
+                "--backend adaptive sizes its own draw round by round; "
+                "use --max-samples (budget) and --initial-samples "
+                "instead of --samples"
+            )
+        if replacement:
+            raise AnalysisError(
+                "--backend adaptive always samples without replacement "
+                "(rounds extend one growing distinct-vector universe)"
+            )
+        from repro.adaptive import AdaptiveBackend, DEFAULT_RULE
+
+        backend = AdaptiveBackend(
+            target_halfwidth=(
+                DEFAULT_RULE.target_halfwidth
+                if target_halfwidth is None
+                else target_halfwidth
+            ),
+            confidence=(
+                DEFAULT_RULE.confidence if confidence is None else confidence
+            ),
+            initial_samples=(
+                DEFAULT_RULE.initial_samples
+                if initial_samples is None
+                else initial_samples
+            ),
+            max_samples=(
+                DEFAULT_RULE.max_samples
+                if max_samples is None
+                else max_samples
+            ),
+            seed=seed,
+            stratify=adaptive_flags["--stratify"],
+        )
     else:
         raise AnalysisError(
             f"unknown backend {name!r}; choose from "

@@ -26,12 +26,7 @@ from repro.circuit.netlist import Circuit
 from repro.errors import FaultError
 from repro.faults.bridging import BridgingFault, four_way_bridging_faults
 from repro.faults.stuck_at import StuckAtFault, collapsed_stuck_at_faults
-from repro.faultsim.sampling import (
-    CountEstimate,
-    VectorUniverse,
-    count_interval,
-    estimate_count,
-)
+from repro.faultsim.sampling import CountEstimate, VectorUniverse
 from repro.logic.bitops import all_ones_mask, set_bits
 from repro.simulation.exhaustive import (
     detection_signature,
@@ -247,18 +242,27 @@ class DetectionTable:
         return [sig.bit_count() for sig in self.signatures]
 
     def estimated_count(self, index: int) -> float:
-        """``|U|``-scale estimate of ``N(f)`` (equals ``count`` when exact)."""
-        return estimate_count(self.universe, self.count(index))
+        """``|U|``-scale estimate of ``N(f)`` (equals ``count`` when exact).
+
+        Dispatches through the universe so non-uniform designs (the
+        stratified universe of :mod:`repro.adaptive`) apply their own
+        unbiased estimator.
+        """
+        return self.universe.estimate_signature(self.signatures[index])
 
     def estimated_counts(self) -> list[float]:
         """``|U|``-scale ``N(f)`` estimates for every fault."""
-        return [estimate_count(self.universe, c) for c in self.counts()]
+        return [
+            self.universe.estimate_signature(sig) for sig in self.signatures
+        ]
 
     def count_estimate(
         self, index: int, confidence: float = 0.95
     ) -> CountEstimate:
         """``N(f)`` estimate with a confidence interval for fault ``index``."""
-        return count_interval(self.universe, self.count(index), confidence)
+        return self.universe.interval_for_signature(
+            self.signatures[index], confidence
+        )
 
     def vectors(self, index: int) -> list[int]:
         """Sorted list of detecting signature bits (cached).

@@ -22,6 +22,27 @@ carries the finite-population correction ``sqrt((N - K) / (N - 1))``,
 which collapses to a zero-width interval at ``K = N`` — the full-sample
 draw degenerates to the exact exhaustive universe (and is canonicalized
 to it by :func:`draw_universe`).
+
+Replacement draws are *deduplicated*: :func:`draw_universe` tops the
+draw up with further i.i.d. vectors until ``K`` distinct ones are
+collected (sequential rejection of an i.i.d. uniform stream yields a
+uniform ``K``-subset of ``U``, so the estimators above stay unbiased).
+Earlier revisions let duplicate draws occupy distinct signature bits,
+which silently double-counted those vectors in every popcount-derived
+quantity downstream of the table — detection multiplicities, Definition
+1/2 counting, and the ``nmin`` sample-space records all treated the
+``K`` bits as ``K`` distinct vectors.  The ``replacement`` flag now only
+selects the draw mechanism and the *conservative* interval (no
+finite-population correction).
+
+Documented edge cases (exercised by ``tests/faultsim/test_sampling_edges``):
+
+* ``K = 1`` universes are valid; intervals are wide but finite.
+* ``sample_count = 0`` yields the degenerate-but-informative Wilson
+  interval ``[0, high]`` — it never divides by zero.
+* ``confidence`` outside the open interval ``(0, 1)`` raises
+  :class:`~repro.errors.AnalysisError` (a 100%-confidence normal
+  interval would be infinite; a 0%-confidence one is meaningless).
 """
 
 from __future__ import annotations
@@ -159,6 +180,21 @@ class VectorUniverse:
             return list(iter_set_bits(signature))
         return [self.vectors[b] for b in iter_set_bits(signature)]
 
+    # -- estimation dispatch -------------------------------------------
+    # Subclasses with non-uniform sampling designs (the stratified
+    # universe of ``repro.adaptive``) override these two methods; the
+    # detection-table estimate queries route through them so every
+    # universe carries its own correct estimator.
+    def estimate_signature(self, signature: int) -> float:
+        """Unbiased ``|U|``-scale estimate of a signature's exact count."""
+        return estimate_count(self, signature.bit_count())
+
+    def interval_for_signature(
+        self, signature: int, confidence: float = 0.95
+    ) -> "CountEstimate":
+        """Confidence interval behind :meth:`estimate_signature`."""
+        return count_interval(self, signature.bit_count(), confidence)
+
 
 def draw_universe(
     num_inputs: int,
@@ -172,6 +208,16 @@ def draw_universe(
     ``samples``-subsets of ``U``; the degenerate full draw
     (``samples == 2**p``) canonicalizes to the exhaustive universe, so
     sampled analyses converge *exactly* to the paper's as ``K`` grows.
+
+    With ``replacement`` the draw is an i.i.d. uniform stream *topped up
+    to ``samples`` distinct vectors*: duplicates are rejected and the
+    stream continues until ``samples`` unique vectors are collected
+    (which is itself a uniform ``samples``-subset).  Earlier revisions
+    kept the duplicates as distinct signature bits, silently biasing
+    every downstream quantity that treats bits as vectors; the flag now
+    changes only the draw mechanism and the interval width (no
+    finite-population correction is applied).  Consequently a
+    replacement draw also cannot exceed ``2**p`` distinct vectors.
     """
     if num_inputs < 0:
         raise AnalysisError(f"num_inputs must be >= 0, got {num_inputs}")
@@ -179,13 +225,12 @@ def draw_universe(
         raise AnalysisError(f"samples must be >= 1, got {samples}")
     space = 1 << num_inputs
     rng = random.Random(seed)
-    if replacement:
-        drawn = sorted(rng.randrange(space) for _ in range(samples))
-        return VectorUniverse(num_inputs, tuple(drawn), replacement=True)
     if samples > space:
         raise AnalysisError(
             f"cannot draw {samples} distinct vectors from a universe of "
-            f"{space} (2**{num_inputs}); lower --samples or use replacement"
+            f"{space} (2**{num_inputs}); duplicate draws would occupy "
+            f"distinct signature bits and bias the estimators — lower "
+            f"--samples"
         )
     if samples == space:
         if num_inputs > MAX_EXHAUSTIVE_INPUTS:
@@ -194,6 +239,13 @@ def draw_universe(
                 f"materializable; lower --samples"
             )
         return VectorUniverse(num_inputs)
+    if replacement:
+        seen: set[int] = set()
+        while len(seen) < samples:
+            seen.add(rng.randrange(space))
+        return VectorUniverse(
+            num_inputs, tuple(sorted(seen)), replacement=True
+        )
     drawn = sorted(rng.sample(range(space), samples))
     return VectorUniverse(num_inputs, tuple(drawn))
 
@@ -258,6 +310,12 @@ def count_interval(
     collapses to zero width) over an effective sample size inflated by
     the finite-population correction when sampling without replacement.
     The interval always brackets the unbiased point estimate.
+
+    Edge cases are total: ``sample_count = 0`` (or ``= K``) returns the
+    one-sided Wilson interval, a ``K = 1`` universe returns a wide but
+    finite interval, an exhausted without-replacement sample returns the
+    degenerate exact interval, and ``confidence`` outside ``(0, 1)``
+    raises :class:`AnalysisError` via :func:`confidence_z`.
     """
     est = estimate_count(universe, sample_count)
     if universe.exact:

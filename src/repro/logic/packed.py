@@ -229,3 +229,108 @@ class PackedSignatureMatrix:
 def and_popcount(row, matrix: PackedSignatureMatrix):
     """Module-level alias: ``popcount(row & matrix[r])`` for every row."""
     return matrix.and_popcount(row)
+
+
+# ----------------------------------------------------------------------
+# Incremental column surgery (the adaptive controller's packed substrate)
+# ----------------------------------------------------------------------
+def widen_matrix(
+    matrix: PackedSignatureMatrix, new_size: int
+) -> PackedSignatureMatrix:
+    """Copy of ``matrix`` re-declared over a larger bit universe.
+
+    Existing bits keep their positions; the new high bits are zero.
+    This is the growth step of the adaptive sampler: a ``K``-bit
+    signature block becomes a ``K + D``-bit block before the round's
+    fresh columns are scattered in.
+    """
+    require_numpy()
+    if new_size < matrix.size:
+        raise AnalysisError(
+            f"cannot shrink a {matrix.size}-bit matrix to {new_size} bits"
+        )
+    old_words = matrix.words
+    num_words = words_for(new_size)
+    if num_words == old_words.shape[1]:
+        return PackedSignatureMatrix(old_words.copy(), new_size)
+    words = _np.zeros((old_words.shape[0], num_words), dtype=_np.uint64)
+    words[:, : old_words.shape[1]] = old_words
+    return PackedSignatureMatrix(words, new_size)
+
+
+def scatter_columns(
+    matrix: PackedSignatureMatrix,
+    delta: PackedSignatureMatrix,
+    positions,
+) -> None:
+    """OR bit column ``j`` of ``delta`` into bit ``positions[j]`` of ``matrix``.
+
+    Both matrices must have the same row count; ``positions`` maps each
+    of ``delta``'s meaningful bit columns to a distinct bit position of
+    ``matrix`` (in-place).  This merges one adaptive round's
+    freshly-built signature columns into the accumulated block without
+    touching — let alone re-simulating — any existing column.
+    """
+    require_numpy()
+    if len(matrix) != len(delta):
+        raise AnalysisError(
+            "scatter_columns needs matrices with matching row counts"
+        )
+    positions = list(positions)
+    if len(positions) != delta.size:
+        raise AnalysisError(
+            f"got {len(positions)} positions for {delta.size} delta columns"
+        )
+    dest = matrix.words
+    src = delta.words
+    one = _np.uint64(1)
+    for j, pos in enumerate(positions):
+        if not 0 <= pos < matrix.size:
+            raise AnalysisError(
+                f"column position {pos} out of range for a "
+                f"{matrix.size}-bit matrix"
+            )
+        bit = (src[:, j // WORD_BITS] >> _np.uint64(j % WORD_BITS)) & one
+        dest[:, pos // WORD_BITS] |= bit << _np.uint64(pos % WORD_BITS)
+
+
+def gather_columns(
+    matrix: PackedSignatureMatrix, order
+) -> PackedSignatureMatrix:
+    """Column-permuted copy: bit ``j`` of the result is bit ``order[j]``.
+
+    Used once at the end of an adaptive run to re-order the accumulated
+    draw-order columns into sorted-vector order (the invariant of
+    :class:`~repro.faultsim.sampling.VectorUniverse`).  Unpacks to a
+    little-endian bit plane, gathers, and re-packs — exact for any size.
+    """
+    require_numpy()
+    idx = _np.asarray(list(order), dtype=_np.intp)
+    if idx.size and (idx.min() < 0 or idx.max() >= matrix.size):
+        raise AnalysisError(
+            f"column order references bits outside the {matrix.size}-bit "
+            f"universe"
+        )
+    bits = _np.unpackbits(
+        _np.ascontiguousarray(
+            matrix.words.astype("<u8", copy=False)
+        ).view(_np.uint8),
+        axis=1,
+        bitorder="little",
+    )
+    gathered = bits[:, idx]
+    new_size = idx.size
+    pad = words_for(new_size) * WORD_BITS - new_size
+    if pad:
+        gathered = _np.concatenate(
+            [
+                gathered,
+                _np.zeros((gathered.shape[0], pad), dtype=_np.uint8),
+            ],
+            axis=1,
+        )
+    packed = _np.packbits(gathered, axis=1, bitorder="little")
+    words = _np.ascontiguousarray(packed).view("<u8").astype(
+        _np.uint64, copy=False
+    )
+    return PackedSignatureMatrix(words, new_size)

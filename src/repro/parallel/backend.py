@@ -72,10 +72,16 @@ def maybe_parallel(
 
     Already-parallel backends pass through (their own ``jobs`` wins), so
     layered configuration — explicit backend plus ``REPRO_JOBS`` — never
-    nests pools.
+    nests pools.  Backends that parallelize *internally* (the adaptive
+    controller shards each growth round itself) expose ``with_jobs``;
+    the worker count is injected there instead of wrapping — wrapping
+    would re-run the whole controller once per fault shard.
     """
     if jobs <= 1 or isinstance(backend, ParallelBackend):
         return backend
+    with_jobs = getattr(backend, "with_jobs", None)
+    if with_jobs is not None:
+        return with_jobs(jobs)
     return ParallelBackend(
         base=backend, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache
     )
@@ -116,6 +122,12 @@ class ParallelBackend:
             raise AnalysisError(
                 "parallel backends do not nest; wrap the innermost "
                 "engine once"
+            )
+        if getattr(self.base, "with_jobs", None) is not None:
+            raise AnalysisError(
+                f"the {getattr(self.base, 'name', '?')} backend "
+                f"parallelizes internally; pass jobs= to it (or use "
+                f"maybe_parallel) instead of wrapping it"
             )
         if self.jobs < 1:
             raise AnalysisError(f"jobs must be >= 1, got {self.jobs}")
@@ -217,7 +229,10 @@ class ParallelBackend:
             kept = [(f, s) for f, s in zip(faults, signatures) if s]
             faults = [f for f, _ in kept]
             signatures = [s for _, s in kept]
-        if getattr(self.base, "name", "") == "packed":
+        if getattr(
+            self.base, "builds_packed",
+            getattr(self.base, "name", "") == "packed",
+        ):
             from repro.faultsim.packed_table import PackedDetectionTable
 
             return PackedDetectionTable(

@@ -225,6 +225,86 @@ class TestBackendErrorPaths:
         assert "unknown circuit" in capsys.readouterr().err
 
 
+class TestAdaptiveCli:
+    """--backend adaptive flags, reporting, and error paths."""
+
+    ARGS = [
+        "--backend", "adaptive",
+        "--target-halfwidth", "0.2",
+        "--initial-samples", "8",
+        "--max-samples", "48",
+    ]
+
+    def test_analyze_reports_trajectory(self, capsys):
+        assert main(["analyze", "mc", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "backend=adaptive" in out
+        assert "adaptive trajectory" in out
+        assert "round 0: K=8 (+8)" in out
+        assert "smallest N estimate" in out
+
+    def test_analyze_stratified(self, capsys):
+        assert main(
+            ["analyze", "mc", *self.ARGS, "--stratify", "bridging"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "strata" in out
+
+    def test_partition_per_cone_adaptive(self, capsys):
+        assert main(
+            [
+                "partition", "wide28", *self.ARGS,
+                "--max-inputs", "12",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "backend=adaptive K=" in out
+
+    def test_samples_flag_rejected(self, capsys):
+        assert main(
+            ["analyze", "mc", "--backend", "adaptive", "--samples", "8"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "--samples only applies" in err
+        assert "--max-samples" in err
+
+    def test_replacement_flag_rejected(self, capsys):
+        assert main(
+            ["analyze", "mc", "--backend", "adaptive", "--replacement"]
+        ) == 2
+        assert "--replacement only applies" in capsys.readouterr().err
+
+    def test_adaptive_flags_require_adaptive_backend(self, capsys):
+        assert main(
+            ["analyze", "mc", "--target-halfwidth", "0.1"]
+        ) == 2
+        assert "--target-halfwidth" in capsys.readouterr().err
+        assert main(
+            ["analyze", "mc", "--stratify", "bridging"]
+        ) == 2
+        assert "--stratify" in capsys.readouterr().err
+        assert main(
+            ["analyze", "mc", "--max-samples", "64"]
+        ) == 2
+        assert "--max-samples" in capsys.readouterr().err
+
+    def test_invalid_rule_is_friendly_error(self, capsys):
+        assert main(
+            [
+                "analyze", "mc", "--backend", "adaptive",
+                "--target-halfwidth", "0",
+            ]
+        ) == 2
+        assert "target_halfwidth" in capsys.readouterr().err
+        assert main(
+            [
+                "analyze", "mc", "--backend", "adaptive",
+                "--confidence", "1.0",
+            ]
+        ) == 2
+        assert "confidence" in capsys.readouterr().err
+
+
 class TestJobsAndCache:
     """--jobs / REPRO_JOBS threading and the `repro cache` subcommand."""
 

@@ -56,7 +56,9 @@ class TestVectorUniverse:
             VectorUniverse(3, vectors=(5, 2))
         with pytest.raises(AnalysisError, match="unique"):
             VectorUniverse(3, vectors=(2, 2))
-        # ...but duplicates are the point of with-replacement draws.
+        # Hand-built replacement universes may still carry duplicates
+        # (back-compat for explicitly constructed universes), but
+        # draw_universe itself never produces them any more.
         assert VectorUniverse(3, vectors=(2, 2), replacement=True).size == 2
 
     def test_vector_at_out_of_range(self):
@@ -87,9 +89,19 @@ class TestDrawUniverse:
         with pytest.raises(AnalysisError, match="cannot draw"):
             draw_universe(4, 17, seed=0)
 
-    def test_replacement_allows_oversized(self):
-        u = draw_universe(2, 10, seed=0, replacement=True)
-        assert u.size == 10 and u.replacement
+    def test_replacement_draws_are_distinct(self):
+        # Regression (adaptive-sampling PR): replacement draws used to
+        # let duplicate vectors occupy distinct signature bits, silently
+        # double-counting them in every popcount estimator.  The draw is
+        # now topped up to K *unique* vectors.
+        u = draw_universe(3, 6, seed=3, replacement=True)
+        assert u.size == 6 and u.replacement
+        assert len(set(u.vectors)) == 6
+
+    def test_replacement_oversized_rejected(self):
+        # ...which also means a replacement draw cannot exceed |U|.
+        with pytest.raises(AnalysisError, match="cannot draw"):
+            draw_universe(2, 10, seed=0, replacement=True)
 
     def test_draw_beyond_exhaustive_cap(self):
         # The whole point of the sampler: p > 24 draws work fine.
@@ -173,7 +185,7 @@ class TestBackendObjects:
             16, seed=3
         )
         assert set(BACKEND_NAMES) == {
-            "exhaustive", "sampled", "serial", "packed",
+            "exhaustive", "sampled", "serial", "packed", "adaptive",
         }
 
     def test_make_backend_errors(self):

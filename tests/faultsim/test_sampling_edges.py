@@ -1,0 +1,124 @@
+"""Estimator edge cases and the replacement-draw dedupe regression.
+
+Satellite coverage of the adaptive-sampling PR: ``K = 1``, zero
+observed counts, and degenerate confidence levels must either raise
+:class:`~repro.errors.AnalysisError` or return the documented
+degenerate intervals — never a ``ZeroDivisionError`` or a silent
+``inf``; and with-replacement draws must never let duplicate vectors
+occupy distinct signature bits.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.faultsim.sampling import (
+    VectorUniverse,
+    confidence_z,
+    count_interval,
+    draw_universe,
+    estimate_count,
+    estimate_nmin,
+)
+
+
+class TestIntervalEdgeCases:
+    def test_single_vector_universe(self):
+        # K = 1 is the most degenerate legal sample: intervals are wide
+        # but finite, and both observed outcomes (0 and 1) work.
+        u = VectorUniverse(3, vectors=(5,))
+        for k in (0, 1):
+            est = count_interval(u, k, confidence=0.95)
+            assert math.isfinite(est.low) and math.isfinite(est.high)
+            assert 0.0 <= est.low <= est.estimate <= est.high <= 8.0
+            assert est.half_width > 0.0
+
+    def test_single_vector_single_input_space(self):
+        # num_inputs = 0: |U| = 1, the sample is the whole space.
+        u = VectorUniverse(0, vectors=(0,))
+        est = count_interval(u, 1, confidence=0.95)
+        assert est.high <= 1.0
+
+    def test_zero_count_interval_informative(self):
+        u = draw_universe(6, 16, seed=1)
+        est = count_interval(u, 0, confidence=0.95)
+        assert est.estimate == 0.0 and est.low == 0.0
+        assert 0.0 < est.high < u.space  # one-sided Wilson, not empty
+
+    def test_full_count_interval_informative(self):
+        u = draw_universe(6, 16, seed=1)
+        est = count_interval(u, 16, confidence=0.95)
+        assert est.high == float(u.space) or est.high <= u.space
+        assert est.low < u.space
+
+    @pytest.mark.parametrize("confidence", [1.0, 0.0, -0.5, 2.0])
+    def test_degenerate_confidence_raises(self, confidence):
+        u = draw_universe(4, 4, seed=0)
+        with pytest.raises(AnalysisError, match="confidence"):
+            count_interval(u, 2, confidence=confidence)
+        with pytest.raises(AnalysisError, match="confidence"):
+            confidence_z(confidence)
+
+    def test_sample_count_out_of_range(self):
+        u = VectorUniverse(3, vectors=(1, 2))
+        with pytest.raises(AnalysisError, match="out of range"):
+            count_interval(u, 3)
+        with pytest.raises(AnalysisError, match="out of range"):
+            estimate_count(u, -1)
+
+    def test_estimate_nmin_passthroughs(self):
+        u = draw_universe(6, 16, seed=1)
+        assert estimate_nmin(u, None) is None
+        assert estimate_nmin(u, 0) == 0  # degenerate, returned as-is
+        assert estimate_nmin(u, 1) == 1.0  # scale applies to nmin - 1
+        assert estimate_nmin(VectorUniverse(6), 7) == 7
+
+    def test_exhausted_sample_degenerates_to_exact(self):
+        # A hand-built full-coverage sample (not canonicalized): the
+        # FPC collapses the interval to the exact point.
+        u = VectorUniverse(2, vectors=(0, 1, 2, 3))
+        est = count_interval(u, 3)
+        assert est.low == est.estimate == est.high == 3.0
+
+
+class TestReplacementDedupe:
+    """Regression: duplicate draws biased every popcount estimator."""
+
+    def test_draws_unique_and_sorted(self):
+        for seed in range(20):
+            u = draw_universe(5, 12, seed=seed, replacement=True)
+            assert len(set(u.vectors)) == 12
+            assert list(u.vectors) == sorted(u.vectors)
+            assert u.replacement
+
+    def test_full_replacement_draw_canonicalizes(self):
+        u = draw_universe(3, 8, seed=2, replacement=True)
+        assert u.exhaustive
+        assert u == VectorUniverse(3)
+
+    def test_oversized_replacement_rejected(self):
+        with pytest.raises(AnalysisError, match="cannot draw"):
+            draw_universe(3, 9, seed=0, replacement=True)
+
+    def test_estimator_unbiased_over_seeds(self):
+        # A fixed 6-element subset of the 16-vector universe: the mean
+        # scaled popcount over many replacement draws must approach 6.
+        subset = {1, 3, 6, 7, 11, 13}
+        total = 0.0
+        seeds = range(300)
+        for seed in seeds:
+            u = draw_universe(4, 8, seed=seed, replacement=True)
+            hits = sum(1 for v in u.vectors if v in subset)
+            total += estimate_count(u, hits)
+        mean = total / len(seeds)
+        assert abs(mean - 6.0) < 0.25
+
+    def test_no_duplicate_signature_bits(self):
+        # Every signature bit of a replacement universe now refers to a
+        # distinct vector, so bit_of/vector_at round-trip uniquely.
+        u = draw_universe(4, 10, seed=5, replacement=True)
+        bits = [u.bit_of(v) for v in u.vectors]
+        assert sorted(bits) == list(range(10))

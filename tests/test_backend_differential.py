@@ -14,7 +14,13 @@ engines agree wherever their domains overlap.
   engine — signatures, counts, ``nmin`` records, and ``guaranteed_n``
   are *bit-identical* to the single-process build, on random and suite
   circuits alike (``REPRO_DIFF_SUITE=full`` sweeps every suite
-  circuit, as the CI workflow does).
+  circuit, as the CI workflow does);
+* the adaptive controller — same seed implies a bit-identical
+  trajectory (round sizes, allocations, universes, tables) across
+  ``jobs=1`` vs ``jobs=2``, across the big-int and numpy-packed
+  representations, uniform and stratified alike; and a budget covering
+  ``2**p`` canonicalizes to the exact exhaustive result, like the
+  full-sample sampled draw does.
 
 The numpy-packed engine's differential suite lives in
 ``tests/test_packed_differential.py`` (kept separate so this module
@@ -167,6 +173,116 @@ class TestParallelDifferential:
         from repro.bench_suite.registry import get_circuit
 
         self._assert_equivalent(get_circuit(name), ExhaustiveBackend())
+
+
+class TestAdaptiveDifferential:
+    """Adaptive trajectories are seed-deterministic and jobs-invariant."""
+
+    RULE_KWARGS = dict(
+        target_halfwidth=0.2,
+        initial_samples=8,
+        max_samples=48,
+        k_smallest=4,
+    )
+
+    def _run(self, circuit, seed, jobs=1, stratify=None,
+             representation="bigint", **overrides):
+        from repro.adaptive import AdaptiveSampler, StoppingRule
+
+        kwargs = {**self.RULE_KWARGS, **overrides}
+        return AdaptiveSampler(
+            circuit,
+            rule=StoppingRule(**kwargs),
+            seed=seed,
+            stratify=stratify,
+            representation=representation,
+            jobs=jobs,
+            use_cache=False,
+        ).run()
+
+    @staticmethod
+    def _assert_same_trajectory(a, b):
+        assert [
+            (r.k_total, r.k_new, r.met, r.allocation) for r in a.rounds
+        ] == [(r.k_total, r.k_new, r.met, r.allocation) for r in b.rounds]
+        assert a.universe == b.universe
+        assert a.target_table.signatures == b.target_table.signatures
+        assert (
+            a.untargeted_table.signatures == b.untargeted_table.signatures
+        )
+        assert a.met == b.met and a.reason == b.reason
+        worst_a = WorstCaseAnalysis(a.target_table, _dropped(a))
+        worst_b = WorstCaseAnalysis(b.target_table, _dropped(b))
+        assert worst_a.records == worst_b.records
+        assert worst_a.guaranteed_n() == worst_b.guaranteed_n()
+
+    @pytest.mark.parametrize("stratify", [None, "bridging"])
+    @pytest.mark.parametrize("seed,p,gates", [(31, 6, 14), (32, 7, 16)])
+    def test_jobs_invariant_random(self, seed, p, gates, stratify):
+        circuit = random_circuit(seed, num_inputs=p, num_gates=gates)
+        single = self._run(circuit, seed=seed, jobs=1, stratify=stratify)
+        sharded = self._run(circuit, seed=seed, jobs=2, stratify=stratify)
+        self._assert_same_trajectory(single, sharded)
+
+    @pytest.mark.parametrize("name", _suite_circuits()[:2])
+    def test_jobs_invariant_suite(self, name):
+        from repro.bench_suite.registry import get_circuit
+
+        circuit = get_circuit(name)
+        single = self._run(circuit, seed=1, jobs=1, stratify="bridging")
+        sharded = self._run(circuit, seed=1, jobs=2, stratify="bridging")
+        self._assert_same_trajectory(single, sharded)
+
+    @pytest.mark.parametrize("stratify", [None, "bridging"])
+    def test_representation_invariant(self, stratify):
+        pytest.importorskip("numpy")
+        circuit = random_circuit(33, num_inputs=6, num_gates=14)
+        bigint = self._run(
+            circuit, seed=2, representation="bigint", stratify=stratify
+        )
+        packed = self._run(
+            circuit, seed=2, representation="packed", stratify=stratify
+        )
+        self._assert_same_trajectory(bigint, packed)
+
+    @pytest.mark.parametrize("stratify", [None, "bridging"])
+    def test_full_budget_canonicalizes_to_exhaustive(self, stratify):
+        # Degenerate full-budget run == the exact exhaustive analysis,
+        # exactly like the full-coverage sampled draw.
+        circuit = random_circuit(34, num_inputs=6, num_gates=14)
+        report = self._run(
+            circuit, seed=3, stratify=stratify,
+            target_halfwidth=0.0001, max_samples=1 << 6,
+        )
+        assert report.universe.exhaustive
+        exh_f, exh_g = _tables(circuit, ExhaustiveBackend())
+        assert report.target_table.signatures == exh_f.signatures
+        dropped = _dropped(report)
+        assert dropped.faults == exh_g.faults
+        assert dropped.signatures == exh_g.signatures
+        exact = WorstCaseAnalysis(exh_f, exh_g)
+        adaptive = WorstCaseAnalysis(report.target_table, dropped)
+        assert adaptive.records == exact.records
+
+    def test_seed_changes_trajectory(self):
+        circuit = random_circuit(35, num_inputs=6, num_gates=14)
+        a = self._run(circuit, seed=1)
+        b = self._run(circuit, seed=2)
+        assert a.universe != b.universe
+
+
+def _dropped(report):
+    """The paper's G from a report's raw bridging table."""
+    table = report.untargeted_table
+    kept = [
+        (f, s) for f, s in zip(table.faults, table.signatures) if s
+    ]
+    return type(table)(
+        table.circuit,
+        [f for f, _ in kept],
+        [s for _, s in kept],
+        table.universe,
+    )
 
 
 class TestSampledEstimates:
