@@ -10,10 +10,14 @@ universe, and the line signatures from the same
 
 Parallelism is *internal*: each growth round shards its delta build
 through :class:`~repro.parallel.ParallelBackend`, so the backend
-exposes :meth:`with_jobs` and must never itself be wrapped in a
-parallel backend (wrapping would re-run the whole controller once per
-fault shard; :func:`repro.parallel.maybe_parallel` knows to inject the
-worker count here instead).
+exposes :meth:`with_execution` (and the older :meth:`with_jobs` sugar)
+and must never itself be wrapped in a parallel backend (wrapping would
+re-run the whole controller once per fault shard;
+:func:`repro.parallel.maybe_parallel` knows to inject the worker count
+and shard executor here instead).  With a
+:class:`~repro.parallel.executors.QueueExecutor` injected, every
+round's delta build distributes across ``repro worker`` processes —
+the trajectory stays bit-identical, only the substrate changes.
 """
 
 from __future__ import annotations
@@ -41,10 +45,11 @@ class AdaptiveBackend:
     """Adaptive-``K`` detection tables behind the standard protocol.
 
     Frozen and hashable like every other engine, so the experiment-layer
-    caches key on the full configuration.  ``jobs`` is excluded from
-    equality/hash on purpose: the trajectory is bit-identical at any
-    worker count (the adaptive differential suite enforces this), so a
-    ``jobs=4`` run must share cached tables with a single-process run.
+    caches key on the full configuration.  ``jobs`` and ``executor`` are
+    excluded from equality/hash on purpose: the trajectory is
+    bit-identical on any execution substrate (the adaptive differential
+    suite enforces this), so a ``jobs=4`` or queue-distributed run must
+    share cached tables with a single-process run.
     """
 
     target_halfwidth: float = 0.05
@@ -57,6 +62,7 @@ class AdaptiveBackend:
     stratify: str | None = None
     representation: str = "auto"
     jobs: int = field(default=1, compare=False)
+    executor: object | None = field(default=None, compare=False)
     use_cache: bool = field(default=True, compare=False)
     name: str = "adaptive"
     needs_base_signatures = False
@@ -81,7 +87,22 @@ class AdaptiveBackend:
 
     def with_jobs(self, jobs: int) -> "AdaptiveBackend":
         """Copy with the worker count for the internal round builds."""
-        return replace(self, jobs=jobs)
+        return self.with_execution(jobs=jobs)
+
+    def with_execution(
+        self, jobs: int | None = None, executor: object | None = None
+    ) -> "AdaptiveBackend":
+        """Copy with the execution substrate for the round delta builds.
+
+        This is the injection point :func:`repro.parallel.maybe_parallel`
+        uses instead of wrapping the controller in a
+        :class:`~repro.parallel.ParallelBackend`.
+        """
+        return replace(
+            self,
+            jobs=self.jobs if jobs is None else jobs,
+            executor=self.executor if executor is None else executor,
+        )
 
     # -- the memoized controller run -----------------------------------
     def report_for(self, circuit: Circuit) -> AdaptiveReport:
@@ -97,6 +118,7 @@ class AdaptiveBackend:
             stratify=self.stratify,
             representation=self.representation,
             jobs=self.jobs,
+            executor=self.executor,
             use_cache=self.use_cache,
         ).run()
         self._reports[key] = (circuit, report)

@@ -252,6 +252,11 @@ class AdaptiveSampler:
         Worker processes for each round's delta table build (sharded
         through :class:`~repro.parallel.ParallelBackend`; results are
         identical at any value).
+    executor:
+        Optional :class:`~repro.parallel.executors.ShardExecutor` for
+        the round delta builds — with a queue executor, every round's
+        shards distribute across ``repro worker`` processes; results
+        stay bit-identical on any substrate.
     use_cache:
         Whether delta builds may use the persistent shard cache.
     """
@@ -264,6 +269,7 @@ class AdaptiveSampler:
         stratify: str | None = None,
         representation: str = "auto",
         jobs: int = 1,
+        executor: object | None = None,
         use_cache: bool = True,
     ):
         if stratify is not None and stratify not in STRATIFY_SCHEMES:
@@ -292,6 +298,7 @@ class AdaptiveSampler:
         self.stratify = stratify
         self.representation = representation
         self.jobs = jobs
+        self.executor = executor
         self.use_cache = use_cache
 
     # -- draw streams --------------------------------------------------
@@ -470,11 +477,12 @@ class AdaptiveSampler:
             delta_sorted,
             packed=self.representation == "packed",
         )
-        if self.jobs > 1:
+        if self.jobs > 1 or self.executor is not None:
             from repro.parallel import maybe_parallel
 
             engine = maybe_parallel(
-                backend, self.jobs, use_cache=self.use_cache
+                backend, self.jobs, use_cache=self.use_cache,
+                executor=self.executor,
             )
         else:
             engine = backend

@@ -14,6 +14,8 @@ Commands regenerate the paper's artifacts::
     repro partition CIRCUIT          # Section 4 cone-partitioned analysis
     repro analyze CIRCUIT            # one-circuit worst-case analysis
     repro cache info|clear           # inspect / empty the shard cache
+    repro worker --queue DIR         # drain shard tasks from a work queue
+    repro queue info|clear           # inspect / empty a work queue
 
 ``analyze``, ``escape``, and ``partition`` accept
 ``--backend exhaustive|sampled|serial|packed|adaptive`` (with
@@ -30,7 +32,13 @@ activation regions.  ``--jobs N`` (or env ``REPRO_JOBS``) shards
 detection-table construction across ``N`` worker processes — results
 are bit-for-bit identical to the single-process build, and shard
 results persist in an on-disk cache (``REPRO_CACHE_DIR``) that the
-``cache`` subcommand inspects and clears.
+``cache`` subcommand inspects and clears.  ``--executor
+{inline,pool,queue}`` (env ``REPRO_EXECUTOR``) picks the shard
+execution substrate explicitly: ``queue`` publishes shard tasks to a
+work-queue directory (``--queue-dir`` / ``REPRO_QUEUE_DIR``) that
+independent ``repro worker --queue DIR`` processes — on this or any
+host sharing the directory — drain, with the same bit-for-bit identity
+guarantee.
 """
 
 from __future__ import annotations
@@ -105,6 +113,26 @@ def _add_backend(parser: argparse.ArgumentParser) -> None:
             "any value)"
         ),
     )
+    from repro.parallel import EXECUTOR_NAMES
+
+    parser.add_argument(
+        "--executor",
+        choices=list(EXECUTOR_NAMES),
+        default=None,
+        help=(
+            "shard execution substrate (default: REPRO_EXECUTOR, else "
+            "derived from --jobs); queue distributes shards to "
+            "`repro worker` processes sharing --queue-dir"
+        ),
+    )
+    parser.add_argument(
+        "--queue-dir",
+        default=None,
+        help=(
+            "work-queue directory for --executor queue "
+            "(default: REPRO_QUEUE_DIR)"
+        ),
+    )
     parser.add_argument(
         "--target-halfwidth",
         type=float,
@@ -141,11 +169,19 @@ def _add_backend(parser: argparse.ArgumentParser) -> None:
 def _backend_from_args(args: argparse.Namespace):
     from repro.errors import AnalysisError
     from repro.faultsim.backends import make_backend
-    from repro.parallel import resolve_jobs
+    from repro.parallel import resolve_executor, resolve_jobs
 
     jobs = getattr(args, "jobs", None)
     if jobs is not None and jobs < 1:
         raise AnalysisError(f"--jobs must be >= 1, got {jobs}")
+    # `jobs` passes through unresolved: an explicit --jobs value sizes
+    # the pool executor verbatim (even 1), while None lets the factory
+    # fall back to REPRO_JOBS / a real pool of 2.
+    executor = resolve_executor(
+        getattr(args, "executor", None),
+        jobs=jobs,
+        queue_dir=getattr(args, "queue_dir", None),
+    )
     sampling_backends = ("sampled", "packed")
     if args.backend not in sampling_backends and args.samples is not None:
         hint = (
@@ -180,6 +216,7 @@ def _backend_from_args(args: argparse.Namespace):
         seed=getattr(args, "seed", 0),
         replacement=getattr(args, "replacement", False),
         jobs=resolve_jobs(jobs),
+        executor=executor,
         target_halfwidth=getattr(args, "target_halfwidth", None),
         # `is None`, not truthiness: an explicit --confidence 0.0 must
         # reach the stopping rule's validation, not silently become 95%.
@@ -250,6 +287,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "worker",
+        help="drain shard tasks from a distributed work queue",
+    )
+    p.add_argument(
+        "--queue",
+        help="work-queue directory (default: REPRO_QUEUE_DIR)",
+    )
+    p.add_argument(
+        "--max-tasks",
+        type=int,
+        default=None,
+        help="exit after building this many shards (default: serve on)",
+    )
+    p.add_argument(
+        "--idle-exit",
+        type=float,
+        default=None,
+        help=(
+            "exit after this many seconds without a claimable task "
+            "(default: serve forever)"
+        ),
+    )
+    p.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=30.0,
+        help=(
+            "heartbeat age after which another worker's claim is "
+            "presumed dead and requeued"
+        ),
+    )
+    p.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.1,
+        help="seconds between claim attempts on an empty queue",
+    )
+
+    p = sub.add_parser(
+        "queue", help="inspect or clear a distributed work queue"
+    )
+    p.add_argument("action", choices=["info", "clear"])
+    p.add_argument(
+        "--queue",
+        help="work-queue directory (default: REPRO_QUEUE_DIR)",
+    )
+
+    p = sub.add_parser(
         "gen-tests", help="generate a compact n-detection test set"
     )
     p.add_argument("circuit")
@@ -317,17 +402,22 @@ def _cmd_partition(args: argparse.Namespace) -> str:
 
     backend = _backend_from_args(args)
     jobs = backend.jobs if isinstance(backend, ParallelBackend) else None
+    executor = (
+        backend.executor if isinstance(backend, ParallelBackend) else None
+    )
     base = backend.base if isinstance(backend, ParallelBackend) else backend
     if not isinstance(
         base, (SampledBackend, PackedBackend, AdaptiveBackend)
     ):
         # Exhaustive/serial cannot cover cones wider than the bound;
         # keep the legacy strict behavior (wide outputs raise).  `jobs`
-        # is orthogonal and stays threaded through the cone builds.
+        # and `executor` are orthogonal and stay threaded through the
+        # cone builds.
         backend = None
     circuit = get_circuit(args.circuit)
     analysis = PartitionedAnalysis(
-        circuit, max_inputs=args.max_inputs, backend=backend, jobs=jobs
+        circuit, max_inputs=args.max_inputs, backend=backend, jobs=jobs,
+        executor=executor,
     )
     lines = [
         f"Cone-partitioned analysis of {args.circuit} "
@@ -357,10 +447,56 @@ def _cmd_cache(args: argparse.Namespace) -> str:
         removed = cache.clear()
         return f"removed {removed} shard entries from {cache.root}\n"
     entries = cache.entries()
+    lines = [
+        f"shard cache: {cache.root}",
+        f"  entries: {len(entries)}",
+        f"  size: {cache.total_bytes()} bytes",
+    ]
+    for version, count in cache.versions().items():
+        lines.append(f"  format {version}: {count}")
+    return "\n".join(lines) + "\n"
+
+
+def _cmd_worker(args: argparse.Namespace) -> str:
+    from repro.parallel import QueueWorker, WorkQueue, resolve_queue_dir
+
+    queue = WorkQueue(
+        resolve_queue_dir(
+            args.queue, what="repro worker", flag="--queue"
+        )
+    )
+    worker = QueueWorker(
+        queue,
+        poll_interval=args.poll_interval,
+        lease_timeout=args.lease_timeout,
+    )
+    stats = worker.serve(
+        max_tasks=args.max_tasks, idle_exit=args.idle_exit
+    )
     return (
-        f"shard cache: {cache.root}\n"
-        f"  entries: {len(entries)}\n"
-        f"  size: {cache.total_bytes()} bytes\n"
+        f"worker {worker.worker_id} @ {queue.root}: "
+        f"built {stats['built']} shard(s), "
+        f"skipped {stats['skipped']} already-cached, "
+        f"{stats['failed']} failed attempt(s)\n"
+    )
+
+
+def _cmd_queue(args: argparse.Namespace) -> str:
+    from repro.parallel import WorkQueue, resolve_queue_dir
+
+    queue = WorkQueue(
+        resolve_queue_dir(args.queue, what="repro queue", flag="--queue")
+    )
+    if args.action == "clear":
+        removed = queue.clear()
+        return f"removed {removed} queue entries from {queue.root}\n"
+    stats = queue.stats()
+    return (
+        f"work queue: {queue.root}\n"
+        f"  pending tasks: {stats['pending']}\n"
+        f"  leased tasks: {stats['leased']}\n"
+        f"  results: {stats['results']}\n"
+        f"  failed: {stats['failed']}\n"
     )
 
 
@@ -434,9 +570,16 @@ def _cmd_analyze(args: argparse.Namespace) -> str:
     backend = _backend_from_args(args)
     label = args.backend
     if isinstance(backend, ParallelBackend):
-        label += f" jobs={backend.jobs}"
-    elif isinstance(backend, AdaptiveBackend) and backend.jobs > 1:
-        label += f" jobs={backend.jobs}"
+        resolved = backend.resolved_executor
+        if getattr(resolved, "jobs", 1) > 1:
+            label += f" jobs={resolved.jobs}"
+        if backend.executor is not None:
+            label += f" executor={resolved.name}"
+    elif isinstance(backend, AdaptiveBackend):
+        if backend.jobs > 1:
+            label += f" jobs={backend.jobs}"
+        if backend.executor is not None:
+            label += f" executor={backend.executor.name}"
     universe = FaultUniverse(circuit, backend=backend)
     worst = WorstCaseAnalysis(
         universe.target_table, universe.untargeted_table
@@ -572,6 +715,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         out = _cmd_partition(args)
     elif args.command == "cache":
         out = _cmd_cache(args)
+    elif args.command == "worker":
+        out = _cmd_worker(args)
+    elif args.command == "queue":
+        out = _cmd_queue(args)
     elif args.command == "gen-tests":
         out = _cmd_gen_tests(args)
     elif args.command == "escape":

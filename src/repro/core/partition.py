@@ -72,10 +72,13 @@ class PartitionedAnalysis:
         backend's sampled universe instead of being skipped.  Cones
         within the bound always use the exact exhaustive engine.
     jobs:
-        Worker processes for each cone's table builds (sharded
-        multiprocessing via :class:`repro.parallel.ParallelBackend`);
-        orthogonal to ``backend`` — it changes construction speed,
-        never results.
+        Worker processes for each cone's table builds (sharded via
+        :class:`repro.parallel.ParallelBackend`); orthogonal to
+        ``backend`` — it changes construction speed, never results.
+    executor:
+        Optional :class:`repro.parallel.ShardExecutor` for the cone
+        builds (inline / pool / queue); like ``jobs``, it never changes
+        results, only where the shards run.
     """
 
     def __init__(
@@ -84,6 +87,7 @@ class PartitionedAnalysis:
         max_inputs: int = 16,
         backend: "DetectionBackend | None" = None,
         jobs: int | None = None,
+        executor: object | None = None,
     ):
         self.circuit = circuit
         self.cones: list[ConeResult] = []
@@ -94,7 +98,9 @@ class PartitionedAnalysis:
             cone_backend = (
                 backend if sub.num_inputs > max_inputs else None
             )
-            universe = FaultUniverse(sub, backend=cone_backend, jobs=jobs)
+            universe = FaultUniverse(
+                sub, backend=cone_backend, jobs=jobs, executor=executor
+            )
             if len(universe.untargeted_table) == 0:
                 continue  # no bridging sites inside this cone
             analysis = WorstCaseAnalysis(

@@ -20,6 +20,14 @@ reproduce the full-size experiment:
                      pool; composes with any REPRO_BACKEND engine —
                      the adaptive engine takes the worker count into
                      its per-round sharded builds).
+``REPRO_EXECUTOR``   shard execution substrate
+                     (inline|pool|queue); overrides the REPRO_JOBS
+                     pool sugar.  ``queue`` distributes shard tasks
+                     through the work-queue directory to independent
+                     ``repro worker`` processes on any host.
+``REPRO_QUEUE_DIR``  work-queue directory for REPRO_EXECUTOR=queue
+                     (and the default of ``repro worker --queue`` /
+                     ``repro queue``).
 ``REPRO_TARGET_HALFWIDTH``  adaptive backend: relative CI precision
                      target (default 0.05).
 ``REPRO_MAX_SAMPLES``       adaptive backend: total vector budget.
@@ -30,9 +38,10 @@ Backends are frozen dataclasses, so the universe / worst-case caches key
 on the exact backend configuration — ``REPRO_BACKEND=packed`` tables
 never alias the big-int ones.  One deliberate exception: a
 parallel-wrapped backend produces tables *bit-for-bit identical* to its
-base engine's, so the caches key on the unwrapped base — a ``jobs=4``
-run and a single-process run of the same engine share one in-memory
-table instead of holding two identical multi-hundred-MB copies.
+base engine's, so the caches key on the unwrapped base — the cache key
+is executor-normalized, meaning a ``jobs=4`` run, a queue-distributed
+run, and a single-process run of the same engine all share one
+in-memory table instead of holding identical multi-hundred-MB copies.
 """
 
 from __future__ import annotations
@@ -48,7 +57,12 @@ from repro.faultsim.backends import (
     ExhaustiveBackend,
     make_backend,
 )
-from repro.parallel import ParallelBackend, maybe_parallel, resolve_jobs
+from repro.parallel import (
+    ParallelBackend,
+    maybe_parallel,
+    resolve_executor,
+    resolve_jobs,
+)
 
 #: The paper reports Tables 3/5/6 only for circuits that have faults with
 #: nmin >= 11; these are the Table 5 rows of the paper (the analogues in
@@ -82,18 +96,24 @@ THRESHOLD_NOT_GUARANTEED = 11  # faults with nmin >= 11 escape a 10-detection se
 def backend_from_env() -> DetectionBackend | None:
     """Detection backend from the REPRO_BACKEND family of env overrides.
 
-    Returns None (caller default: exhaustive) when neither REPRO_BACKEND
-    nor REPRO_JOBS is set, so the cached layers keep their zero-config
-    behavior.  ``REPRO_JOBS > 1`` wraps the engine (default: exhaustive)
-    in a sharded multiprocessing
-    :class:`~repro.parallel.ParallelBackend`.
+    Returns None (caller default: exhaustive) when none of
+    REPRO_BACKEND / REPRO_JOBS / REPRO_EXECUTOR is set, so the cached
+    layers keep their zero-config behavior.  ``REPRO_JOBS > 1`` wraps
+    the engine (default: exhaustive) in a sharded
+    :class:`~repro.parallel.ParallelBackend`; ``REPRO_EXECUTOR``
+    selects the shard substrate explicitly (``queue`` reads the
+    work-queue directory from ``REPRO_QUEUE_DIR``).
     """
     name = os.environ.get("REPRO_BACKEND")
     jobs = resolve_jobs(None)
+    # jobs=None: the executor factory consults REPRO_JOBS itself, so a
+    # bare REPRO_EXECUTOR=pool still means a real pool (of 2), not a
+    # degenerate single-process "pool".
+    executor = resolve_executor()
     if not name:
-        if jobs <= 1:
+        if jobs <= 1 and executor is None:
             return None
-        return maybe_parallel(ExhaustiveBackend(), jobs)
+        return maybe_parallel(ExhaustiveBackend(), jobs, executor=executor)
     samples = os.environ.get("REPRO_SAMPLES")
     halfwidth = os.environ.get("REPRO_TARGET_HALFWIDTH")
     max_samples = os.environ.get("REPRO_MAX_SAMPLES")
@@ -102,6 +122,7 @@ def backend_from_env() -> DetectionBackend | None:
         samples=int(samples) if samples else None,
         seed=env_int("REPRO_SEED", 0),
         jobs=jobs,
+        executor=executor,
         target_halfwidth=float(halfwidth) if halfwidth else None,
         max_samples=int(max_samples) if max_samples else None,
         stratify=os.environ.get("REPRO_STRATIFY") or None,
@@ -138,10 +159,12 @@ def _table_identity(
 
     Two canonicalizations: the default and explicit exhaustive collide,
     and a parallel wrapper collides with its base (the sharded build is
-    bit-for-bit identical — only construction speed differs).  The
-    adaptive backend needs no special case here: its ``jobs`` field is
-    excluded from equality, so differently-parallel adaptive runs
-    already share one key.
+    bit-for-bit identical — only construction speed differs).  Keys are
+    therefore executor-normalized too: a queue-distributed build, a
+    local pool build, and an inline build of the same engine share one
+    LRU entry.  The adaptive backend needs no special case here: its
+    ``jobs``/``executor`` fields are excluded from equality, so
+    differently-executed adaptive runs already share one key.
     """
     if isinstance(backend, ParallelBackend):
         backend = backend.base

@@ -51,18 +51,23 @@ class FaultUniverse:
         circuit: Circuit,
         backend: "DetectionBackend | None" = None,
         jobs: int | None = None,
+        executor: object | None = None,
     ):
         self.circuit = circuit
         self._backend = backend
         self._jobs = jobs
+        self._executor = executor
 
     @cached_property
     def backend(self) -> "DetectionBackend":
         """The table-construction engine (default: exhaustive).
 
         ``jobs > 1`` wraps the configured engine in a sharded
-        multiprocessing :class:`~repro.parallel.ParallelBackend`
-        (already-parallel engines pass through unchanged).
+        :class:`~repro.parallel.ParallelBackend`; ``executor`` selects
+        the shard substrate explicitly (inline / pool / queue) and
+        overrides the ``jobs`` sugar (already-parallel engines pass
+        through unchanged; internally-parallel ones receive the
+        configuration instead of being wrapped).
         """
         if self._backend is not None:
             backend = self._backend
@@ -70,10 +75,12 @@ class FaultUniverse:
             from repro.faultsim.backends import ExhaustiveBackend
 
             backend = ExhaustiveBackend()
-        if self._jobs is not None:
+        if self._jobs is not None or self._executor is not None:
             from repro.parallel import maybe_parallel, resolve_jobs
 
-            backend = maybe_parallel(backend, resolve_jobs(self._jobs))
+            backend = maybe_parallel(
+                backend, resolve_jobs(self._jobs), executor=self._executor
+            )
         return backend
 
     @cached_property

@@ -44,9 +44,13 @@ strategy for building one.  Three engines are provided:
 Backends are small frozen dataclasses (hashable, so cached layers can
 key on them) and share the :class:`DetectionBackend` protocol.  Any of
 them can be wrapped by :class:`repro.parallel.ParallelBackend` (CLI:
-``--jobs N`` / env ``REPRO_JOBS``), which shards the fault list across
-worker processes, reuses shards from a persistent on-disk cache, and
-merges a table bit-for-bit identical to the single-process build.
+``--jobs N`` / env ``REPRO_JOBS``), which shards the fault list, reuses
+shards from a persistent on-disk cache, and merges a table bit-for-bit
+identical to the single-process build — on a pluggable
+:class:`repro.parallel.ShardExecutor` substrate (CLI: ``--executor
+inline|pool|queue`` / env ``REPRO_EXECUTOR``; the queue executor
+distributes shards to ``repro worker`` processes on any host sharing
+``REPRO_QUEUE_DIR``).
 """
 
 from __future__ import annotations
@@ -525,6 +529,8 @@ def make_backend(
     replacement: bool = False,
     jobs: int | None = None,
     *,
+    executor: "str | object | None" = None,
+    queue_dir: str | None = None,
     target_halfwidth: float | None = None,
     confidence: float | None = None,
     max_samples: int | None = None,
@@ -536,13 +542,17 @@ def make_backend(
     ``samples`` is required for ``sampled``, optional for ``packed``
     (which is exhaustive without it), and meaningless elsewhere.
     ``jobs > 1`` wraps the engine in a
-    :class:`repro.parallel.ParallelBackend` (sharded multiprocessing
-    build with the persistent shard cache); ``jobs=1``/``None`` stays
-    single-process.  The keyword-only parameters configure the
-    ``adaptive`` engine (:class:`repro.adaptive.AdaptiveBackend`):
-    target CI half-width, confidence, sample budget, initial draw, and
-    the stratification scheme (``None``/``"none"`` or ``"bridging"``);
-    for adaptive, ``jobs`` is threaded *into* the controller's sharded
+    :class:`repro.parallel.ParallelBackend` (sharded build with the
+    persistent shard cache); ``jobs=1``/``None`` stays single-process.
+    ``executor`` selects the shard execution substrate explicitly — an
+    :class:`repro.parallel.ShardExecutor` instance or one of the names
+    ``inline``/``pool``/``queue`` (``queue_dir`` locates the work-queue
+    directory for the latter) — and overrides the ``jobs`` sugar.  The
+    remaining keyword-only parameters configure the ``adaptive`` engine
+    (:class:`repro.adaptive.AdaptiveBackend`): target CI half-width,
+    confidence, sample budget, initial draw, and the stratification
+    scheme (``None``/``"none"`` or ``"bridging"``); for adaptive,
+    ``jobs``/``executor`` are threaded *into* the controller's sharded
     round builds instead of wrapping the backend.
     """
     adaptive_flags = {
@@ -616,10 +626,21 @@ def make_backend(
             f"unknown backend {name!r}; choose from "
             f"{', '.join(BACKEND_NAMES)}"
         )
-    if jobs is not None and jobs != 1:
+    exec_obj = executor
+    if isinstance(executor, str):
+        from repro.parallel import make_executor
+
+        exec_obj = make_executor(executor, jobs=jobs, queue_dir=queue_dir)
+    elif queue_dir is not None:
+        raise AnalysisError(
+            "queue_dir only applies with executor='queue'"
+        )
+    if exec_obj is not None or (jobs is not None and jobs != 1):
         from repro.parallel import maybe_parallel, resolve_jobs
 
-        backend = maybe_parallel(backend, resolve_jobs(jobs))
+        backend = maybe_parallel(
+            backend, resolve_jobs(jobs), executor=exec_obj
+        )
     return backend
 
 

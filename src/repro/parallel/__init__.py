@@ -15,20 +15,42 @@ turns that observation into a subsystem:
     :class:`ShardCache` — persistent on-disk shard results, content-
     addressed by circuit structure × backend configuration × fault
     slice, written atomically.
+``executors``
+    :class:`ShardExecutor` protocol and its three substrates —
+    :class:`InlineExecutor` (in-process), :class:`PoolExecutor` (local
+    process pool), :class:`QueueExecutor` (shared-directory work queue
+    drained by independent ``repro worker`` processes on any host).
+``workqueue``
+    :class:`WorkQueue` / :class:`QueueWorker` — the filesystem queue
+    behind the queue executor: atomic claim-by-rename leases, heartbeat
+    files, requeue on lease expiry, bounded retries, results through
+    the content-addressed shard cache.
 ``backend``
     :class:`ParallelBackend` — a
     :class:`~repro.faultsim.backends.DetectionBackend` wrapping any base
     engine; merges per-shard results into a table bit-for-bit identical
-    to the single-process build.
+    to the single-process build, whichever executor ran the shards.
 
-Entry points: ``--jobs N`` on the CLI, ``REPRO_JOBS`` in the
-environment, ``FaultUniverse(circuit, jobs=N)`` in code.
+Entry points: ``--jobs N`` / ``--executor {inline,pool,queue}`` on the
+CLI, ``REPRO_JOBS`` / ``REPRO_EXECUTOR`` / ``REPRO_QUEUE_DIR`` in the
+environment, ``FaultUniverse(circuit, jobs=N, executor=...)`` in code,
+and ``repro worker --queue DIR`` to serve a queue.
 """
 
 from repro.parallel.backend import (
     ParallelBackend,
     maybe_parallel,
     resolve_jobs,
+)
+from repro.parallel.executors import (
+    EXECUTOR_NAMES,
+    InlineExecutor,
+    PoolExecutor,
+    QueueExecutor,
+    ShardExecutor,
+    make_executor,
+    resolve_executor,
+    resolve_queue_dir,
 )
 from repro.parallel.cache import (
     ShardCache,
@@ -41,11 +63,29 @@ from repro.parallel.cache import (
 )
 from repro.parallel.plan import DEFAULT_NUM_SHARDS, Shard, ShardPlan
 from repro.parallel.worker import ShardTask, run_shard
+from repro.parallel.workqueue import (
+    DEFAULT_MAX_ATTEMPTS,
+    Lease,
+    QueueWorker,
+    WorkQueue,
+)
 
 __all__ = [
     "ParallelBackend",
     "maybe_parallel",
     "resolve_jobs",
+    "EXECUTOR_NAMES",
+    "InlineExecutor",
+    "PoolExecutor",
+    "QueueExecutor",
+    "ShardExecutor",
+    "make_executor",
+    "resolve_executor",
+    "resolve_queue_dir",
+    "DEFAULT_MAX_ATTEMPTS",
+    "Lease",
+    "QueueWorker",
+    "WorkQueue",
     "ShardCache",
     "backend_cache_key",
     "cache_stats",

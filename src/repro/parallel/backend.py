@@ -1,4 +1,4 @@
-"""The :class:`ParallelBackend`: sharded multiprocessing table builds.
+"""The :class:`ParallelBackend`: sharded table builds on any executor.
 
 Wraps any base :class:`~repro.faultsim.backends.DetectionBackend`
 (exhaustive / sampled / packed / serial) and satisfies the same
@@ -9,24 +9,27 @@ the experiment caches, the CLI — composes with it unchanged.  A build
    (deterministic, independent of the worker count),
 2. satisfies shards from the persistent
    :class:`~repro.parallel.cache.ShardCache` where possible,
-3. executes the remaining shards as :func:`~repro.parallel.worker.run_shard`
-   tasks on a ``concurrent.futures.ProcessPoolExecutor``,
+3. hands the remaining :class:`~repro.parallel.worker.ShardTask` s to a
+   pluggable :class:`~repro.parallel.executors.ShardExecutor` — inline
+   (this process), pool (a local ``ProcessPoolExecutor``), or queue (a
+   shared-directory work queue drained by ``repro worker`` processes on
+   any host),
 4. concatenates the per-shard signature lists in shard order and applies
    ``drop_undetectable`` once — producing a table *bit-for-bit
    identical* to the base backend's single-process build (the parallel
-   differential suite enforces this for every base engine).
+   differential suite enforces this for every base engine × executor).
 
 Fault-free line signatures are computed once in the parent and shipped
 to every worker, so the sharded build never repeats the base
-simulation.  With ``jobs=1`` (or a single shard) everything runs in
-process — no pool, no pickling — which is also the fallback the CLI
-uses when ``--jobs``/``REPRO_JOBS`` are absent.
+simulation.  ``jobs=`` stays as sugar: without an explicit executor,
+``jobs=1`` runs inline (no pool, no pickling) and ``jobs>1`` selects a
+pool — exactly the pre-protocol behavior, which is also the fallback
+the CLI uses when ``--executor``/``--jobs`` are absent.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.circuit.netlist import Circuit
@@ -37,8 +40,13 @@ from repro.faultsim.backends import DetectionBackend
 from repro.faultsim.detection import DetectionTable
 from repro.faultsim.sampling import VectorUniverse
 from repro.parallel.cache import ShardCache, shard_key
+from repro.parallel.executors import (
+    InlineExecutor,
+    PoolExecutor,
+    ShardExecutor,
+)
 from repro.parallel.plan import DEFAULT_NUM_SHARDS, ShardPlan
-from repro.parallel.worker import ShardTask, run_shard
+from repro.parallel.worker import ShardTask
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -67,29 +75,38 @@ def maybe_parallel(
     jobs: int,
     cache_dir: str | None = None,
     use_cache: bool = True,
+    executor: ShardExecutor | None = None,
 ) -> DetectionBackend:
-    """Wrap ``backend`` for ``jobs`` workers; identity at ``jobs=1``.
+    """Wrap ``backend`` for ``jobs``/``executor``; identity when neither
+    asks for anything (``jobs=1``, no executor).
 
-    Already-parallel backends pass through (their own ``jobs`` wins), so
-    layered configuration — explicit backend plus ``REPRO_JOBS`` — never
-    nests pools.  Backends that parallelize *internally* (the adaptive
-    controller shards each growth round itself) expose ``with_jobs``;
-    the worker count is injected there instead of wrapping — wrapping
-    would re-run the whole controller once per fault shard.
+    Already-parallel backends pass through (their own configuration
+    wins), so layered configuration — explicit backend plus
+    ``REPRO_JOBS``/``REPRO_EXECUTOR`` — never nests pools.  Backends
+    that parallelize *internally* (the adaptive controller shards each
+    growth round itself) expose ``with_execution``; the worker count and
+    executor are injected there instead of wrapping — wrapping would
+    re-run the whole controller once per fault shard.
     """
-    if jobs <= 1 or isinstance(backend, ParallelBackend):
+    if isinstance(backend, ParallelBackend):
         return backend
-    with_jobs = getattr(backend, "with_jobs", None)
-    if with_jobs is not None:
-        return with_jobs(jobs)
+    if executor is None and jobs <= 1:
+        return backend
+    with_execution = getattr(backend, "with_execution", None)
+    if with_execution is not None:
+        return with_execution(jobs=jobs, executor=executor)
     return ParallelBackend(
-        base=backend, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache
+        base=backend,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        executor=executor,
     )
 
 
 @dataclass(frozen=True)
 class ParallelBackend:
-    """Sharded multiprocessing wrapper around a base backend.
+    """Sharded build of a base backend's tables on a pluggable executor.
 
     Parameters
     ----------
@@ -97,17 +114,22 @@ class ParallelBackend:
         Any non-parallel :class:`DetectionBackend`; fixes the vector
         universe, the engine, and the table type of the result.
     jobs:
-        Maximum worker processes per build.
+        Executor-selection sugar when ``executor`` is None: 1 runs
+        inline, >1 on a local pool of that many processes.
     shards:
         Shard count (default :data:`DEFAULT_NUM_SHARDS`).  Deliberately
         *not* defaulted from ``jobs``: a jobs-independent layout means
-        runs with different ``--jobs`` share cache entries.
+        runs with different ``--jobs`` (or different executors) share
+        cache entries.
     cache_dir:
         Shard-cache directory override (default: ``REPRO_CACHE_DIR`` /
         the user cache dir, resolved at build time).
     use_cache:
         Disable the persistent cache entirely (benchmarks time real
         construction with this).
+    executor:
+        Explicit :class:`~repro.parallel.executors.ShardExecutor`
+        (inline / pool / queue); overrides the ``jobs`` sugar.
     """
 
     base: DetectionBackend
@@ -115,6 +137,7 @@ class ParallelBackend:
     shards: int | None = None
     cache_dir: str | None = None
     use_cache: bool = True
+    executor: ShardExecutor | None = None
     name: str = "parallel"
 
     def __post_init__(self) -> None:
@@ -123,11 +146,11 @@ class ParallelBackend:
                 "parallel backends do not nest; wrap the innermost "
                 "engine once"
             )
-        if getattr(self.base, "with_jobs", None) is not None:
+        if getattr(self.base, "with_execution", None) is not None:
             raise AnalysisError(
                 f"the {getattr(self.base, 'name', '?')} backend "
-                f"parallelizes internally; pass jobs= to it (or use "
-                f"maybe_parallel) instead of wrapping it"
+                f"parallelizes internally; pass jobs=/executor= to it "
+                f"(or use maybe_parallel) instead of wrapping it"
             )
         if self.jobs < 1:
             raise AnalysisError(f"jobs must be >= 1, got {self.jobs}")
@@ -135,6 +158,23 @@ class ParallelBackend:
             raise AnalysisError(
                 f"shards must be >= 1, got {self.shards}"
             )
+        if self.executor is not None and not isinstance(
+            self.executor, ShardExecutor
+        ):
+            raise AnalysisError(
+                f"executor must implement ShardExecutor "
+                f"(submit/describe), got {type(self.executor).__name__}"
+            )
+
+    # -- executor selection --------------------------------------------
+    @property
+    def resolved_executor(self) -> ShardExecutor:
+        """The substrate this backend builds on (``jobs`` sugar applied)."""
+        if self.executor is not None:
+            return self.executor
+        if self.jobs == 1:
+            return InlineExecutor()
+        return PoolExecutor(jobs=self.jobs)
 
     # -- protocol delegation -------------------------------------------
     @property
@@ -194,34 +234,36 @@ class ParallelBackend:
         slices = plan.split(faults)
         cache = ShardCache(self.cache_dir) if self.use_cache else None
         results: dict[int, list[int]] = {}
-        pending: list[tuple[str | None, ShardTask]] = []
+        keys: dict[int, str] = {}
+        pending: list[ShardTask] = []
         for index, shard_faults in enumerate(slices):
-            key = None
             if cache is not None:
                 key = shard_key(circuit, self.base, kind, shard_faults)
+                keys[index] = key
                 cached = cache.get(key)
                 if cached is not None:
                     results[index] = cached
                     continue
             pending.append(
-                (
-                    key,
-                    ShardTask(
-                        circuit=circuit,
-                        backend=self.base,
-                        kind=kind,
-                        faults=tuple(shard_faults),
-                        base_signatures=shipped,
-                        shard_index=index,
-                    ),
+                ShardTask(
+                    circuit=circuit,
+                    backend=self.base,
+                    kind=kind,
+                    faults=tuple(shard_faults),
+                    base_signatures=shipped,
+                    shard_index=index,
                 )
             )
         if pending:
-            outcomes = self._run([task for _, task in pending])
-            for (key, _task), (index, signatures) in zip(pending, outcomes):
-                results[index] = signatures
-                if cache is not None and key is not None:
-                    cache.put(key, signatures)
+            # Executors may complete out of order (the queue executor
+            # collects results as workers finish); reassembly goes by
+            # the shard index each outcome carries.
+            for index, shard_signatures in self.resolved_executor.submit(
+                pending
+            ):
+                results[index] = shard_signatures
+                if cache is not None:
+                    cache.put(keys[index], shard_signatures)
         signatures = [
             sig for index in range(len(slices)) for sig in results[index]
         ]
@@ -239,16 +281,3 @@ class ParallelBackend:
                 circuit, list(faults), signatures, universe
             )
         return DetectionTable(circuit, list(faults), signatures, universe)
-
-    def _run(
-        self, tasks: list[ShardTask]
-    ) -> list[tuple[int, list[int]]]:
-        """Execute tasks on the pool (inline at ``jobs=1`` / one task)."""
-        if self.jobs == 1 or len(tasks) == 1:
-            return [run_shard(task) for task in tasks]
-        with ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(tasks))
-        ) as pool:
-            # map() preserves submission order, which `_build` zips back
-            # to the shards' cache keys.
-            return list(pool.map(run_shard, tasks))

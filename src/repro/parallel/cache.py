@@ -149,8 +149,8 @@ class ShardCache:
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.pkl"
 
-    def get(self, key: str) -> list[int] | None:
-        """Cached signature list, or ``None`` on miss/corruption."""
+    def _load(self, key: str) -> list[int] | None:
+        """Read one entry without touching the hit/miss counters."""
         try:
             with open(self._path(key), "rb") as fh:
                 payload = pickle.load(fh)
@@ -162,6 +162,13 @@ class ShardCache:
         except (OSError, pickle.UnpicklingError, EOFError, ValueError,
                 KeyError, TypeError, AttributeError, ImportError,
                 IndexError, MemoryError):
+            return None
+        return signatures
+
+    def get(self, key: str) -> list[int] | None:
+        """Cached signature list, or ``None`` on miss/corruption."""
+        signatures = self._load(key)
+        if signatures is None:
             self.misses += 1
             _GLOBAL_STATS["misses"] += 1
             return None
@@ -172,9 +179,23 @@ class ShardCache:
     def put(self, key: str, signatures: list[int]) -> None:
         """Atomically persist one shard's signatures (best effort).
 
-        A read-only or full filesystem never fails the build — the cache
+        Concurrent multi-writer safe: every writer dumps to its own
+        unique temp name (``mkstemp``) and publishes with ``os.replace``
+        — racing writers of the same key each install a complete,
+        identical payload, never a torn one.  A writer that finds a
+        *readable* entry already present lost such a race (the content
+        is content-addressed, so the existing bytes *are* its bytes)
+        and treats the entry as a hit instead of rewriting it; an
+        unreadable entry (torn by a crashed host, stale format) is
+        overwritten — ``put`` is the cache's only self-heal path, and
+        skipping on bare existence would wedge the key forever.  A
+        read-only or full filesystem never fails the build — the cache
         silently degrades to a no-op.
         """
+        if self._load(key) is not None:
+            self.hits += 1
+            _GLOBAL_STATS["hits"] += 1
+            return
         payload = {
             "version": CACHE_FORMAT_VERSION,
             "signatures": list(signatures),
@@ -203,6 +224,54 @@ class ShardCache:
         if not self.root.is_dir():
             return []
         return sorted(self.root.glob("*.pkl"))
+
+    @staticmethod
+    def _entry_version(path: Path) -> int:
+        """Version field of one entry, read from the pickle *prefix*.
+
+        ``put`` serializes ``{"version": ..., "signatures": ...}`` with
+        the version first, so the version integer appears within the
+        first few opcodes of the stream.  Walking opcodes lazily with
+        :mod:`pickletools` and stopping there keeps ``versions()`` at
+        O(entries), not O(total cache bytes) — the signature payloads
+        (the overwhelming bulk of a real cache) are never parsed.
+        """
+        import pickletools
+
+        bookkeeping = {"FRAME", "MEMOIZE", "BINPUT", "LONG_BINPUT",
+                       "PUT", "PROTO", "EMPTY_DICT", "MARK"}
+        int_ops = {"BININT", "BININT1", "BININT2", "INT", "LONG",
+                   "LONG1", "LONG4"}
+        with open(path, "rb") as fh:
+            saw_key = False
+            for opcode, arg, _pos in pickletools.genops(fh):
+                name = opcode.name
+                if name in bookkeeping:
+                    continue
+                if saw_key:
+                    if name in int_ops:
+                        return int(arg)
+                    break
+                saw_key = arg == "version" and "UNICODE" in name
+        raise ValueError(f"no version field in {path.name}")
+
+    def versions(self) -> dict[str, int]:
+        """Entry count per payload format version (``repro cache info``).
+
+        Unreadable or pre-versioning entries are tallied under
+        ``"corrupt"`` — an entry whose version cannot even be parsed is
+        one :meth:`get` would treat as a miss, so the report shows how
+        much of the cache is actually servable at the current format.
+        """
+        counts: dict[str, int] = {}
+        for path in self.entries():
+            try:
+                label = f"v{self._entry_version(path)}"
+            except (OSError, ValueError, EOFError, IndexError,
+                    NotImplementedError):
+                label = "corrupt"
+            counts[label] = counts.get(label, 0) + 1
+        return dict(sorted(counts.items()))
 
     def total_bytes(self) -> int:
         total = 0

@@ -1,0 +1,506 @@
+"""Filesystem work queue: distributed shard execution over a shared dir.
+
+The shard cache proved that shard results are location-independent —
+content-addressed by circuit structure × backend configuration × fault
+slice, identical wherever they are built.  This module completes the
+thought: a :class:`WorkQueue` is a directory (local disk, NFS, any
+shared mount) through which a submitting process publishes
+:class:`~repro.parallel.worker.ShardTask` payloads and independent
+``repro worker --queue DIR`` processes — on this or any host that can
+see the directory — drain them.
+
+Layout (all under the queue root)::
+
+    tasks/<key>.task     pending task payloads, named by shard key
+    claims/<key>.task    leased tasks (claim = atomic rename from tasks/)
+    results/<key>.pkl    a content-addressed ShardCache of finished shards
+    failed/<key>.err     terminal failures (retry budget exhausted)
+
+Every transition is a single atomic filesystem operation, so the queue
+needs no locks and no daemon:
+
+* **enqueue** writes a unique temp file and ``os.replace``\\ s it into
+  ``tasks/`` — racing submitters of the same key converge on one file;
+* **claim** is ``os.rename(tasks/k, claims/k)`` — exactly one claimer
+  wins, the losers see ``FileNotFoundError`` and move on;
+* **heartbeat** is ``os.utime`` on the claim file; a claim whose
+  heartbeat is older than the lease timeout is presumed dead and
+  requeued (attempts + 1) by whoever notices first — another worker or
+  the waiting submitter;
+* **complete** writes the signatures through the queue's own
+  :class:`~repro.parallel.cache.ShardCache`, so finished shards survive
+  worker death and re-submission of the same analysis is idempotent
+  (already-built shards are served straight from ``results/``);
+* **fail** (a build that raised, or a lease that expired too often)
+  requeues until the task's retry budget is exhausted, then parks a
+  ``failed/<key>.err`` marker that the submitter surfaces as a clean
+  :class:`~repro.errors.AnalysisError` naming the shard.
+
+Duplicate builds are harmless by construction: a stale worker that
+finishes after its lease was reclaimed writes the exact same
+content-addressed bytes the replacement worker writes.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import AnalysisError
+from repro.parallel.cache import ShardCache
+from repro.parallel.worker import ShardTask, run_shard
+
+#: Bumped whenever the task-payload layout changes; stale payloads from
+#: an older queue format are failed (and re-enqueued fresh) instead of
+#: being mis-deserialized.
+QUEUE_FORMAT_VERSION = 1
+
+#: Default number of build attempts a task gets before it is parked in
+#: ``failed/`` (covers both raised builds and expired leases).
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: Test hook: a worker process whose environment sets this to ``N``
+#: hard-exits (``os._exit``) right after claiming its ``N``-th task —
+#: mid-shard, heartbeat stopped — so the crash-recovery path (lease
+#: expiry, requeue, completion by a surviving worker) can be exercised
+#: end to end.
+CRASH_ENV = "REPRO_QUEUE_CRASH_AFTER_CLAIM"
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One claimed task: the payload plus where its claim file lives."""
+
+    key: str
+    payload: dict
+    path: Path
+    worker: str
+
+    @property
+    def task(self) -> ShardTask:
+        return self.payload["task"]
+
+    @property
+    def attempts(self) -> int:
+        return self.payload["attempts"]
+
+
+class WorkQueue:
+    """The on-disk queue (see the module docstring for the protocol)."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.tasks_dir = self.root / "tasks"
+        self.claims_dir = self.root / "claims"
+        self.failed_dir = self.root / "failed"
+        self.results = ShardCache(self.root / "results")
+
+    def _ensure(self) -> None:
+        for d in (self.tasks_dir, self.claims_dir, self.failed_dir):
+            d.mkdir(parents=True, exist_ok=True)
+
+    # -- atomic payload IO ---------------------------------------------
+    @staticmethod
+    def _write(path: Path, payload: dict) -> None:
+        tmp = path.with_name(
+            f".{path.name}.{os.getpid()}-{threading.get_ident()}.tmp"
+        )
+        with open(tmp, "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    @staticmethod
+    def _read(path: Path) -> dict:
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != QUEUE_FORMAT_VERSION
+            or not isinstance(payload.get("task"), ShardTask)
+        ):
+            raise AnalysisError(
+                f"unrecognized task payload in {path.name} (queue format "
+                f"{QUEUE_FORMAT_VERSION} expected)"
+            )
+        return payload
+
+    # -- submitter side ------------------------------------------------
+    def enqueue(
+        self,
+        task: ShardTask,
+        key: str,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ) -> bool:
+        """Publish one task (idempotent; returns False when redundant).
+
+        A task whose result is already in ``results/`` is never queued;
+        a key already pending or leased is left alone; a stale failure
+        marker from a previous run is cleared so the new submission gets
+        a fresh retry budget.
+        """
+        self._ensure()
+        if self.result(key) is not None:
+            return False
+        failed = self.failed_dir / f"{key}.err"
+        if failed.exists():
+            try:
+                failed.unlink()
+            except OSError:
+                pass
+        if (self.tasks_dir / f"{key}.task").exists() or (
+            self.claims_dir / f"{key}.task"
+        ).exists():
+            return False
+        self._write(
+            self.tasks_dir / f"{key}.task",
+            {
+                "version": QUEUE_FORMAT_VERSION,
+                "key": key,
+                "task": task,
+                "attempts": 0,
+                "max_attempts": max_attempts,
+            },
+        )
+        return True
+
+    def result(self, key: str) -> list[int] | None:
+        """Finished signatures for ``key``, straight from ``results/``."""
+        return self.results.get(key)
+
+    def failure(self, key: str) -> str | None:
+        """Terminal failure text for ``key``, or None."""
+        try:
+            return (self.failed_dir / f"{key}.err").read_text()
+        except OSError:
+            return None
+
+    # -- worker side ---------------------------------------------------
+    def claim(self, worker: str) -> Lease | None:
+        """Atomically lease the first pending task (None when drained)."""
+        self._ensure()
+        for path in sorted(self.tasks_dir.glob("*.task")):
+            target = self.claims_dir / path.name
+            try:
+                os.rename(path, target)
+            except FileNotFoundError:
+                continue  # another claimer won this one
+            key = path.name[: -len(".task")]
+            try:
+                payload = self._read(target)
+            except (AnalysisError, pickle.UnpicklingError, EOFError,
+                    OSError, AttributeError, ImportError, IndexError) as exc:
+                self._park(key, f"unreadable task payload: {exc}")
+                try:
+                    target.unlink()
+                except OSError:
+                    pass
+                continue
+            os.utime(target)  # the lease starts now, not at enqueue time
+            return Lease(key=key, payload=payload, path=target, worker=worker)
+        return None
+
+    def heartbeat(self, lease: Lease) -> None:
+        os.utime(lease.path)
+
+    def complete(self, lease: Lease, signatures: list[int]) -> None:
+        self.results.put(lease.key, signatures)
+        try:
+            lease.path.unlink()
+        except OSError:
+            pass  # lease was reclaimed meanwhile; the result still counts
+
+    def fail(self, lease: Lease, error: str) -> bool:
+        """Requeue a failed attempt; park it once the budget is spent.
+
+        Returns True when the task was requeued, False when it went to
+        ``failed/`` terminally.
+        """
+        requeued = self._retry_or_park(lease.key, lease.payload, error)
+        try:
+            lease.path.unlink()
+        except OSError:
+            pass
+        return requeued
+
+    # -- lease scavenging (any process may run this) -------------------
+    def reclaim_expired(
+        self, lease_timeout: float, now: float | None = None
+    ) -> tuple[list[str], list[str]]:
+        """Requeue claims whose heartbeat went stale; park the hopeless.
+
+        Deterministic: a claim is reclaimed exactly when ``now - mtime >
+        lease_timeout``, attempts increment by one per reclaim, and the
+        task is parked the moment attempts reach its budget.  Returns
+        ``(requeued_keys, failed_keys)``.
+        """
+        if lease_timeout <= 0:
+            raise AnalysisError(
+                f"lease_timeout must be > 0, got {lease_timeout}"
+            )
+        self._ensure()
+        now = time.time() if now is None else now
+        requeued: list[str] = []
+        failed: list[str] = []
+        for path in sorted(self.claims_dir.glob("*.task")):
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:
+                continue  # completed/reclaimed under us
+            if age <= lease_timeout:
+                continue
+            key = path.name[: -len(".task")]
+            # Exactly one scavenger wins the reclaim, by the same
+            # atomic-rename trick as claim(): move the expired claim to
+            # a private name first.  A loser (the claim vanished under
+            # us — reclaimed by a peer, or completed by a stale worker)
+            # just moves on; without this, concurrent scavengers would
+            # double-count attempts or mistake each other's cleanup for
+            # a corrupt task and park a healthy shard.
+            outcome = self._reclaim_one(
+                path, key,
+                f"lease expired after {age:.1f}s (worker presumed dead "
+                f"mid-shard)",
+            )
+            if outcome is True:
+                requeued.append(key)
+            elif outcome is False:
+                failed.append(key)
+        # A scavenger can itself die between winning the private rename
+        # and requeueing the payload, stranding the only copy of the
+        # task in a dotted .reclaim file nothing else scans.  Recover
+        # such orphans by age with the same steal-by-rename protocol.
+        for path in sorted(self.claims_dir.glob(".*.reclaim")):
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:
+                continue
+            if age <= lease_timeout:
+                continue
+            key = path.name[1:].split(".", 1)[0]
+            outcome = self._reclaim_one(
+                path, key,
+                f"reclaim orphaned after {age:.1f}s (scavenger presumed "
+                f"dead mid-reclaim)",
+            )
+            if outcome is True:
+                requeued.append(key)
+            elif outcome is False:
+                failed.append(key)
+        return requeued, failed
+
+    def _reclaim_one(
+        self, path: Path, key: str, error: str
+    ) -> bool | None:
+        """Steal one expired claim/orphan and requeue or park it.
+
+        Exactly one scavenger wins, by the same atomic-rename trick as
+        :meth:`claim`: the file moves to a private name first.  A loser
+        (the file vanished under us — reclaimed by a peer, or completed
+        by a stale worker) returns None; without this, concurrent
+        scavengers would double-count attempts or mistake each other's
+        cleanup for a corrupt task and park a healthy shard.  Returns
+        True when requeued, False when parked terminally.
+        """
+        private = self.claims_dir / (
+            f".{key}.{os.getpid()}-{threading.get_ident()}.reclaim"
+        )
+        try:
+            os.rename(path, private)
+        except OSError:
+            return None
+        # Freshen the private file so the orphan-recovery sweep above
+        # only steals it back after a full lease of real abandonment
+        # (rename preserves the stale mtime that got us here).
+        try:
+            os.utime(private)
+        except OSError:
+            pass
+        try:
+            payload = self._read(private)
+        except (AnalysisError, pickle.UnpicklingError, EOFError,
+                OSError, AttributeError, ImportError, IndexError) as exc:
+            self._park(key, f"unreadable claimed payload: {exc}")
+            outcome = False
+        else:
+            outcome = self._retry_or_park(key, payload, error)
+        try:
+            private.unlink()
+        except OSError:
+            pass
+        return outcome
+
+    def _retry_or_park(self, key: str, payload: dict, error: str) -> bool:
+        attempts = payload["attempts"] + 1
+        if attempts >= payload.get("max_attempts", DEFAULT_MAX_ATTEMPTS):
+            self._park(key, f"attempt {attempts}: {error}")
+            return False
+        self._write(
+            self.tasks_dir / f"{key}.task", {**payload, "attempts": attempts}
+        )
+        return True
+
+    def _park(self, key: str, error: str) -> None:
+        self._ensure()
+        tmp = self.failed_dir / f".{key}.{os.getpid()}.tmp"
+        tmp.write_text(error)
+        os.replace(tmp, self.failed_dir / f"{key}.err")
+
+    # -- inspection (the `repro queue` subcommand) ---------------------
+    def pending_keys(self) -> list[str]:
+        if not self.tasks_dir.is_dir():
+            return []
+        return sorted(
+            p.name[: -len(".task")] for p in self.tasks_dir.glob("*.task")
+        )
+
+    def leased_keys(self) -> list[str]:
+        if not self.claims_dir.is_dir():
+            return []
+        return sorted(
+            p.name[: -len(".task")] for p in self.claims_dir.glob("*.task")
+        )
+
+    def failed_keys(self) -> list[str]:
+        if not self.failed_dir.is_dir():
+            return []
+        return sorted(
+            p.name[: -len(".err")] for p in self.failed_dir.glob("*.err")
+        )
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "pending": len(self.pending_keys()),
+            "leased": len(self.leased_keys()),
+            "results": len(self.results.entries()),
+            "failed": len(self.failed_keys()),
+        }
+
+    def clear(self) -> int:
+        """Drop every task, claim, failure marker, and result."""
+        removed = 0
+        for d, glob in (
+            (self.tasks_dir, "*.task"),
+            (self.claims_dir, "*.task"),
+            (self.failed_dir, "*.err"),
+        ):
+            if not d.is_dir():
+                continue
+            for path in (
+                list(d.glob(glob))
+                + list(d.glob(".*.tmp"))
+                + list(d.glob(".*.reclaim"))
+            ):
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                removed += 1
+        return removed + self.results.clear()
+
+
+@dataclass
+class QueueWorker:
+    """The drain loop behind ``repro worker --queue DIR``.
+
+    Claims tasks one at a time, heartbeats the claim from a background
+    thread while the shard builds (so a long build never looks dead),
+    writes the result through the queue's content-addressed store, and
+    scavenges expired leases of *other* workers on every pass.  A build
+    that raises is reported to the queue (requeue or park) and the
+    worker keeps serving — one poisoned shard never takes a worker down.
+    """
+
+    queue: WorkQueue
+    worker_id: str = field(default_factory=default_worker_id)
+    poll_interval: float = 0.1
+    lease_timeout: float = 30.0
+    heartbeat_interval: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.poll_interval <= 0:
+            raise AnalysisError(
+                f"poll_interval must be > 0, got {self.poll_interval}"
+            )
+        if self.lease_timeout <= 0:
+            raise AnalysisError(
+                f"lease_timeout must be > 0, got {self.lease_timeout}"
+            )
+        if self.heartbeat_interval is None:
+            self.heartbeat_interval = max(
+                0.01, min(1.0, self.lease_timeout / 4.0)
+            )
+        raw = os.environ.get(CRASH_ENV, "")
+        self._crash_after = int(raw) if raw else 0
+
+    def serve(
+        self,
+        max_tasks: int | None = None,
+        idle_exit: float | None = None,
+    ) -> dict[str, int]:
+        """Drain the queue; returns ``{"built", "skipped", "failed"}``.
+
+        ``max_tasks`` bounds the number of shards built; ``idle_exit``
+        stops the loop after that many seconds without a claimable task
+        (None: serve forever).
+        """
+        stats = {"built": 0, "skipped": 0, "failed": 0}
+        claims = 0
+        idle_since = time.monotonic()
+        while True:
+            self.queue.reclaim_expired(self.lease_timeout)
+            lease = self.queue.claim(self.worker_id)
+            if lease is None:
+                if (
+                    idle_exit is not None
+                    and time.monotonic() - idle_since >= idle_exit
+                ):
+                    return stats
+                time.sleep(self.poll_interval)
+                continue
+            idle_since = time.monotonic()
+            claims += 1
+            if self._crash_after and claims >= self._crash_after:
+                os._exit(42)  # test hook: die mid-shard, lease held
+            if self.queue.result(lease.key) is not None:
+                # A duplicate of an already-finished shard (reclaim race
+                # or resubmission): the content-addressed result stands.
+                stats["skipped"] += 1
+                self.queue.complete(lease, self.queue.result(lease.key))
+                continue
+            try:
+                _index, signatures = self._build(lease)
+            except Exception as exc:  # noqa: BLE001 - reported to the queue
+                stats["failed"] += 1
+                self.queue.fail(lease, f"{type(exc).__name__}: {exc}")
+                continue
+            self.queue.complete(lease, signatures)
+            stats["built"] += 1
+            if max_tasks is not None and stats["built"] >= max_tasks:
+                return stats
+
+    def _build(self, lease: Lease) -> tuple[int, list[int]]:
+        stop = threading.Event()
+
+        def beat() -> None:
+            while not stop.wait(self.heartbeat_interval):
+                try:
+                    self.queue.heartbeat(lease)
+                except OSError:
+                    return  # lease reclaimed; the build result still counts
+
+        thread = threading.Thread(target=beat, daemon=True)
+        thread.start()
+        try:
+            return run_shard(lease.task)
+        finally:
+            stop.set()
+            thread.join()

@@ -415,3 +415,184 @@ class TestJobsAndCache:
         jobs_out = capsys.readouterr().out
         assert jobs_out == single_out  # identical analysis
         assert list((tmp_path / "shards").glob("*.pkl"))  # sharded build ran
+
+
+class TestExecutorsAndQueueCLI:
+    """--executor threading, `repro worker`, and `repro queue`."""
+
+    @staticmethod
+    def _drain(queue_dir, idle_exit=5.0):
+        import threading
+
+        from repro.parallel import QueueWorker, WorkQueue
+
+        def serve():
+            QueueWorker(
+                WorkQueue(queue_dir), poll_interval=0.01
+            ).serve(idle_exit=idle_exit)
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        return thread
+
+    @staticmethod
+    def _enqueue_lion_shards(queue_dir, count=2):
+        from repro.bench_suite.registry import get_circuit
+        from repro.faults.stuck_at import collapsed_stuck_at_faults
+        from repro.faultsim.backends import ExhaustiveBackend
+        from repro.parallel import ShardTask, WorkQueue, shard_key
+
+        circuit = get_circuit("lion")
+        backend = ExhaustiveBackend()
+        base = tuple(backend.line_signatures(circuit))
+        faults = collapsed_stuck_at_faults(circuit)
+        queue = WorkQueue(queue_dir)
+        for index in range(count):
+            task = ShardTask(
+                circuit=circuit,
+                backend=backend,
+                kind="stuck_at",
+                faults=tuple(faults[2 * index : 2 * index + 2]),
+                base_signatures=base,
+                shard_index=index,
+            )
+            queue.enqueue(
+                task,
+                shard_key(circuit, backend, task.kind, task.faults),
+            )
+        return queue
+
+    def test_inline_executor_matches_plain_summary(self, capsys, tmp_path,
+                                                   monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "shards"))
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        assert main(["analyze", "lion"]) == 0
+        plain_out = capsys.readouterr().out
+        assert main(["analyze", "lion", "--executor", "inline"]) == 0
+        inline_out = capsys.readouterr().out
+        strip = lambda s: [
+            ln for ln in s.splitlines() if "backend" not in ln
+        ]
+        assert strip(plain_out) == strip(inline_out)
+        assert "executor=inline" in inline_out
+        # The inline executor still runs the sharded, cached build.
+        assert list((tmp_path / "shards").glob("*.pkl"))
+
+    def test_queue_executor_matches_plain_summary(self, capsys, tmp_path,
+                                                  monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "shards"))
+        queue_dir = tmp_path / "queue"
+        thread = self._drain(queue_dir)
+        assert main(["analyze", "lion"]) == 0
+        plain_out = capsys.readouterr().out
+        assert main(
+            ["analyze", "lion", "--executor", "queue",
+             "--queue-dir", str(queue_dir)]
+        ) == 0
+        queue_out = capsys.readouterr().out
+        strip = lambda s: [
+            ln for ln in s.splitlines() if "backend" not in ln
+        ]
+        assert strip(plain_out) == strip(queue_out)
+        assert "executor=queue" in queue_out
+        thread.join()
+
+    def test_env_executor_and_queue_dir(self, capsys, tmp_path,
+                                        monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "shards"))
+        queue_dir = tmp_path / "queue"
+        monkeypatch.setenv("REPRO_EXECUTOR", "queue")
+        monkeypatch.setenv("REPRO_QUEUE_DIR", str(queue_dir))
+        thread = self._drain(queue_dir)
+        assert main(["analyze", "lion"]) == 0
+        assert "executor=queue" in capsys.readouterr().out
+        thread.join()
+
+    def test_worker_drains_and_reports(self, capsys, tmp_path,
+                                       monkeypatch):
+        queue_dir = tmp_path / "queue"
+        queue = self._enqueue_lion_shards(queue_dir, count=2)
+        assert main(
+            ["worker", "--queue", str(queue_dir), "--idle-exit", "0.1",
+             "--poll-interval", "0.01"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "built 2 shard(s)" in out
+        assert queue.stats()["results"] == 2
+        assert queue.pending_keys() == []
+
+    def test_worker_max_tasks(self, capsys, tmp_path):
+        queue_dir = tmp_path / "queue"
+        self._enqueue_lion_shards(queue_dir, count=3)
+        assert main(
+            ["worker", "--queue", str(queue_dir), "--max-tasks", "1",
+             "--poll-interval", "0.01"]
+        ) == 0
+        assert "built 1 shard(s)" in capsys.readouterr().out
+
+    def test_worker_without_queue_dir(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_QUEUE_DIR", raising=False)
+        assert main(["worker", "--idle-exit", "0.1"]) == 2
+        assert "REPRO_QUEUE_DIR" in capsys.readouterr().err
+
+    def test_queue_info_and_clear(self, capsys, tmp_path):
+        queue_dir = tmp_path / "queue"
+        self._enqueue_lion_shards(queue_dir, count=2)
+        assert main(["queue", "info", "--queue", str(queue_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "pending tasks: 2" in out
+        assert main(["queue", "clear", "--queue", str(queue_dir)]) == 0
+        assert "removed 2" in capsys.readouterr().out
+        assert main(["queue", "info", "--queue", str(queue_dir)]) == 0
+        assert "pending tasks: 0" in capsys.readouterr().out
+
+    def test_queue_executor_without_dir(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_QUEUE_DIR", raising=False)
+        assert main(["analyze", "lion", "--executor", "queue"]) == 2
+        err = capsys.readouterr().err
+        assert "--queue-dir" in err and "REPRO_QUEUE_DIR" in err
+
+    def test_queue_dir_without_queue_executor(self, capsys, tmp_path,
+                                              monkeypatch):
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        assert main(
+            ["analyze", "lion", "--queue-dir", str(tmp_path)]
+        ) == 2
+        assert "--queue-dir only applies" in capsys.readouterr().err
+        assert main(
+            ["analyze", "lion", "--executor", "pool",
+             "--queue-dir", str(tmp_path)]
+        ) == 2
+        assert "--queue-dir only applies" in capsys.readouterr().err
+
+    def test_bad_executor_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["analyze", "lion", "--executor", "cluster"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_cache_info_reports_format_versions(self, capsys, tmp_path,
+                                                monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "shards"))
+        assert main(["analyze", "lion", "--jobs", "2"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "format v1:" in out
+
+    def test_partition_executor_threaded(self, capsys, tmp_path,
+                                         monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "shards"))
+        queue_dir = tmp_path / "queue"
+        thread = self._drain(queue_dir)
+        assert main(["partition", "paper_example", "--max-inputs", "3"]) == 0
+        plain_out = capsys.readouterr().out
+        assert main(
+            ["partition", "paper_example", "--max-inputs", "3",
+             "--executor", "queue", "--queue-dir", str(queue_dir)]
+        ) == 0
+        queue_out = capsys.readouterr().out
+        assert queue_out == plain_out  # identical analysis
+        from repro.parallel import WorkQueue
+
+        assert WorkQueue(queue_dir).stats()["results"] > 0
+        thread.join()

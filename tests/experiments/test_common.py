@@ -148,6 +148,44 @@ class TestParallelCacheComposition:
         monkeypatch.setenv("REPRO_JOBS", "2")
         assert get_universe("lion") is u_default
 
+    def test_executor_normalized_cache_keys(self, tmp_path, monkeypatch):
+        # A distributed-built universe and a local build share one LRU
+        # entry: the cache keys on the unwrapped base, never on the
+        # execution substrate.
+        from repro.parallel import (
+            InlineExecutor,
+            ParallelBackend,
+            QueueExecutor,
+        )
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        base = SampledBackend(8, seed=3)
+        u_base = get_universe("lion", base)
+        inline = ParallelBackend(base=base, executor=InlineExecutor())
+        assert get_universe("lion", inline) is u_base
+        # The queue-wrapped lookup is a cache hit, so the queue itself
+        # is never consulted (no workers needed here).
+        queued = ParallelBackend(
+            base=base,
+            executor=QueueExecutor(queue_dir=str(tmp_path / "q")),
+        )
+        assert get_universe("lion", queued) is u_base
+
+    def test_backend_from_env_executor(self, tmp_path, monkeypatch):
+        from repro.parallel import ParallelBackend, QueueExecutor
+
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.setenv("REPRO_EXECUTOR", "queue")
+        monkeypatch.setenv("REPRO_QUEUE_DIR", str(tmp_path / "q"))
+        backend = backend_from_env()
+        assert isinstance(backend, ParallelBackend)
+        assert isinstance(backend.executor, QueueExecutor)
+        assert backend.base == ExhaustiveBackend()
+        monkeypatch.delenv("REPRO_EXECUTOR")
+        monkeypatch.delenv("REPRO_QUEUE_DIR")
+        assert backend_from_env() is None
+
 
 class TestRenderRows:
     def test_alignment(self):

@@ -1,0 +1,242 @@
+"""The ShardExecutor protocol: conformance, factories, injection.
+
+Queue mechanics (leases, heartbeats, retries, the worker loop) live in
+``test_workqueue.py``; the executor × base-engine bit-identity sweeps
+live with the other differential suites in
+``tests/test_backend_differential.py``.  This module covers the
+protocol itself — the three implementations' configuration contracts,
+the ``--executor``/``REPRO_EXECUTOR`` factories, and how executors are
+injected through ``ParallelBackend`` / ``maybe_parallel`` / the
+adaptive controller.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive import AdaptiveBackend
+from repro.bench_suite.registry import get_circuit
+from repro.errors import AnalysisError
+from repro.faults.universe import FaultUniverse
+from repro.faultsim.backends import (
+    ExhaustiveBackend,
+    SampledBackend,
+    make_backend,
+)
+from repro.parallel import (
+    InlineExecutor,
+    ParallelBackend,
+    PoolExecutor,
+    QueueExecutor,
+    ShardExecutor,
+    make_executor,
+    maybe_parallel,
+    resolve_executor,
+)
+
+
+class TestProtocol:
+    def test_all_three_satisfy_protocol(self):
+        for executor in (
+            InlineExecutor(),
+            PoolExecutor(jobs=2),
+            QueueExecutor(queue_dir="/tmp/q"),
+        ):
+            assert isinstance(executor, ShardExecutor)
+
+    def test_describe(self):
+        assert InlineExecutor().describe() == "inline"
+        assert PoolExecutor(jobs=3).describe() == "pool jobs=3"
+        assert QueueExecutor(queue_dir="/tmp/q").describe() == "queue"
+
+    def test_pool_rejects_bad_jobs(self):
+        with pytest.raises(AnalysisError, match="jobs"):
+            PoolExecutor(jobs=0)
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"poll_interval": 0.0}, "poll_interval"),
+            ({"lease_timeout": -1.0}, "lease_timeout"),
+            ({"max_attempts": 0}, "max_attempts"),
+            ({"wait_timeout": 0.0}, "wait_timeout"),
+        ],
+    )
+    def test_queue_validates_configuration(self, kwargs, match):
+        with pytest.raises(AnalysisError, match=match):
+            QueueExecutor(queue_dir="/tmp/q", **kwargs)
+
+    def test_queue_dir_resolution(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_QUEUE_DIR", raising=False)
+        with pytest.raises(AnalysisError, match="REPRO_QUEUE_DIR"):
+            QueueExecutor().resolved_dir()
+        monkeypatch.setenv("REPRO_QUEUE_DIR", str(tmp_path))
+        assert QueueExecutor().resolved_dir() == str(tmp_path)
+        # An explicit directory beats the environment.
+        assert QueueExecutor(queue_dir="/x").resolved_dir() == "/x"
+
+
+class TestFactories:
+    def test_make_executor_names(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert make_executor("inline") == InlineExecutor()
+        assert make_executor("pool") == PoolExecutor(jobs=2)
+        assert make_executor("pool", jobs=5) == PoolExecutor(jobs=5)
+        queue = make_executor("queue", queue_dir=str(tmp_path))
+        assert isinstance(queue, QueueExecutor)
+        assert queue.queue_dir == str(tmp_path)
+
+    def test_make_executor_pool_honours_explicit_jobs_one(
+        self, monkeypatch
+    ):
+        # A user who pinned one worker gets one (PoolExecutor(1) runs
+        # inline); only *unspecified* jobs falls back to a real pool.
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert make_executor("pool", jobs=1) == PoolExecutor(jobs=1)
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert make_executor("pool") == PoolExecutor(jobs=3)
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        assert make_executor("pool") == PoolExecutor(jobs=2)
+
+    def test_make_executor_unknown_name(self):
+        with pytest.raises(AnalysisError, match="unknown executor"):
+            make_executor("cluster")
+
+    def test_queue_requires_directory(self, monkeypatch):
+        monkeypatch.delenv("REPRO_QUEUE_DIR", raising=False)
+        with pytest.raises(AnalysisError, match="queue directory"):
+            make_executor("queue")
+
+    def test_queue_dir_only_for_queue(self, tmp_path):
+        for name in ("inline", "pool"):
+            with pytest.raises(AnalysisError, match="--queue-dir"):
+                make_executor(name, queue_dir=str(tmp_path))
+
+    def test_resolve_executor_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        assert resolve_executor() is None
+        monkeypatch.setenv("REPRO_EXECUTOR", "pool")
+        assert resolve_executor(jobs=3) == PoolExecutor(jobs=3)
+        # An explicit name beats the environment.
+        assert resolve_executor("inline") == InlineExecutor()
+
+    def test_resolve_executor_queue_env_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_EXECUTOR", "queue")
+        monkeypatch.setenv("REPRO_QUEUE_DIR", str(tmp_path))
+        executor = resolve_executor()
+        assert isinstance(executor, QueueExecutor)
+        assert executor.queue_dir == str(tmp_path)
+
+    def test_resolve_rejects_orphan_queue_dir(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        with pytest.raises(AnalysisError, match="--queue-dir"):
+            resolve_executor(queue_dir=str(tmp_path))
+
+
+class TestParallelBackendIntegration:
+    def test_jobs_sugar_resolves_executor(self):
+        base = ExhaustiveBackend()
+        assert ParallelBackend(
+            base=base, jobs=1
+        ).resolved_executor == InlineExecutor()
+        assert ParallelBackend(
+            base=base, jobs=4
+        ).resolved_executor == PoolExecutor(jobs=4)
+
+    def test_explicit_executor_wins_over_jobs(self):
+        backend = ParallelBackend(
+            base=ExhaustiveBackend(), jobs=4, executor=InlineExecutor()
+        )
+        assert backend.resolved_executor == InlineExecutor()
+
+    def test_rejects_non_executor(self):
+        with pytest.raises(AnalysisError, match="ShardExecutor"):
+            ParallelBackend(base=ExhaustiveBackend(), executor="pool")
+
+    def test_hashable_with_executor(self):
+        a = ParallelBackend(
+            base=SampledBackend(8, seed=1),
+            executor=QueueExecutor(queue_dir="/tmp/q"),
+        )
+        b = ParallelBackend(
+            base=SampledBackend(8, seed=1),
+            executor=QueueExecutor(queue_dir="/tmp/q"),
+        )
+        assert a == b and hash(a) == hash(b)
+
+    def test_inline_executor_build_matches_base(self, tmp_path):
+        circuit = get_circuit("lion")
+        reference = FaultUniverse(circuit)
+        backend = ParallelBackend(
+            base=ExhaustiveBackend(),
+            executor=InlineExecutor(),
+            cache_dir=str(tmp_path / "shards"),
+        )
+        universe = FaultUniverse(circuit, backend=backend)
+        assert universe.target_table.signatures == (
+            reference.target_table.signatures
+        )
+        assert universe.untargeted_table.signatures == (
+            reference.untargeted_table.signatures
+        )
+
+
+class TestInjection:
+    def test_maybe_parallel_wraps_for_executor_at_jobs_one(self):
+        base = ExhaustiveBackend()
+        assert maybe_parallel(base, 1) is base
+        wrapped = maybe_parallel(base, 1, executor=InlineExecutor())
+        assert isinstance(wrapped, ParallelBackend)
+        assert wrapped.executor == InlineExecutor()
+
+    def test_maybe_parallel_injects_into_adaptive(self):
+        executor = QueueExecutor(queue_dir="/tmp/q")
+        backend = maybe_parallel(AdaptiveBackend(), 2, executor=executor)
+        assert isinstance(backend, AdaptiveBackend)
+        assert backend.jobs == 2
+        assert backend.executor == executor
+
+    def test_adaptive_with_execution_preserves_identity(self):
+        # jobs/executor are excluded from equality: experiment caches
+        # must share tables across execution substrates.
+        base = AdaptiveBackend()
+        assert base.with_execution(
+            jobs=4, executor=InlineExecutor()
+        ) == base
+        assert base.with_jobs(3).jobs == 3
+
+    def test_parallel_rejects_internally_parallel_base(self):
+        with pytest.raises(AnalysisError, match="internally"):
+            ParallelBackend(base=AdaptiveBackend())
+
+    def test_make_backend_executor_name(self, tmp_path):
+        backend = make_backend(
+            "sampled", samples=8, seed=1, executor="queue",
+            queue_dir=str(tmp_path),
+        )
+        assert isinstance(backend, ParallelBackend)
+        assert backend.base == SampledBackend(8, seed=1)
+        assert isinstance(backend.executor, QueueExecutor)
+
+    def test_make_backend_executor_instance(self):
+        backend = make_backend("exhaustive", executor=PoolExecutor(jobs=3))
+        assert isinstance(backend, ParallelBackend)
+        assert backend.resolved_executor == PoolExecutor(jobs=3)
+
+    def test_make_backend_adaptive_executor_injects(self, tmp_path):
+        backend = make_backend(
+            "adaptive", executor="queue", queue_dir=str(tmp_path)
+        )
+        assert isinstance(backend, AdaptiveBackend)
+        assert isinstance(backend.executor, QueueExecutor)
+
+    def test_make_backend_orphan_queue_dir(self, tmp_path):
+        with pytest.raises(AnalysisError, match="queue_dir"):
+            make_backend("exhaustive", queue_dir=str(tmp_path))
+
+    def test_universe_executor_kwarg(self, tmp_path):
+        universe = FaultUniverse(
+            get_circuit("lion"), executor=InlineExecutor()
+        )
+        assert isinstance(universe.backend, ParallelBackend)
+        assert universe.backend.executor == InlineExecutor()

@@ -1,0 +1,409 @@
+"""The filesystem work queue: leases, retries, workers, fault paths.
+
+Covers the queue's own contract (atomic claim-by-rename, heartbeat
+lease expiry, bounded retries, idempotent enqueue/results) and the
+executor fault paths the acceptance criteria name: a worker killed
+mid-shard is requeued and the run still completes; a poisoned shard
+exhausts its retries and surfaces a clean ``AnalysisError`` naming it;
+lease-expiry reclaim is deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench_suite.registry import get_circuit
+from repro.errors import AnalysisError
+from repro.faults.stuck_at import collapsed_stuck_at_faults
+from repro.faults.universe import FaultUniverse
+from repro.faultsim.backends import ExhaustiveBackend, SerialBackend
+from repro.parallel import (
+    ParallelBackend,
+    QueueExecutor,
+    QueueWorker,
+    ShardTask,
+    WorkQueue,
+    run_shard,
+    shard_key,
+)
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture()
+def queue(tmp_path):
+    return WorkQueue(tmp_path / "queue")
+
+
+def make_task(shard_index: int = 0, count: int = 4) -> ShardTask:
+    circuit = get_circuit("lion")
+    backend = ExhaustiveBackend()
+    faults = collapsed_stuck_at_faults(circuit)
+    lo = shard_index * count
+    return ShardTask(
+        circuit=circuit,
+        backend=backend,
+        kind="stuck_at",
+        faults=tuple(faults[lo : lo + count]),
+        base_signatures=tuple(backend.line_signatures(circuit)),
+        shard_index=shard_index,
+    )
+
+
+def poisoned_task() -> ShardTask:
+    # The serial engine is capped at 16 inputs, so this shard raises a
+    # clean AnalysisError on every build attempt, on every worker.
+    circuit = get_circuit("wide28")
+    return ShardTask(
+        circuit=circuit,
+        backend=SerialBackend(),
+        kind="stuck_at",
+        faults=tuple(collapsed_stuck_at_faults(circuit)[:2]),
+        base_signatures=None,
+        shard_index=0,
+    )
+
+
+def key_of(task: ShardTask) -> str:
+    return shard_key(task.circuit, task.backend, task.kind, task.faults)
+
+
+def drain_in_thread(
+    root, idle_exit: float = 3.0, lease_timeout: float = 30.0
+) -> threading.Thread:
+    """A real drain loop in this process (no subprocess overhead)."""
+
+    def serve() -> None:
+        QueueWorker(
+            WorkQueue(root),
+            poll_interval=0.01,
+            lease_timeout=lease_timeout,
+        ).serve(idle_exit=idle_exit)
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    return thread
+
+
+class TestQueueMechanics:
+    def test_enqueue_claim_complete_roundtrip(self, queue):
+        task = make_task()
+        key = key_of(task)
+        assert queue.enqueue(task, key)
+        assert queue.pending_keys() == [key]
+        lease = queue.claim("w1")
+        assert lease is not None and lease.key == key
+        assert queue.pending_keys() == []
+        assert queue.leased_keys() == [key]
+        _, signatures = run_shard(lease.task)
+        queue.complete(lease, signatures)
+        assert queue.leased_keys() == []
+        assert queue.result(key) == signatures
+
+    def test_enqueue_is_idempotent(self, queue):
+        task = make_task()
+        key = key_of(task)
+        assert queue.enqueue(task, key)
+        assert not queue.enqueue(task, key)  # already pending
+        lease = queue.claim("w1")
+        assert not queue.enqueue(task, key)  # leased
+        queue.complete(lease, [1, 2, 3, 4])
+        assert not queue.enqueue(task, key)  # result already present
+        assert queue.pending_keys() == []
+
+    def test_claim_is_exclusive(self, queue):
+        task = make_task()
+        queue.enqueue(task, key_of(task))
+        assert queue.claim("w1") is not None
+        assert queue.claim("w2") is None
+
+    def test_fail_requeues_with_attempt_accounting(self, queue):
+        task = make_task()
+        key = key_of(task)
+        queue.enqueue(task, key, max_attempts=3)
+        lease = queue.claim("w1")
+        assert queue.fail(lease, "boom")  # attempt 1: requeued
+        assert queue.pending_keys() == [key]
+        lease = queue.claim("w1")
+        assert lease.attempts == 1
+        assert queue.fail(lease, "boom")  # attempt 2: requeued
+        lease = queue.claim("w1")
+        assert not queue.fail(lease, "boom")  # attempt 3: parked
+        assert queue.pending_keys() == []
+        assert queue.failed_keys() == [key]
+        assert "boom" in queue.failure(key)
+
+    def test_enqueue_clears_stale_failure_marker(self, queue):
+        task = make_task()
+        key = key_of(task)
+        queue.enqueue(task, key, max_attempts=1)
+        assert not queue.fail(queue.claim("w1"), "boom")
+        assert queue.failed_keys() == [key]
+        # A fresh submission of the same analysis retries from scratch.
+        assert queue.enqueue(task, key)
+        assert queue.failed_keys() == []
+        assert queue.pending_keys() == [key]
+
+    def test_stats_and_clear(self, queue):
+        a, b = make_task(0), make_task(1)
+        queue.enqueue(a, key_of(a))
+        queue.enqueue(b, key_of(b))
+        lease = queue.claim("w1")
+        queue.complete(lease, [0, 0, 0, 0])
+        stats = queue.stats()
+        assert stats == {
+            "pending": 1, "leased": 0, "results": 1, "failed": 0,
+        }
+        assert queue.clear() == 2  # one task + one result
+        assert queue.stats() == {
+            "pending": 0, "leased": 0, "results": 0, "failed": 0,
+        }
+
+
+class TestLeaseExpiry:
+    """Reclaim is deterministic: strictly a function of heartbeat age."""
+
+    def backdate(self, queue, key, seconds):
+        path = queue.claims_dir / f"{key}.task"
+        stale = time.time() - seconds
+        os.utime(path, (stale, stale))
+
+    def test_fresh_lease_is_not_reclaimed(self, queue):
+        task = make_task()
+        key = key_of(task)
+        queue.enqueue(task, key)
+        queue.claim("w1")
+        assert queue.reclaim_expired(lease_timeout=60.0) == ([], [])
+        assert queue.leased_keys() == [key]
+
+    def test_expired_lease_requeues_deterministically(self, queue):
+        task = make_task()
+        key = key_of(task)
+        queue.enqueue(task, key, max_attempts=3)
+        queue.claim("w1")
+        self.backdate(queue, key, seconds=120.0)
+        # Exactly at the boundary nothing happens; past it, reclaim.
+        now = (queue.claims_dir / f"{key}.task").stat().st_mtime
+        assert queue.reclaim_expired(120.0, now=now + 120.0) == ([], [])
+        requeued, failed = queue.reclaim_expired(60.0)
+        assert requeued == [key] and failed == []
+        assert queue.pending_keys() == [key]
+        assert queue.claim("w2").attempts == 1  # the crash consumed one
+
+    def test_repeated_expiry_exhausts_the_budget(self, queue):
+        task = make_task()
+        key = key_of(task)
+        queue.enqueue(task, key, max_attempts=2)
+        for _ in range(2):
+            lease = queue.claim("w1")
+            assert lease is not None
+            self.backdate(queue, key, seconds=120.0)
+            queue.reclaim_expired(60.0)
+        assert queue.failed_keys() == [key]
+        assert "lease expired" in queue.failure(key)
+
+    def test_racing_reclaimers_never_park_a_healthy_shard(self, queue):
+        # The reclaim itself is claim-by-rename: a second scavenger
+        # arriving after the winner requeued the task must see nothing
+        # — not mistake the winner's cleanup for corruption and park
+        # the key (which would fail the whole run mid-recovery).
+        task = make_task()
+        key = key_of(task)
+        queue.enqueue(task, key, max_attempts=5)
+        queue.claim("w1")
+        self.backdate(queue, key, seconds=120.0)
+        assert queue.reclaim_expired(60.0) == ([key], [])
+        assert queue.reclaim_expired(60.0) == ([], [])  # loser's view
+        assert queue.failed_keys() == []
+        assert queue.pending_keys() == [key]
+        assert queue.claim("w2").attempts == 1  # counted exactly once
+
+    def test_orphaned_reclaim_is_recovered(self, queue):
+        # A scavenger that dies between winning the private rename and
+        # requeueing would strand the task in a dotted .reclaim file;
+        # the next sweep must recover it by age instead of losing the
+        # only copy of the shard.
+        task = make_task()
+        key = key_of(task)
+        queue.enqueue(task, key, max_attempts=5)
+        lease = queue.claim("w1")
+        orphan = queue.claims_dir / f".{key}.12345-67890.reclaim"
+        os.rename(lease.path, orphan)
+        stale = time.time() - 120.0
+        os.utime(orphan, (stale, stale))
+        requeued, failed = queue.reclaim_expired(60.0)
+        assert requeued == [key] and failed == []
+        assert queue.pending_keys() == [key]
+        assert not orphan.exists()
+
+    def test_heartbeat_keeps_the_lease_alive(self, queue):
+        task = make_task()
+        key = key_of(task)
+        queue.enqueue(task, key)
+        lease = queue.claim("w1")
+        self.backdate(queue, key, seconds=120.0)
+        queue.heartbeat(lease)
+        assert queue.reclaim_expired(60.0) == ([], [])
+
+
+class TestQueueWorker:
+    def test_serve_builds_and_exits_on_idle(self, queue):
+        tasks = [make_task(0), make_task(1)]
+        for task in tasks:
+            queue.enqueue(task, key_of(task))
+        stats = QueueWorker(queue, poll_interval=0.01).serve(
+            idle_exit=0.1
+        )
+        assert stats["built"] == 2 and stats["failed"] == 0
+        for task in tasks:
+            _, expected = run_shard(task)
+            assert queue.result(key_of(task)) == expected
+
+    def test_max_tasks_bounds_the_drain(self, queue):
+        for index in range(3):
+            task = make_task(index)
+            queue.enqueue(task, key_of(task))
+        stats = QueueWorker(queue, poll_interval=0.01).serve(max_tasks=1)
+        assert stats["built"] == 1
+        assert len(queue.pending_keys()) == 2
+
+    def test_duplicate_of_finished_shard_is_skipped(self, queue):
+        task = make_task()
+        key = key_of(task)
+        queue.enqueue(task, key)
+        lease = queue.claim("w1")
+        queue.complete(lease, [9, 9, 9, 9])
+        # Simulate a reclaim race: the task reappears after completion.
+        queue._write(
+            queue.tasks_dir / f"{key}.task",
+            {**lease.payload, "attempts": 1},
+        )
+        stats = QueueWorker(queue, poll_interval=0.01).serve(
+            idle_exit=0.1
+        )
+        assert stats["skipped"] == 1 and stats["built"] == 0
+        assert queue.result(key) == [9, 9, 9, 9]
+
+    def test_poisoned_shard_does_not_kill_the_worker(self, queue):
+        bad = poisoned_task()
+        good = make_task()
+        queue.enqueue(bad, key_of(bad), max_attempts=2)
+        queue.enqueue(good, key_of(good))
+        stats = QueueWorker(queue, poll_interval=0.01).serve(
+            idle_exit=0.2
+        )
+        # The worker retried the poison to exhaustion, parked it, and
+        # still built the good shard.
+        assert stats["built"] == 1
+        assert stats["failed"] == 2
+        assert queue.failed_keys() == [key_of(bad)]
+        assert "AnalysisError" in queue.failure(key_of(bad))
+
+    def test_validates_configuration(self, queue):
+        with pytest.raises(AnalysisError, match="poll_interval"):
+            QueueWorker(queue, poll_interval=0.0)
+        with pytest.raises(AnalysisError, match="lease_timeout"):
+            QueueWorker(queue, lease_timeout=0.0)
+
+
+class TestQueueExecutorFaultPaths:
+    def build_reference(self):
+        universe = FaultUniverse(get_circuit("lion"))
+        return universe.target_table, universe.untargeted_table
+
+    def queue_backend(self, tmp_path, **executor_kwargs):
+        executor_kwargs.setdefault("poll_interval", 0.01)
+        executor_kwargs.setdefault("wait_timeout", 60.0)
+        return ParallelBackend(
+            base=ExhaustiveBackend(),
+            executor=QueueExecutor(
+                queue_dir=str(tmp_path / "queue"), **executor_kwargs
+            ),
+            cache_dir=str(tmp_path / "shards"),
+        )
+
+    def test_completes_against_live_workers(self, tmp_path):
+        backend = self.queue_backend(tmp_path)
+        threads = [
+            drain_in_thread(tmp_path / "queue") for _ in range(2)
+        ]
+        universe = FaultUniverse(get_circuit("lion"), backend=backend)
+        ref_f, ref_g = self.build_reference()
+        assert universe.target_table.signatures == ref_f.signatures
+        assert universe.untargeted_table.signatures == ref_g.signatures
+        for thread in threads:
+            thread.join()
+
+    def test_no_workers_times_out_with_guidance(self, tmp_path):
+        backend = self.queue_backend(tmp_path, wait_timeout=0.3)
+        with pytest.raises(AnalysisError, match="repro worker"):
+            backend.build_stuck_at(get_circuit("lion"))
+
+    def test_poisoned_shard_surfaces_named_error(self, tmp_path):
+        executor = QueueExecutor(
+            queue_dir=str(tmp_path / "queue"),
+            poll_interval=0.01,
+            wait_timeout=60.0,
+            max_attempts=2,
+        )
+        thread = drain_in_thread(tmp_path / "queue", idle_exit=1.0)
+        with pytest.raises(AnalysisError, match="queue shard 0"):
+            executor.submit([poisoned_task()])
+        thread.join()
+
+    def test_worker_killed_mid_shard_is_requeued(self, tmp_path):
+        """Acceptance: an injected worker crash never loses the run.
+
+        A subprocess worker claims the first shard and hard-exits while
+        holding the lease (the ``REPRO_QUEUE_CRASH_AFTER_CLAIM`` test
+        hook).  The lease expires, the shard is requeued, and a healthy
+        worker finishes the build — bit-identical to the single-process
+        tables.
+        """
+        queue_dir = tmp_path / "queue"
+        backend = self.queue_backend(
+            tmp_path, lease_timeout=0.5, wait_timeout=120.0
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        env["REPRO_QUEUE_CRASH_AFTER_CLAIM"] = "1"
+        env.pop("REPRO_QUEUE_DIR", None)
+        crasher = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "worker",
+                "--queue", str(queue_dir),
+                "--poll-interval", "0.01",
+                "--idle-exit", "60",
+            ],
+            env=env,
+        )
+        result: dict = {}
+
+        def submit() -> None:
+            universe = FaultUniverse(
+                get_circuit("lion"), backend=backend
+            )
+            result["f"] = universe.target_table.signatures
+            result["g"] = universe.untargeted_table.signatures
+
+        submitter = threading.Thread(target=submit, daemon=True)
+        submitter.start()
+        assert crasher.wait(timeout=60) == 42  # died holding a lease
+        # Only now bring up the healthy drain loop: the crashed shard
+        # must come back via lease expiry, not fresh-claim luck.
+        healthy = drain_in_thread(
+            queue_dir, idle_exit=3.0, lease_timeout=0.5
+        )
+        submitter.join(timeout=120)
+        assert not submitter.is_alive()
+        healthy.join()
+        ref_f, ref_g = self.build_reference()
+        assert result["f"] == ref_f.signatures
+        assert result["g"] == ref_g.signatures
