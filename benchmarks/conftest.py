@@ -119,7 +119,7 @@ def pytest_sessionfinish(session, exitstatus):
         path = OUT_DIR / TRAJECTORY_NAME
         path.write_text(json.dumps(payload, indent=2, sort_keys=True))
         sys.stdout.write(f"\n[artifact] {path}\n")
-    except Exception as exc:  # never fail the session over telemetry
+    except Exception as exc:  # noqa: BLE001 - never fail the session over telemetry
         sys.stderr.write(f"[bench-trajectory] skipped: {exc}\n")
 
 

@@ -37,6 +37,27 @@ from repro.simulation.exhaustive import (
 Fault = Union[StuckAtFault, BridgingFault]
 
 
+def _kernel_matrix(kind, circuit, universe, faults, base_signatures):
+    """PPSFP-kernel detection matrix, or None for the big-int path.
+
+    The word-parallel kernel (:mod:`repro.simulation.ppsfp`) builds the
+    same detection bits batched over both patterns and faults; it is
+    used whenever numpy is available and the universe fits under the
+    kernel's word cap (``REPRO_PPSFP=0`` forces the big-int path).  The
+    differential suite certifies the two paths bit-identical.
+    """
+    from repro.simulation import ppsfp
+
+    if not ppsfp.kernel_supports(universe):
+        return None
+    build = (
+        ppsfp.stuck_at_matrix if kind == "stuck_at" else ppsfp.bridging_matrix
+    )
+    return build(
+        circuit, universe, list(faults), base_signatures=base_signatures
+    )
+
+
 def universe_line_signatures(
     circuit: Circuit, universe: VectorUniverse
 ) -> list[int]:
@@ -162,24 +183,30 @@ class DetectionTable:
             universe = VectorUniverse(circuit.num_inputs)
         if faults is None:
             faults = collapsed_stuck_at_faults(circuit)
-        # `is None`, not truthiness: an explicit (if degenerate) empty
-        # signature list must not silently trigger a recompute.
-        if base_signatures is None:
-            base_signatures = universe_line_signatures(circuit, universe)
-        sigs = base_signatures
-        mask = universe.mask
-        cone_cache: dict[int, list[int]] = {}
-        table = []
-        for f in faults:
-            cone = cone_cache.get(f.lid)
-            if cone is None:
-                cone = circuit.fanout_cone_order(f.lid)
-                cone_cache[f.lid] = cone
-            table.append(
-                stuck_at_detection_signature(
-                    circuit, sigs, f, mask=mask, cone_order=cone
+        matrix = _kernel_matrix(
+            "stuck_at", circuit, universe, faults, base_signatures
+        )
+        if matrix is not None:
+            table = matrix.to_bigints()
+        else:
+            # `is None`, not truthiness: an explicit (if degenerate) empty
+            # signature list must not silently trigger a recompute.
+            if base_signatures is None:
+                base_signatures = universe_line_signatures(circuit, universe)
+            sigs = base_signatures
+            mask = universe.mask
+            cone_cache: dict[int, list[int]] = {}
+            table = []
+            for f in faults:
+                cone = cone_cache.get(f.lid)
+                if cone is None:
+                    cone = circuit.fanout_cone_order(f.lid)
+                    cone_cache[f.lid] = cone
+                table.append(
+                    stuck_at_detection_signature(
+                        circuit, sigs, f, mask=mask, cone_order=cone
+                    )
                 )
-            )
         if drop_undetectable:
             kept = [(f, t) for f, t in zip(faults, table) if t]
             faults = [f for f, _ in kept]
@@ -205,22 +232,28 @@ class DetectionTable:
             universe = VectorUniverse(circuit.num_inputs)
         if faults is None:
             faults = four_way_bridging_faults(circuit)
-        if base_signatures is None:
-            base_signatures = universe_line_signatures(circuit, universe)
-        sigs = base_signatures
-        mask = universe.mask
-        cone_cache: dict[int, list[int]] = {}
-        table = []
-        for g in faults:
-            cone = cone_cache.get(g.victim)
-            if cone is None:
-                cone = circuit.fanout_cone_order(g.victim)
-                cone_cache[g.victim] = cone
-            table.append(
-                bridging_detection_signature(
-                    circuit, sigs, g, mask=mask, cone_order=cone
+        matrix = _kernel_matrix(
+            "bridging", circuit, universe, faults, base_signatures
+        )
+        if matrix is not None:
+            table = matrix.to_bigints()
+        else:
+            if base_signatures is None:
+                base_signatures = universe_line_signatures(circuit, universe)
+            sigs = base_signatures
+            mask = universe.mask
+            cone_cache: dict[int, list[int]] = {}
+            table = []
+            for g in faults:
+                cone = cone_cache.get(g.victim)
+                if cone is None:
+                    cone = circuit.fanout_cone_order(g.victim)
+                    cone_cache[g.victim] = cone
+                table.append(
+                    bridging_detection_signature(
+                        circuit, sigs, g, mask=mask, cone_order=cone
+                    )
                 )
-            )
         if drop_undetectable:
             kept = [(g, t) for g, t in zip(faults, table) if t]
             faults = [g for g, _ in kept]

@@ -49,7 +49,7 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from statistics import NormalDist
 
 from repro.errors import AnalysisError
@@ -110,6 +110,22 @@ class VectorUniverse:
                     "replacement) unique"
                 )
             prev = v
+
+    def __getstate__(self) -> dict:
+        """Drop lazily-built caches from the pickle payload.
+
+        Universes ride along in every pool/queue task, so a populated
+        ``_bit_index`` (one dict entry per sampled vector) would bloat
+        each payload with derived data the receiver rebuilds lazily on
+        first :meth:`bit_of` anyway.  Subclass caches marked the same
+        way (``init=False`` with a ``None`` default, e.g. the stratified
+        universe's stratum masks) are dropped by the same rule.
+        """
+        state = dict(self.__dict__)
+        for f in fields(self):
+            if not f.init and f.default is None:
+                state[f.name] = None
+        return state
 
     # -- geometry -------------------------------------------------------
     @property

@@ -21,7 +21,7 @@ import re
 from repro.circuit.builder import CircuitBuilder
 from repro.circuit.gate import gate_type_from_name
 from repro.circuit.netlist import Circuit, LineKind
-from repro.errors import ParseError
+from repro.errors import CircuitError, ParseError
 
 _INPUT_RE = re.compile(r"^INPUT\s*\(\s*([^)\s]+)\s*\)$", re.IGNORECASE)
 _OUTPUT_RE = re.compile(r"^OUTPUT\s*\(\s*([^)\s]+)\s*\)$", re.IGNORECASE)
@@ -50,10 +50,16 @@ def parse_bench(text: str, name: str = "bench") -> Circuit:
         if m:
             out, gate_name, args = m.groups()
             fanin = [a.strip() for a in args.split(",") if a.strip()]
+            # Only a CircuitError is a parse failure here (unknown gate
+            # name); anything else — up to and including bugs in the
+            # lookup itself — must surface as what it is rather than be
+            # misreported as a malformed .bench line.
             try:
                 gt = gate_type_from_name(gate_name)
-            except Exception as exc:
-                raise ParseError(str(exc), line_no) from exc
+            except CircuitError as exc:
+                raise ParseError(
+                    f"in {name!r}: {exc}", line_no
+                ) from exc
             builder.gate(out, gt, fanin)
             continue
         raise ParseError(f"unrecognized line: {raw!r}", line_no)

@@ -207,7 +207,7 @@ class ShardCache:
                 with os.fdopen(fd, "wb") as fh:
                     pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
                 os.replace(tmp, self._path(key))
-            except BaseException:
+            except BaseException:  # noqa: BLE001 - temp-file cleanup, re-raised
                 try:
                     os.unlink(tmp)
                 except OSError:

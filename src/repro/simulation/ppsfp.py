@@ -1,0 +1,548 @@
+"""Parallel-pattern single-fault-propagation (PPSFP) kernel.
+
+The classic fault-simulation speedup: instead of simulating one input
+vector at a time, pack a *batch* of vectors into machine words — bit
+``i`` of every word is the value under vector ``i`` — and evaluate each
+gate once per word with bitwise ops.  The big-int engines of this
+library (:mod:`repro.simulation.exhaustive`,
+:mod:`repro.simulation.twoval`) already work that way at the Python
+level; what they cannot escape is the *per-fault, per-gate interpreter
+overhead* of the event-driven cone re-simulation, which profiles show
+dominating every detection-table build.
+
+This kernel removes that overhead along two axes at once:
+
+* **patterns** — a universe of ``K`` vectors is ``ceil(K / 64)``
+  ``numpy.uint64`` words per line (the exact layout of
+  :class:`repro.logic.packed.PackedSignatureMatrix`: bit ``i`` lives in
+  word ``i // 64`` at in-word position ``i % 64``, little-endian
+  words);
+* **faults** — a *batch* of ``B`` faults is simulated in one
+  event-driven pass over the union of their fanout cones, every line
+  carrying a ``(B, W)`` word block, so each cone gate costs one
+  vectorized numpy op for all ``B`` faults instead of ``B`` Python-int
+  expressions.
+
+The result is a detection table that is *born packed*: the kernel
+returns a :class:`~repro.logic.packed.PackedSignatureMatrix` whose rows
+are the faults' detection signatures, bit-identical to what the big-int
+engines compute (certified by the differential suite — see
+``tests/test_ppsfp_differential.py``), with no bigint→packed conversion
+on the table hot path.
+
+Semantics mirror the big-int engines exactly:
+
+* fault-free *base* words come from the same boolean gate functions
+  (:func:`repro.circuit.gate.eval_signature`'s semantics, lifted to
+  word blocks) over the same bit ↔ vector mapping the universe
+  declares;
+* a stuck-at fault forces its site's whole word block to 0/1 *after*
+  normal evaluation (inputs, branches, and gates alike — the
+  ``forced``-after-evaluation override of
+  :func:`repro.simulation.twoval.simulate_batch`);
+* a four-way bridging fault activates on fault-free ``l1 = a1 ∧ l2 =
+  a2`` and forces the victim's value to flip on exactly the activated
+  vectors; a fault activated nowhere detects nothing;
+* detection is any primary output differing from fault-free, i.e. the
+  OR over outputs of ``faulty XOR base``.
+
+``REPRO_PPSFP=0`` disables the kernel (every caller falls back to the
+big-int path — the escape hatch the differential benchmarks use to
+time both engines); ``REPRO_PPSFP_MAX_WORDS`` bounds the universes the
+kernel accepts (very wide exhaustive universes stay on the big-int
+closed-form path, whose whole-signature ops are already C-speed).
+
+Future direction (see ROADMAP): the same word-block layout extends to a
+5-valued (0/1/X/D/D') encoding with two words per line per value-plane,
+which would let this kernel serve :mod:`repro.faultsim.threeval_detect`
+and the ATPG engines à la the multi-valued logic of the related
+auto-test-pattern-generation work.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import reduce
+
+from repro.circuit.gate import GateType
+from repro.circuit.netlist import Circuit, LineKind
+from repro.errors import SimulationError
+from repro.faultsim.sampling import VectorUniverse
+from repro.logic.bitops import input_signature
+from repro.logic.packed import (
+    _np,
+    WORD_BITS,
+    PackedSignatureMatrix,
+    pack_signature,
+    words_for,
+)
+
+#: Universes wider than this many 64-bit words stay on the big-int path
+#: (override with ``REPRO_PPSFP_MAX_WORDS``).  4096 words = a 2**18-bit
+#: exhaustive universe; big-int whole-signature ops are C-speed memcpys
+#: at that scale, while the kernel's per-fault row blocks would not be.
+DEFAULT_MAX_WORDS = 4096
+
+#: Per-line word budget for one fault batch: the batch row count is
+#: ``min(MAX_BATCH_ROWS, BATCH_WORD_BUDGET // words_per_row)``.  The
+#: budget keeps each per-line ``(B, W)`` block around 64 KiB — big
+#: enough to amortize numpy dispatch, small enough to stay cache-warm.
+BATCH_WORD_BUDGET = 1 << 13
+MAX_BATCH_ROWS = 1024
+
+
+def kernel_enabled() -> bool:
+    """Whether the PPSFP kernel may be used in this process."""
+    return _np is not None and os.environ.get("REPRO_PPSFP", "1") != "0"
+
+
+def _max_words() -> int:
+    raw = os.environ.get("REPRO_PPSFP_MAX_WORDS")
+    return int(raw) if raw else DEFAULT_MAX_WORDS
+
+
+def kernel_supports(universe: VectorUniverse) -> bool:
+    """Whether the kernel handles this universe (enabled + word cap)."""
+    return kernel_enabled() and words_for(universe.size) <= _max_words()
+
+
+def batch_rows_for(num_words: int) -> int:
+    """Fault rows per batch: bounded by the per-line word budget."""
+    return max(1, min(MAX_BATCH_ROWS, BATCH_WORD_BUDGET // max(1, num_words)))
+
+
+# ----------------------------------------------------------------------
+# Word-block gate evaluation (eval_signature lifted to uint64 blocks)
+# ----------------------------------------------------------------------
+#: Gates whose single-input evaluation returns the input array itself
+#: (``reduce`` over one element) — consumers must not mutate in place.
+_IDENTITY_WHEN_UNARY = (GateType.AND, GateType.OR, GateType.XOR)
+
+
+def _invert(block, mask):
+    """``~block`` bounded to the universe's bit width.
+
+    ``mask`` words are all-ones except (possibly) the final, partial
+    word, so the complement only needs the final word clipped — a
+    strided scalar op instead of a second full-array ``&`` pass.
+    Always returns a fresh array (``~`` allocates).
+    """
+    out = ~block
+    out[..., -1:] &= mask[-1:]
+    return out
+
+
+def eval_words(gate_type: GateType, inputs: list, mask):
+    """Evaluate a gate over ``uint64`` word blocks.
+
+    ``inputs`` are arrays of shape ``(W,)`` or ``(B, W)`` (numpy
+    broadcasting mixes them); ``mask`` is the universe's all-ones word
+    row, bounding the complement for inverting gates exactly like the
+    big-int engine's ``mask`` argument.  The returned array may alias an
+    input (BUF) — callers treat word blocks as immutable.
+    """
+    gt = gate_type
+    if gt is GateType.CONST0:
+        return _np.zeros_like(mask)
+    if gt is GateType.CONST1:
+        return mask.copy()
+    if not inputs:
+        raise SimulationError(f"{gt.name} gate evaluated with no inputs")
+    if gt is GateType.BUF:
+        return inputs[0]
+    if gt is GateType.NOT:
+        return _invert(inputs[0], mask)
+    if gt is GateType.AND:
+        return reduce(_np.bitwise_and, inputs)
+    if gt is GateType.NAND:
+        return _invert(reduce(_np.bitwise_and, inputs), mask)
+    if gt is GateType.OR:
+        return reduce(_np.bitwise_or, inputs)
+    if gt is GateType.NOR:
+        return _invert(reduce(_np.bitwise_or, inputs), mask)
+    if gt is GateType.XOR:
+        return reduce(_np.bitwise_xor, inputs)
+    if gt is GateType.XNOR:
+        return _invert(reduce(_np.bitwise_xor, inputs), mask)
+    raise SimulationError(f"unknown gate type: {gt!r}")
+
+
+# ----------------------------------------------------------------------
+# Base (fault-free) simulation, word-parallel
+# ----------------------------------------------------------------------
+def input_lane_matrix(num_inputs: int, vectors) -> "object":
+    """Bulk bit-transpose: vectors → per-input lane word rows.
+
+    Returns a ``(num_inputs, words_for(len(vectors)))`` ``uint64`` array;
+    bit ``L`` of row ``j`` is input ``j``'s value under ``vectors[L]``
+    (input 0 = the *most* significant bit of the decimal vector, the
+    paper's input 1).  Equivalent to
+    :func:`repro.simulation.twoval._input_lane_words`, vectorized.
+    Inputs are limited to 64 bits per vector (``num_inputs <= 64``) —
+    wider circuits use the big-int path.
+    """
+    if num_inputs > 64:
+        raise SimulationError(
+            f"input_lane_matrix packs vectors into uint64 and is capped "
+            f"at 64 inputs (got {num_inputs})"
+        )
+    vectors = list(vectors)
+    num_words = words_for(len(vectors))
+    out = _np.zeros((num_inputs, num_words), dtype=_np.uint64)
+    if not vectors or not num_inputs:
+        return out
+    limit = 1 << num_inputs
+    if min(vectors) < 0 or max(vectors) >= limit:
+        bad = next(v for v in vectors if not 0 <= v < limit)
+        raise SimulationError(
+            f"vector {bad} out of range for {num_inputs}-input circuit"
+        )
+    arr = _np.asarray(vectors, dtype=_np.uint64)
+    shifts = _np.arange(num_inputs - 1, -1, -1, dtype=_np.uint64)
+    bits = ((arr[None, :] >> shifts[:, None]) & _np.uint64(1)).astype(
+        _np.uint8
+    )
+    packed = _np.packbits(bits, axis=1, bitorder="little")
+    row_bytes = num_words * (WORD_BITS // 8)
+    if packed.shape[1] < row_bytes:
+        packed = _np.concatenate(
+            [
+                packed,
+                _np.zeros(
+                    (num_inputs, row_bytes - packed.shape[1]),
+                    dtype=_np.uint8,
+                ),
+            ],
+            axis=1,
+        )
+    out[:] = _np.ascontiguousarray(packed).view("<u8").astype(
+        _np.uint64, copy=False
+    )
+    return out
+
+
+def packed_line_words(circuit: Circuit, universe: VectorUniverse):
+    """Fault-free word blocks of every line: a ``(lines, W)`` array.
+
+    Bit ``i`` of row ``lid`` is line ``lid``'s value under the
+    universe's ``i``-th vector — the packed twin of
+    :func:`repro.faultsim.detection.universe_line_signatures`, computed
+    directly in word space (no big-int intermediate).
+    """
+    size = universe.size
+    num_words = words_for(size)
+    mask = pack_signature(universe.mask, size)
+    base = _np.zeros((len(circuit.lines), num_words), dtype=_np.uint64)
+    p = circuit.num_inputs
+    if universe.exhaustive:
+        for pos, lid in enumerate(circuit.inputs):
+            base[lid] = pack_signature(input_signature(pos, p), size)
+    else:
+        rows = input_lane_matrix(p, universe.vectors)
+        for pos, lid in enumerate(circuit.inputs):
+            base[lid] = rows[pos]
+    for lid in circuit.topo_order:
+        line = circuit.lines[lid]
+        if line.kind is LineKind.BRANCH:
+            base[lid] = base[line.fanin[0]]
+        else:
+            base[lid] = eval_words(
+                line.gate_type, [base[f] for f in line.fanin], mask
+            )
+    return base
+
+
+# ----------------------------------------------------------------------
+# The kernel: batched event-driven fanout-cone re-simulation
+# ----------------------------------------------------------------------
+class PackedSimulator:
+    """Word-parallel simulator for one circuit over one universe.
+
+    Holds the fault-free base word blocks and a fanout-cone cache;
+    :meth:`detection_rows` is the batched PPSFP pass.  ``base_words``
+    may be supplied (e.g. packed from precomputed big-int line
+    signatures, which is exact) to skip the base simulation.
+    """
+
+    def __init__(
+        self, circuit: Circuit, universe: VectorUniverse, base_words=None
+    ):
+        if _np is None:  # pragma: no cover - numpy-less installs
+            raise SimulationError(
+                "the PPSFP kernel requires numpy, which is not installed"
+            )
+        if universe.num_inputs != circuit.num_inputs:
+            raise SimulationError(
+                "universe and circuit disagree on the input count"
+            )
+        self.circuit = circuit
+        self.universe = universe
+        self.size = universe.size
+        self.num_words = words_for(self.size)
+        self.mask_row = pack_signature(universe.mask, self.size)
+        if base_words is None:
+            base_words = packed_line_words(circuit, universe)
+        self.base = base_words
+        # Per-line fanout cones as line-id bitsets: unioning the cones
+        # of a whole fault batch is a handful of C-speed big-int ORs.
+        self._cone_masks = circuit.fanout_masks()
+
+    def base_matrix(self) -> PackedSignatureMatrix:
+        """The base word blocks as a packed matrix (one row per line)."""
+        return PackedSignatureMatrix(self.base.copy(), self.size)
+
+    def detection_rows(self, sites, forced):
+        """Detection word rows for a batch of single faults.
+
+        Parameters
+        ----------
+        sites:
+            Fault-site lid per batch row (length ``B``).
+        forced:
+            ``(B, W)`` ``uint64`` array; row ``r`` is the full word
+            block forced onto line ``sites[r]`` (applied *after* normal
+            evaluation, like the big-int engines' ``forced`` override —
+            the site keeps the forced value even when re-evaluation
+            would produce something else).
+
+        Returns
+        -------
+        ``(B, W)`` ``uint64`` array: row ``r`` is fault ``r``'s
+        detection signature (OR over outputs of ``faulty XOR base``).
+
+        One event-driven pass over the union of the sites' fanout cones
+        serves the whole batch: a line is re-evaluated only when some
+        fanin changed for *some* row; rows outside a line's own fault
+        cone simply carry base values through and contribute no
+        detection bits.  Callers should group same-site rows
+        contiguously (the table builders' cone-locality order does) —
+        forcing then degenerates to slice assignment.
+        """
+        circuit = self.circuit
+        base = self.base
+        num_words = self.num_words
+        num_rows = len(sites)
+        if forced.shape != (num_rows, num_words):
+            raise SimulationError(
+                f"forced block shape {forced.shape} does not match "
+                f"({num_rows}, {num_words})"
+            )
+        # Contiguous same-site runs; arbitrary row orders still work —
+        # they just produce more runs per site.
+        runs_at: dict[int, list[tuple[int, int]]] = {}
+        r = 0
+        while r < num_rows:
+            lid = sites[r]
+            start = r
+            r += 1
+            while r < num_rows and sites[r] == lid:
+                r += 1
+            runs_at.setdefault(lid, []).append((start, r))
+        cone_masks = self._cone_masks
+        union = 0
+        for lid in runs_at:
+            union |= cone_masks[lid] | (1 << lid)
+        touched = union.to_bytes((len(circuit.lines) + 7) // 8, "little")
+
+        def force_site(lid, out, fresh):
+            # The forced override happens *after* normal evaluation; a
+            # block that aliases another line's (or the base's) words
+            # must be copied before rows are overwritten.
+            if out is None:
+                out = _np.broadcast_to(
+                    base[lid], (num_rows, num_words)
+                ).copy()
+            elif not fresh:
+                out = out.copy()
+            for a, b in runs_at[lid]:
+                out[a:b] = forced[a:b]
+            return out
+
+        vals: dict[int, object] = {}
+        # Input fault sites are fanin-less and absent from topo_order;
+        # seed them before the walk.
+        for lid in runs_at:
+            if circuit.lines[lid].kind is LineKind.INPUT:
+                vals[lid] = force_site(lid, None, False)
+        for lid in circuit.topo_order:
+            if not touched[lid >> 3] >> (lid & 7) & 1:
+                continue
+            line = circuit.lines[lid]
+            is_site = lid in runs_at
+            if line.kind is LineKind.BRANCH:
+                out = vals.get(line.fanin[0])
+                if out is None and not is_site:
+                    continue
+                fresh = False  # aliases the stem's block
+            else:
+                fanin = line.fanin
+                if any(f in vals for f in fanin):
+                    gt = line.gate_type
+                    out = eval_words(
+                        gt,
+                        [vals[f] if f in vals else base[f] for f in fanin],
+                        self.mask_row,
+                    )
+                    # eval_words allocates except for identity-like
+                    # cases, which return the lone input unchanged.
+                    fresh = not (
+                        gt is GateType.BUF
+                        or (len(fanin) == 1 and gt in _IDENTITY_WHEN_UNARY)
+                    )
+                elif not is_site:
+                    continue
+                else:
+                    out = None
+                    fresh = False
+            if is_site:
+                out = force_site(lid, out, fresh)
+            vals[lid] = out
+        det = _np.zeros((num_rows, num_words), dtype=_np.uint64)
+        for o in circuit.outputs:
+            block = vals.get(o)
+            if block is not None:
+                det |= block ^ base[o]
+        return det
+
+
+# ----------------------------------------------------------------------
+# Table builders (the backends' kernel entry points)
+# ----------------------------------------------------------------------
+def _simulator(circuit, universe, base_signatures):
+    base_words = None
+    if base_signatures is not None:
+        base_words = PackedSignatureMatrix.from_bigints(
+            base_signatures, universe.size
+        ).words
+    return PackedSimulator(circuit, universe, base_words=base_words)
+
+
+def _cone_locality_order(circuit: Circuit, sites):
+    """Stable fault permutation grouping cone-similar fault sites.
+
+    A batch's cost is driven by the *union* of its sites' fanout cones,
+    so batching faults whose cones overlap keeps the union close to the
+    individual cones.  Sites are ranked by their cone bitset (sites
+    reaching the same circuit region sort together — on multi-cone
+    circuits this effectively groups by observing-output profile) and
+    faults are stably sorted by site rank, preserving table-adjacent
+    ordering within a site.  Returns an index permutation; callers
+    scatter results back so the matrix stays in table order.
+    """
+    masks = circuit.fanout_masks()
+    distinct = sorted({int(s) for s in sites})
+    rank_of = {
+        s: r
+        for r, s in enumerate(sorted(distinct, key=lambda s: (masks[s], s)))
+    }
+    ranks = _np.fromiter(
+        (rank_of[int(s)] for s in sites), dtype=_np.intp, count=len(sites)
+    )
+    return _np.argsort(ranks, kind="stable")
+
+
+def stuck_at_matrix(
+    circuit: Circuit,
+    universe: VectorUniverse,
+    faults,
+    base_signatures: list[int] | None = None,
+    batch_rows: int | None = None,
+) -> PackedSignatureMatrix:
+    """Packed detection matrix for a stuck-at fault list (table order)."""
+    sim = _simulator(circuit, universe, base_signatures)
+    num_words = sim.num_words
+    if batch_rows is None:
+        batch_rows = batch_rows_for(num_words)
+    num = len(faults)
+    sites_arr = _np.fromiter(
+        (f.lid for f in faults), dtype=_np.intp, count=num
+    )
+    values = _np.fromiter((f.value for f in faults), dtype=bool, count=num)
+    order = _cone_locality_order(circuit, sites_arr)
+    out = _np.zeros((num, num_words), dtype=_np.uint64)
+    for start in range(0, num, batch_rows):
+        idx = order[start : start + batch_rows]
+        sites = sites_arr[idx].tolist()
+        forced = _np.where(
+            values[idx][:, None], sim.mask_row, _np.uint64(0)
+        )
+        out[idx] = sim.detection_rows(sites, forced)
+    return PackedSignatureMatrix(out, universe.size)
+
+
+def bridging_matrix(
+    circuit: Circuit,
+    universe: VectorUniverse,
+    faults,
+    base_signatures: list[int] | None = None,
+    batch_rows: int | None = None,
+) -> PackedSignatureMatrix:
+    """Packed detection matrix for a four-way bridging fault list."""
+    sim = _simulator(circuit, universe, base_signatures)
+    num_words = sim.num_words
+    base = sim.base
+    mask = sim.mask_row
+    zero_row = _np.zeros(num_words, dtype=_np.uint64)
+    if batch_rows is None:
+        batch_rows = batch_rows_for(num_words)
+    num = len(faults)
+    victims = _np.fromiter(
+        (g.victim for g in faults), dtype=_np.intp, count=num
+    )
+    aggressors = _np.fromiter(
+        (g.aggressor for g in faults), dtype=_np.intp, count=num
+    )
+    vv = _np.fromiter(
+        (g.victim_value for g in faults), dtype=bool, count=num
+    )
+    av = _np.fromiter(
+        (g.aggressor_value for g in faults), dtype=bool, count=num
+    )
+    order = _cone_locality_order(circuit, victims)
+    out = _np.zeros((num, num_words), dtype=_np.uint64)
+    for start in range(0, num, batch_rows):
+        idx = order[start : start + batch_rows]
+        s1 = base[victims[idx]]
+        s2 = base[aggressors[idx]]
+        # value-true means "activates on the line's 1s": matching bits
+        # are the signature itself, else its masked complement — written
+        # as XOR with a per-row flip word (0 or the all-ones mask row).
+        m1 = s1 ^ _np.where(vv[idx][:, None], zero_row, mask)
+        m2 = s2 ^ _np.where(av[idx][:, None], zero_row, mask)
+        activated = m1 & m2
+        live = _np.nonzero(activated.any(axis=1))[0]
+        if live.size == 0:
+            continue  # nowhere activated: detection rows stay zero
+        forced = (s1 ^ activated)[live]
+        sites = victims[idx[live]].tolist()
+        det = sim.detection_rows(sites, forced)
+        out[idx[live]] = det
+    return PackedSignatureMatrix(out, universe.size)
+
+
+def try_stuck_at_matrix(
+    circuit: Circuit,
+    universe: VectorUniverse,
+    faults,
+    base_signatures: list[int] | None = None,
+) -> PackedSignatureMatrix | None:
+    """Kernel-built stuck-at matrix, or None when the kernel is off."""
+    if not kernel_supports(universe):
+        return None
+    return stuck_at_matrix(
+        circuit, universe, faults, base_signatures=base_signatures
+    )
+
+
+def try_bridging_matrix(
+    circuit: Circuit,
+    universe: VectorUniverse,
+    faults,
+    base_signatures: list[int] | None = None,
+) -> PackedSignatureMatrix | None:
+    """Kernel-built bridging matrix, or None when the kernel is off."""
+    if not kernel_supports(universe):
+        return None
+    return bridging_matrix(
+        circuit, universe, faults, base_signatures=base_signatures
+    )

@@ -20,8 +20,32 @@ from repro.errors import SimulationError
 
 
 def _input_lane_words(circuit: Circuit, vectors: Sequence[int]) -> list[int]:
-    """Lane word per primary input (index into ``circuit.inputs``)."""
+    """Lane word per primary input (index into ``circuit.inputs``).
+
+    The bulk path bit-transposes the whole batch in one vectorized
+    ``packbits`` pass and assembles each input's lane word from the
+    packed little-endian words — O(K·p/64) word work instead of the
+    per-bit O(K·p) Python loop, which is the difference between
+    milliseconds and seconds on a 10k-vector batch.  Batches numpy
+    cannot pack (numpy missing, zero inputs, or vectors wider than one
+    ``uint64``) keep the per-bit loop; both paths produce identical
+    words.
+    """
     p = circuit.num_inputs
+    vectors = list(vectors)
+    if 0 < p <= 64:
+        from repro.logic.packed import _np
+
+        if _np is not None:
+            from repro.simulation.ppsfp import input_lane_matrix
+
+            rows = input_lane_matrix(p, vectors)
+            return [
+                int.from_bytes(
+                    row.astype("<u8", copy=False).tobytes(), "little"
+                )
+                for row in rows
+            ]
     limit = 1 << p
     words = [0] * p
     for lane, v in enumerate(vectors):

@@ -303,3 +303,35 @@ class TestStratifiedEstimator:
             StratifiedVectorUniverse(6, (1, 2, 3), plan=None)
         with pytest.raises(AnalysisError, match="input count"):
             StratifiedVectorUniverse(8, (1, 2, 3), plan=plan)
+
+
+class TestStratifiedUniversePickling:
+    """Stratum-mask and bit-index caches stay out of pickle payloads."""
+
+    def test_caches_dropped_and_rebuilt(self, plan):
+        import pickle
+
+        rng = random.Random(17)
+        seen: set[int] = set()
+        for h, s in enumerate(plan.strata):
+            quota = min(3, s.population)
+            got = 0
+            while got < quota:
+                v = plan.draw_from_stratum(h, rng)
+                if v not in seen:
+                    seen.add(v)
+                    got += 1
+        universe = StratifiedVectorUniverse(
+            plan.num_inputs, tuple(sorted(seen)), plan=plan
+        )
+        cold = pickle.dumps(universe)
+        universe._masks_and_draws()
+        for v in universe.vectors:
+            universe.bit_of(v)
+        warm = pickle.dumps(universe)
+        assert len(warm) == len(cold)
+        copy = pickle.loads(warm)
+        assert copy == universe
+        assert copy._stratum_masks is None and copy._bit_index is None
+        assert copy._masks_and_draws() == universe._masks_and_draws()
+        assert copy.draws_per_stratum == universe.draws_per_stratum

@@ -9,7 +9,6 @@ from repro.faults.stuck_at import collapsed_stuck_at_faults
 from repro.faultsim.detection import (
     DetectionTable,
     bridging_detection_signature,
-    stuck_at_detection_signature,
 )
 from repro.faultsim.serial import detects_bridging, detects_stuck_at
 from repro.logic.bitops import set_bits

@@ -122,3 +122,43 @@ class TestReplacementDedupe:
         u = draw_universe(4, 10, seed=5, replacement=True)
         bits = [u.bit_of(v) for v in u.vectors]
         assert sorted(bits) == list(range(10))
+
+
+class TestUniversePickling:
+    """The lazy bit-index cache must not ride along in pickle payloads."""
+
+    def test_payload_size_independent_of_cache(self):
+        import pickle
+
+        u = draw_universe(10, 200, seed=3)
+        cold = pickle.dumps(u)
+        for v in u.vectors:  # populate the lazy _bit_index cache
+            u.bit_of(v)
+        assert u._bit_index is not None
+        warm = pickle.dumps(u)
+        assert len(warm) == len(cold), (
+            "a populated bit-index cache leaked into the pickle payload"
+        )
+
+    def test_round_trip_drops_and_rebuilds_cache(self):
+        import pickle
+
+        u = draw_universe(8, 40, seed=9)
+        for v in u.vectors:
+            u.bit_of(v)
+        copy = pickle.loads(pickle.dumps(u))
+        assert copy == u
+        assert copy._bit_index is None  # dropped, not serialized
+        # Rebuilt lazily, with identical behavior.
+        for v in u.vectors:
+            assert copy.bit_of(v) == u.bit_of(v)
+        assert copy.bit_of((1 << 8) - 1) == u.bit_of((1 << 8) - 1)
+        assert copy._bit_index is not None
+
+    def test_exhaustive_universe_round_trip(self):
+        import pickle
+
+        u = VectorUniverse(6)
+        copy = pickle.loads(pickle.dumps(u))
+        assert copy == u and copy.exhaustive
+        assert copy.bit_of(13) == 13

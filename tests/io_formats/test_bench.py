@@ -85,3 +85,32 @@ class TestRoundTrip:
         assert "INPUT(1)" in text
         assert "OUTPUT(9)" in text
         parse_bench(text)  # no exception
+
+
+class TestParseErrorNarrowing:
+    """Only real parse failures become ParseError; bugs surface intact."""
+
+    def test_unknown_gate_is_parse_error_with_context(self):
+        text = "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n"
+        with pytest.raises(ParseError) as excinfo:
+            parse_bench(text, name="weird.bench")
+        msg = str(excinfo.value)
+        assert "line 3" in msg
+        assert "weird.bench" in msg
+        assert "FROB" in msg
+        assert excinfo.value.line_no == 3
+        from repro.errors import CircuitError
+
+        assert isinstance(excinfo.value.__cause__, CircuitError)
+
+    def test_non_parse_bug_surfaces_intact(self, monkeypatch):
+        """A bug inside the gate lookup must not masquerade as a ParseError."""
+        import repro.io_formats.bench as bench_mod
+
+        def boom(name):
+            raise RuntimeError("injected bug")
+
+        monkeypatch.setattr(bench_mod, "gate_type_from_name", boom)
+        text = "INPUT(a)\nOUTPUT(y)\ny = NAND(a, a)\n"
+        with pytest.raises(RuntimeError, match="injected bug"):
+            parse_bench(text)

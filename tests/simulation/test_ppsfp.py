@@ -1,0 +1,169 @@
+"""PPSFP kernel unit tests: word layout, batching, env gates.
+
+The cross-engine bit-identity sweep lives in
+``tests/test_ppsfp_differential.py``; this module covers the kernel's
+own invariants — base words vs the big-int line signatures, batching
+invariance, input-site forcing, the ``REPRO_PPSFP`` escape hatch, and
+non-word-multiple universe sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.bench_suite.randlogic import random_circuit
+from repro.bench_suite.registry import get_circuit
+from repro.circuit.netlist import LineKind
+from repro.errors import SimulationError
+from repro.faults.bridging import four_way_bridging_faults
+from repro.faults.stuck_at import StuckAtFault, collapsed_stuck_at_faults
+from repro.faultsim.detection import DetectionTable, universe_line_signatures
+from repro.faultsim.sampling import VectorUniverse, draw_universe
+from repro.logic.packed import pack_signature, words_for
+from repro.simulation import ppsfp
+
+
+def _sampled(circuit, k, seed=11):
+    k = min(k, 1 << circuit.num_inputs)
+    return draw_universe(circuit.num_inputs, k, seed=seed)
+
+
+class TestInputLaneMatrix:
+    @pytest.mark.parametrize("p,count", [(3, 5), (6, 64), (7, 100)])
+    def test_matches_per_bit_definition(self, p, count):
+        import random
+
+        rng = random.Random(p * 1000 + count)
+        vectors = [rng.randrange(1 << p) for _ in range(count)]
+        rows = ppsfp.input_lane_matrix(p, vectors)
+        assert rows.shape == (p, words_for(count))
+        for j in range(p):
+            want = 0
+            for lane, v in enumerate(vectors):
+                if (v >> (p - 1 - j)) & 1:
+                    want |= 1 << lane
+            got = int.from_bytes(
+                rows[j].astype("<u8", copy=False).tobytes(), "little"
+            )
+            assert got == want
+
+    def test_out_of_range_vector_rejected(self):
+        with pytest.raises(SimulationError):
+            ppsfp.input_lane_matrix(3, [0, 8])
+        with pytest.raises(SimulationError):
+            ppsfp.input_lane_matrix(3, [-1])
+
+    def test_wide_vectors_rejected(self):
+        with pytest.raises(SimulationError):
+            ppsfp.input_lane_matrix(65, [0])
+
+
+class TestBaseWords:
+    @pytest.mark.parametrize("name", ["lion", "beecount", "wide28"])
+    def test_base_matches_big_int_signatures(self, name):
+        circuit = get_circuit(name)
+        for universe in (
+            VectorUniverse(circuit.num_inputs)
+            if circuit.num_inputs <= 12
+            else None,
+            _sampled(circuit, 77),
+        ):
+            if universe is None:
+                continue
+            base = ppsfp.packed_line_words(circuit, universe)
+            sigs = universe_line_signatures(circuit, universe)
+            for lid, sig in enumerate(sigs):
+                assert base[lid].tolist() == (
+                    pack_signature(sig, universe.size).tolist()
+                ), f"{name}: line {lid} base words differ"
+
+
+class TestKernelGates:
+    def test_env_disable(self, monkeypatch):
+        u = VectorUniverse(4)
+        monkeypatch.setenv("REPRO_PPSFP", "0")
+        assert not ppsfp.kernel_enabled()
+        assert not ppsfp.kernel_supports(u)
+        circuit = get_circuit("lion")
+        faults = collapsed_stuck_at_faults(circuit)
+        assert (
+            ppsfp.try_stuck_at_matrix(
+                circuit, VectorUniverse(circuit.num_inputs), faults
+            )
+            is None
+        )
+
+    def test_word_cap(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PPSFP_MAX_WORDS", "2")
+        assert ppsfp.kernel_supports(VectorUniverse(7))  # 128 bits = 2 words
+        assert not ppsfp.kernel_supports(VectorUniverse(8))
+
+    def test_batch_rows_bounds(self):
+        assert ppsfp.batch_rows_for(1) == ppsfp.MAX_BATCH_ROWS
+        assert ppsfp.batch_rows_for(10**9) == 1
+
+
+class TestDetectionMatrices:
+    def test_batching_invariance(self):
+        circuit = random_circuit(5, num_inputs=6, num_gates=14)
+        universe = _sampled(circuit, 37)  # not a multiple of 64
+        faults = collapsed_stuck_at_faults(circuit)
+        whole = ppsfp.stuck_at_matrix(
+            circuit, universe, faults, batch_rows=len(faults)
+        )
+        tiny = ppsfp.stuck_at_matrix(circuit, universe, faults, batch_rows=3)
+        assert whole.to_bigints() == tiny.to_bigints()
+        bfaults = four_way_bridging_faults(circuit)
+        whole = ppsfp.bridging_matrix(
+            circuit, universe, bfaults, batch_rows=len(bfaults)
+        )
+        tiny = ppsfp.bridging_matrix(
+            circuit, universe, bfaults, batch_rows=5
+        )
+        assert whole.to_bigints() == tiny.to_bigints()
+
+    def test_matches_big_int_table_including_input_sites(self, monkeypatch):
+        circuit = get_circuit("lion")
+        universe = VectorUniverse(circuit.num_inputs)
+        # Faults on every input and branch line, both polarities: the
+        # pre-seeded input path and the branch-alias path are on-table.
+        faults = [
+            StuckAtFault(ln.lid, v)
+            for ln in circuit.lines
+            if ln.kind in (LineKind.INPUT, LineKind.BRANCH)
+            for v in (0, 1)
+        ]
+        matrix = ppsfp.stuck_at_matrix(circuit, universe, faults)
+        monkeypatch.setenv("REPRO_PPSFP", "0")
+        table = DetectionTable.for_stuck_at(circuit, faults=faults)
+        assert matrix.to_bigints() == table.signatures
+
+    def test_non_word_multiple_universe(self, monkeypatch):
+        circuit = random_circuit(9, num_inputs=7, num_gates=18)
+        universe = _sampled(circuit, 70)  # 70 bits -> 2 words, 6 spare
+        faults = collapsed_stuck_at_faults(circuit)
+        matrix = ppsfp.stuck_at_matrix(circuit, universe, faults)
+        monkeypatch.setenv("REPRO_PPSFP", "0")
+        table = DetectionTable.for_stuck_at(
+            circuit, faults=faults, universe=universe
+        )
+        assert matrix.to_bigints() == table.signatures
+        mask = universe.mask
+        for sig in matrix.to_bigints():
+            assert sig & ~mask == 0, "detection bits beyond the universe"
+
+    def test_zero_activation_bridging_rows_are_zero(self, monkeypatch):
+        circuit = get_circuit("beecount")
+        universe = _sampled(circuit, 9, seed=5)
+        faults = four_way_bridging_faults(circuit)
+        matrix = ppsfp.bridging_matrix(circuit, universe, faults)
+        monkeypatch.setenv("REPRO_PPSFP", "0")
+        table = DetectionTable.for_bridging(
+            circuit,
+            faults=faults,
+            universe=universe,
+            drop_undetectable=False,
+        )
+        assert matrix.to_bigints() == table.signatures

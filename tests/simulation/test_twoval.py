@@ -101,3 +101,64 @@ class TestXorTree:
         for v in range(1 << p):
             expected = bin(v).count("1") % 2
             assert output_values(xor_tree_circuit, v) == (expected,)
+
+
+class TestInputLaneWords:
+    """The bulk bit-transpose must match the per-bit reference exactly."""
+
+    def _reference_words(self, circuit, vectors):
+        p = circuit.num_inputs
+        words = [0] * p
+        for lane, v in enumerate(vectors):
+            for j in range(p):
+                if (v >> (p - 1 - j)) & 1:
+                    words[j] |= 1 << lane
+        return words
+
+    def test_bulk_matches_per_bit_loop_10k(self, c17_circuit):
+        """Regression for the quadratic lane builder: 10k-vector batch."""
+        import random
+
+        from repro.simulation.twoval import _input_lane_words
+
+        rng = random.Random(20250807)
+        p = c17_circuit.num_inputs
+        vectors = [rng.randrange(1 << p) for _ in range(10_000)]
+        assert _input_lane_words(c17_circuit, vectors) == (
+            self._reference_words(c17_circuit, vectors)
+        )
+
+    def test_numpy_less_fallback_matches(self, c17_circuit, monkeypatch):
+        import repro.logic.packed as packed
+        from repro.simulation.twoval import _input_lane_words
+
+        vectors = [3, 17, 0, 31, 8, 8, 25]
+        bulk = _input_lane_words(c17_circuit, vectors)
+        monkeypatch.setattr(packed, "_np", None)
+        loop = _input_lane_words(c17_circuit, vectors)
+        assert bulk == loop == self._reference_words(c17_circuit, vectors)
+
+    def test_out_of_range_rejected_on_both_paths(
+        self, c17_circuit, monkeypatch
+    ):
+        import repro.logic.packed as packed
+        from repro.simulation.twoval import _input_lane_words
+
+        with pytest.raises(SimulationError):
+            _input_lane_words(c17_circuit, [0, 1 << c17_circuit.num_inputs])
+        monkeypatch.setattr(packed, "_np", None)
+        with pytest.raises(SimulationError):
+            _input_lane_words(c17_circuit, [0, 1 << c17_circuit.num_inputs])
+
+    def test_simulate_batch_10k_consistent_with_singles(self, c17_circuit):
+        import random
+
+        rng = random.Random(7)
+        vectors = [rng.randrange(32) for _ in range(10_000)]
+        words = simulate_batch(c17_circuit, vectors)
+        for lane in (0, 1, 4999, 9998, 9999):
+            expected = output_values(c17_circuit, vectors[lane])
+            got = tuple(
+                (words[o] >> lane) & 1 for o in c17_circuit.outputs
+            )
+            assert got == expected

@@ -1,0 +1,157 @@
+"""Differential certification of the PPSFP kernel against the big-int engines.
+
+The kernel path (``REPRO_PPSFP=1``, the default) must produce
+*bit-identical* detection tables to the big-int cone-resimulation path
+(``REPRO_PPSFP=0``) on every backend and universe, and both must agree
+with the independent per-vector serial engine.  ``REPRO_DIFF_SUITE=full``
+extends the suite sweep from the representative subset to every suite
+circuit (the CI workflow runs that).
+
+Includes the branch-site coverage the bugfix sweep asked for: stuck-at
+faults forced on ``LineKind.BRANCH`` lines — the forced-after-evaluation
+override on a line that merely aliases its stem — compared across the
+serial, exhaustive big-int, and PPSFP engines.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.bench_suite.randlogic import random_circuit
+from repro.bench_suite.registry import get_circuit, suite_table_groups
+from repro.circuit.netlist import LineKind
+from repro.faults.stuck_at import StuckAtFault
+from repro.faultsim.backends import (
+    ExhaustiveBackend,
+    PackedBackend,
+    SampledBackend,
+    SerialBackend,
+)
+from repro.faultsim.detection import DetectionTable
+
+#: Representative tier-1 subset; REPRO_DIFF_SUITE=full sweeps them all.
+_SUITE_SUBSET = (
+    "lion", "train4", "mc", "s8", "tav",
+    "beecount", "ex2", "ex3", "opus", "bbara",
+)
+
+
+def _suite_circuits() -> list[str]:
+    if os.environ.get("REPRO_DIFF_SUITE") == "full":
+        return list(suite_table_groups())
+    return list(_SUITE_SUBSET)
+
+
+def _tables(backend, circuit):
+    """(stuck-at signatures, bridging signatures) under one backend."""
+    stuck = backend.build_stuck_at(circuit)
+    bridge = backend.build_bridging(circuit)
+    return stuck.signatures, bridge.signatures
+
+
+class TestKernelVsBigInt:
+    """REPRO_PPSFP=1 ≡ REPRO_PPSFP=0, backend by backend."""
+
+    @pytest.mark.parametrize("name", _suite_circuits())
+    def test_suite_exhaustive(self, name, monkeypatch):
+        circuit = get_circuit(name)
+        backend = ExhaustiveBackend()
+        monkeypatch.setenv("REPRO_PPSFP", "0")
+        big = _tables(backend, circuit)
+        monkeypatch.setenv("REPRO_PPSFP", "1")
+        kernel = _tables(backend, circuit)
+        assert kernel == big
+
+    @pytest.mark.parametrize("name", _suite_circuits())
+    def test_suite_sampled(self, name, monkeypatch):
+        circuit = get_circuit(name)
+        k = min(97, 1 << circuit.num_inputs)
+        backend = SampledBackend(k, seed=7)
+        monkeypatch.setenv("REPRO_PPSFP", "0")
+        big = _tables(backend, circuit)
+        monkeypatch.setenv("REPRO_PPSFP", "1")
+        kernel = _tables(backend, circuit)
+        assert kernel == big
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_circuits_packed_backend(self, seed, monkeypatch):
+        circuit = random_circuit(70 + seed, num_inputs=6, num_gates=15)
+        backend = PackedBackend()
+        monkeypatch.setenv("REPRO_PPSFP", "0")
+        big = _tables(backend, circuit)
+        monkeypatch.setenv("REPRO_PPSFP", "1")
+        kernel = _tables(backend, circuit)
+        assert kernel == big
+
+    def test_kernel_path_actually_engaged(self):
+        from repro.simulation import ppsfp
+
+        circuit = get_circuit("lion")
+        backend = ExhaustiveBackend()
+        universe = backend.universe_for(circuit)
+        assert os.environ.get("REPRO_PPSFP", "1") != "0"
+        assert ppsfp.kernel_supports(universe), (
+            "differential suite must exercise the kernel path"
+        )
+
+
+class TestBranchSiteFaults:
+    """Stuck-at faults on BRANCH lines: serial ≡ exhaustive ≡ kernel."""
+
+    def _branch_faults(self, circuit):
+        return [
+            StuckAtFault(ln.lid, v)
+            for ln in circuit.lines
+            if ln.kind is LineKind.BRANCH
+            for v in (0, 1)
+        ]
+
+    @pytest.mark.parametrize("name", ["lion", "beecount", "train4"])
+    def test_three_engines_agree(self, name, monkeypatch):
+        circuit = get_circuit(name)
+        faults = self._branch_faults(circuit)
+        assert faults, f"{name} has no branch lines; pick another circuit"
+        serial = SerialBackend().build_stuck_at(circuit, faults=faults)
+        monkeypatch.setenv("REPRO_PPSFP", "0")
+        big = ExhaustiveBackend().build_stuck_at(circuit, faults=faults)
+        monkeypatch.setenv("REPRO_PPSFP", "1")
+        kernel = ExhaustiveBackend().build_stuck_at(circuit, faults=faults)
+        assert serial.signatures == big.signatures
+        assert big.signatures == kernel.signatures
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_circuits_with_branches(self, seed, monkeypatch):
+        circuit = random_circuit(90 + seed, num_inputs=5, num_gates=12)
+        faults = self._branch_faults(circuit)
+        if not faults:
+            pytest.skip("random draw produced no branch lines")
+        serial = SerialBackend().build_stuck_at(circuit, faults=faults)
+        monkeypatch.setenv("REPRO_PPSFP", "0")
+        big = ExhaustiveBackend().build_stuck_at(circuit, faults=faults)
+        monkeypatch.setenv("REPRO_PPSFP", "1")
+        kernel = ExhaustiveBackend().build_stuck_at(circuit, faults=faults)
+        assert serial.signatures == big.signatures
+        assert big.signatures == kernel.signatures
+
+    def test_branch_forced_value_wins_over_stem(self, monkeypatch):
+        """A branch site keeps its forced value even when its stem changes."""
+        circuit = get_circuit("lion")
+        branch = next(
+            ln for ln in circuit.lines if ln.kind is LineKind.BRANCH
+        )
+        stem = circuit.lines[branch.fanin[0]]
+        faults = [
+            StuckAtFault(branch.lid, 0),
+            StuckAtFault(branch.lid, 1),
+            StuckAtFault(stem.lid, 0),
+            StuckAtFault(stem.lid, 1),
+        ]
+        monkeypatch.setenv("REPRO_PPSFP", "0")
+        big = DetectionTable.for_stuck_at(circuit, faults=faults)
+        monkeypatch.setenv("REPRO_PPSFP", "1")
+        kernel = DetectionTable.for_stuck_at(circuit, faults=faults)
+        assert big.signatures == kernel.signatures
