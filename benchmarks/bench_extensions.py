@@ -15,11 +15,11 @@ from __future__ import annotations
 
 from repro.core.average_case import AverageCaseAnalysis
 from repro.core.escape import EscapeAnalysis
+from repro.core.partition import PartitionedAnalysis
 from repro.core.procedure1 import build_random_ndetection_sets
 from repro.core.worst_case import WorstCaseAnalysis
-from repro.core.partition import PartitionedAnalysis
-from repro.faults.cell_aware import gate_exhaustive_table
 from repro.experiments.common import get_universe, get_worst_case
+from repro.faults.cell_aware import gate_exhaustive_table
 
 N_COLUMNS = (1, 2, 3, 4, 5, 10)
 CIRCUITS = ("bbtas", "beecount", "bbara")

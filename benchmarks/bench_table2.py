@@ -9,8 +9,8 @@ circuits do not.
 
 from __future__ import annotations
 
-from repro.experiments.table2 import run_table2
 from repro.experiments.common import suite_circuits
+from repro.experiments.table2 import run_table2
 
 
 def test_table2(benchmark, save_artifact):

@@ -24,6 +24,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.adaptive.controller import (
+    AdaptiveReport,
+    AdaptiveSampler,
+    StoppingRule,
+)
 from repro.circuit.netlist import Circuit
 from repro.errors import AnalysisError
 from repro.faults.bridging import BridgingFault
@@ -33,11 +38,6 @@ from repro.faultsim.detection import (
     universe_line_signatures,
 )
 from repro.faultsim.sampling import VectorUniverse
-from repro.adaptive.controller import (
-    AdaptiveReport,
-    AdaptiveSampler,
-    StoppingRule,
-)
 
 
 @dataclass(frozen=True)
@@ -184,7 +184,7 @@ class AdaptiveBackend:
     def _dropped(table: DetectionTable) -> DetectionTable:
         kept = [
             (f, s)
-            for f, s in zip(table.faults, table.signatures)
+            for f, s in zip(table.faults, table.signatures, strict=True)
             if s
         ]
         faults = [f for f, _ in kept]

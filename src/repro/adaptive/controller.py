@@ -50,6 +50,12 @@ import math
 import random
 from dataclasses import dataclass
 
+from repro.adaptive.strata import (
+    StrataPlan,
+    StratifiedVectorUniverse,
+    build_bridging_strata,
+    neyman_allocation,
+)
 from repro.circuit.netlist import Circuit
 from repro.errors import AnalysisError
 from repro.faults.bridging import four_way_bridging_faults
@@ -63,12 +69,6 @@ from repro.faultsim.sampling import (
     count_interval,
 )
 from repro.logic.bitops import iter_set_bits
-from repro.adaptive.strata import (
-    StrataPlan,
-    StratifiedVectorUniverse,
-    build_bridging_strata,
-    neyman_allocation,
-)
 
 #: Stratification schemes accepted by the controller / CLI.
 STRATIFY_SCHEMES: tuple[str, ...] = ("bridging",)
@@ -714,10 +714,10 @@ class _RuleEvaluator:
         populations = [s.population for s in plan.strata]
         # Per-stratum terms shared by every fault this round.
         scale = [
-            pop / d if d else 0.0 for pop, d in zip(populations, draws)
+            pop / d if d else 0.0 for pop, d in zip(populations, draws, strict=True)
         ]
         var_factor = []
-        for pop, d in zip(populations, draws):
+        for pop, d in zip(populations, draws, strict=True):
             if d == 0 or d >= pop:
                 var_factor.append(0.0)
             else:

@@ -46,7 +46,7 @@ which concentrates the budget on the rare, high-uncertainty strata.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.circuit.netlist import Circuit
 from repro.errors import AnalysisError
@@ -142,6 +142,21 @@ class StrataPlan:
                 f"strata populations sum to {total}, not "
                 f"2**{self.num_inputs} — not a partition of U"
             )
+
+    def __getstate__(self) -> dict:
+        """Drop lazily-built caches from the pickle payload.
+
+        The plan rides inside every stratified universe that crosses
+        the executor boundary; a populated ``_proj_to_stratum`` (one
+        entry per support projection) is derived data the receiver
+        rebuilds on first :meth:`stratum_of` — the same rule as
+        :meth:`repro.faultsim.sampling.VectorUniverse.__getstate__`.
+        """
+        state = dict(self.__dict__)
+        for f in fields(self):
+            if not f.init and f.default is None:
+                state[f.name] = None
+        return state
 
     # -- geometry ------------------------------------------------------
     @property
@@ -460,7 +475,7 @@ class StratifiedVectorUniverse(VectorUniverse):
     def estimate_signature(self, signature: int) -> float:
         est = 0.0
         masks, draws = self._masks_and_draws()
-        for stratum, mask, drawn in zip(self.plan.strata, masks, draws):
+        for stratum, mask, drawn in zip(self.plan.strata, masks, draws, strict=True):
             if drawn == 0:
                 continue  # no information; population contributes 0
             est += stratum.population * (
@@ -495,7 +510,7 @@ def stratified_interval(
     var = 0.0
     slack = 0.0
     sample_count = 0
-    for stratum, mask, drawn in zip(universe.plan.strata, masks, draws):
+    for stratum, mask, drawn in zip(universe.plan.strata, masks, draws, strict=True):
         pop = stratum.population
         k = (signature & mask).bit_count()
         sample_count += k
@@ -537,7 +552,7 @@ def neyman_allocation(
         raise AnalysisError(
             "sigmas/drawn must have one entry per stratum"
         )
-    room = [s.population - d for s, d in zip(plan.strata, drawn)]
+    room = [s.population - d for s, d in zip(plan.strata, drawn, strict=True)]
     if any(r < 0 for r in room):
         raise AnalysisError("stratum overdrawn: draws exceed population")
     total = min(total, sum(room))

@@ -141,7 +141,7 @@ class _PairOracle:
             self._circuit, self._fault, vector_pairs,
             cone_order=self._cone_order,
         )
-        for key, verdict in zip(pairs, verdicts):
+        for key, verdict in zip(pairs, verdicts, strict=True):
             self._results[key] = verdict
         self._pending.clear()
 

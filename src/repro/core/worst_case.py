@@ -293,7 +293,7 @@ class _PackedNminScan:
         counts_list = self.counts_sorted.tolist()
         order = self.order
         inf = _np.inf
-        for value, pos in zip(best.tolist(), best_pos.tolist()):
+        for value, pos in zip(best.tolist(), best_pos.tolist(), strict=True):
             if value == inf:
                 results.append((None, None, 0))
             else:

@@ -27,7 +27,7 @@ class Table2Row:
 
     def full_coverage_n(self) -> int | None:
         """Smallest column n with 100% coverage (None if never)."""
-        for n, pct in zip(N_COLUMNS, self.percentages):
+        for n, pct in zip(N_COLUMNS, self.percentages, strict=True):
             if pct >= 100.0 - 1e-9:
                 return n
         return None

@@ -19,9 +19,13 @@ it unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.circuit.netlist import Circuit
 from repro.errors import FaultError
+
+if TYPE_CHECKING:  # import cycle guard: repro.faultsim imports this package
+    from repro.faultsim.detection import DetectionTable
 
 
 @dataclass(frozen=True, slots=True, order=True)
@@ -97,7 +101,7 @@ def gate_exhaustive_table(
     base_signatures: list[int] | None = None,
     max_arity: int = 6,
     drop_undetectable: bool = True,
-):
+) -> DetectionTable:
     """Detection table over the gate-exhaustive universe.
 
     Returns a :class:`repro.faultsim.detection.DetectionTable`, so the
@@ -124,7 +128,7 @@ def gate_exhaustive_table(
             )
         )
     if drop_undetectable:
-        kept = [(g, t) for g, t in zip(faults, table) if t]
+        kept = [(g, t) for g, t in zip(faults, table, strict=True) if t]
         faults = [g for g, _ in kept]
         table = [t for _, t in kept]
     return DetectionTable(circuit, list(faults), table)

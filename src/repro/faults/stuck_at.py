@@ -54,7 +54,7 @@ def all_stuck_at_faults(circuit: Circuit) -> list[StuckAtFault]:
 
 
 class _UnionFind:
-    def __init__(self, size: int):
+    def __init__(self, size: int) -> None:
         self.parent = list(range(size))
 
     def find(self, x: int) -> int:

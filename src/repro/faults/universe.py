@@ -37,6 +37,7 @@ from repro.faults.stuck_at import StuckAtFault, collapsed_stuck_at_faults
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (see below)
     from repro.faultsim.backends import DetectionBackend
     from repro.faultsim.detection import DetectionTable
+    from repro.parallel.executors import ShardExecutor
 
 # NOTE: repro.faultsim imports the fault dataclasses from this package,
 # so every repro.faultsim import happens lazily inside the cached
@@ -51,8 +52,8 @@ class FaultUniverse:
         circuit: Circuit,
         backend: "DetectionBackend | None" = None,
         jobs: int | None = None,
-        executor: object | None = None,
-    ):
+        executor: "ShardExecutor | None" = None,
+    ) -> None:
         self.circuit = circuit
         self._backend = backend
         self._jobs = jobs

@@ -494,7 +494,7 @@ class SerialBackend:
                     sig |= 1 << v
             table.append(sig)
         if drop_undetectable:
-            kept = [(f, t) for f, t in zip(faults, table) if t]
+            kept = [(f, t) for f, t in zip(faults, table, strict=True) if t]
             faults = [f for f, _ in kept]
             table = [t for _, t in kept]
         return DetectionTable(circuit, list(faults), table)

@@ -159,6 +159,19 @@ class DetectionTable:
                 "universe and circuit disagree on the input count"
             )
 
+    def __getstate__(self) -> dict:
+        """Drop the lazily-built vector cache from the pickle payload.
+
+        ``_vector_cache`` memoises ``vectors_of``; shipping a populated
+        cache across the executor boundary bloats shard payloads and
+        makes pickles of otherwise-equal tables differ byte-for-byte.
+        ``__post_init__`` does not run on unpickle, so the cache is
+        restored here as an explicitly fresh dict.
+        """
+        state = dict(self.__dict__)
+        state["_vector_cache"] = {}
+        return state
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
@@ -208,7 +221,7 @@ class DetectionTable:
                     )
                 )
         if drop_undetectable:
-            kept = [(f, t) for f, t in zip(faults, table) if t]
+            kept = [(f, t) for f, t in zip(faults, table, strict=True) if t]
             faults = [f for f, _ in kept]
             table = [t for _, t in kept]
         return cls(circuit, list(faults), table, universe)
@@ -255,7 +268,7 @@ class DetectionTable:
                     )
                 )
         if drop_undetectable:
-            kept = [(g, t) for g, t in zip(faults, table) if t]
+            kept = [(g, t) for g, t in zip(faults, table, strict=True) if t]
             faults = [g for g, _ in kept]
             table = [t for _, t in kept]
         return cls(circuit, list(faults), table, universe)

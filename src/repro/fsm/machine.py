@@ -37,7 +37,7 @@ class Transition:
 
 def _cubes_intersect(a: str, b: str) -> bool:
     return all(
-        ca == "-" or cb == "-" or ca == cb for ca, cb in zip(a, b)
+        ca == "-" or cb == "-" or ca == cb for ca, cb in zip(a, b, strict=True)
     )
 
 

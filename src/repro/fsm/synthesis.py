@@ -208,7 +208,7 @@ def synthesize_fsm(
     literal_sets = extract_common_pairs(literal_sets, GateType.AND, "a")
 
     term_names: dict[str, str] = {}
-    for key, operands in zip(cube_keys, literal_sets):
+    for key, operands in zip(cube_keys, literal_sets, strict=True):
         if len(operands) == 1:
             term_names[key] = operands[0]
         else:
@@ -225,7 +225,7 @@ def synthesize_fsm(
     ]
     or_sets = extract_common_pairs(or_sets, GateType.OR, "o")
 
-    for out_nm, operands in zip(output_names, or_sets):
+    for out_nm, operands in zip(output_names, or_sets, strict=True):
         if not operands:
             b.const(out_nm, 0)
         elif len(operands) == 1:

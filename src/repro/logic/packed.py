@@ -26,13 +26,24 @@ of an ``ImportError``.
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING
 
 from repro.errors import AnalysisError
+
+if TYPE_CHECKING:
+    import numpy as np
+    from numpy.typing import NDArray
+
+    #: A block of packed signature words (any shape, ``uint64`` lanes).
+    U64Array = NDArray[np.uint64]
+    #: Per-word/per-byte popcounts — counts, not lanes.
+    U8Array = NDArray[np.uint8]
+    I64Array = NDArray[np.int64]
 
 try:  # pragma: no cover - exercised only on numpy-less installs
     import numpy as _np
 except ImportError:  # pragma: no cover
-    _np = None
+    _np = None  # type: ignore[assignment]
 
 WORD_BITS = 64
 _WORD_BYTES = WORD_BITS // 8
@@ -61,20 +72,21 @@ def words_for(size: int) -> int:
 
 if _np is not None and hasattr(_np, "bitwise_count"):
 
-    def popcount_words(words):
+    def popcount_words(words: U64Array) -> U8Array:
         """Per-word popcounts of a ``uint64`` array (any shape)."""
         return _np.bitwise_count(words)
 
 else:  # numpy < 2.0: byte-LUT fallback
 
-    _BYTE_POPCOUNT = (
+    _BYTE_POPCOUNT: U8Array | None = (
         _np.array([bin(b).count("1") for b in range(256)], dtype=_np.uint8)
         if _np is not None
         else None
     )
 
-    def popcount_words(words):
+    def popcount_words(words: U64Array) -> U8Array:
         """Per-word popcounts of a ``uint64`` array (any shape)."""
+        assert _BYTE_POPCOUNT is not None  # require_numpy() guards callers
         as_bytes = _np.ascontiguousarray(words).view(_np.uint8)
         per_byte = _BYTE_POPCOUNT[as_bytes]
         return per_byte.reshape(*words.shape, _WORD_BYTES).sum(
@@ -82,7 +94,7 @@ else:  # numpy < 2.0: byte-LUT fallback
         )
 
 
-def pack_signature(signature: int, size: int):
+def pack_signature(signature: int, size: int) -> U64Array:
     """One big-int signature as a ``(words_for(size),)`` ``uint64`` row."""
     require_numpy()
     if signature < 0:
@@ -96,7 +108,7 @@ def pack_signature(signature: int, size: int):
     return _np.frombuffer(raw, dtype="<u8").astype(_np.uint64, copy=False)
 
 
-def unpack_signature(row) -> int:
+def unpack_signature(row: U64Array) -> int:
     """Inverse of :func:`pack_signature`."""
     require_numpy()
     raw = _np.ascontiguousarray(row, dtype="<u8").tobytes()
@@ -118,7 +130,10 @@ class PackedSignatureMatrix:
 
     __slots__ = ("words", "size")
 
-    def __init__(self, words, size: int):
+    words: U64Array
+    size: int
+
+    def __init__(self, words: U64Array, size: int) -> None:
         require_numpy()
         if words.ndim != 2:
             raise AnalysisError(
@@ -167,7 +182,7 @@ class PackedSignatureMatrix:
             for i in range(0, len(raw), row_bytes)
         ]
 
-    def row(self, index: int):
+    def row(self, index: int) -> U64Array:
         """One packed row (a ``uint64`` vector), by fault index."""
         return self.words[index]
 
@@ -178,11 +193,11 @@ class PackedSignatureMatrix:
     # ------------------------------------------------------------------
     # Vectorized popcount kernels (the nmin hot path)
     # ------------------------------------------------------------------
-    def popcount_rows(self):
+    def popcount_rows(self) -> I64Array:
         """``N(f)`` for every row, as an ``int64`` vector."""
         return popcount_words(self.words).sum(axis=1, dtype=_np.int64)
 
-    def and_popcount(self, row):
+    def and_popcount(self, row: U64Array) -> I64Array:
         """``popcount(row & self[r])`` for every row ``r`` (``int64``).
 
         ``row`` is a packed ``uint64`` vector over the same universe —
@@ -226,7 +241,7 @@ class PackedSignatureMatrix:
         )
 
 
-def and_popcount(row, matrix: PackedSignatureMatrix):
+def and_popcount(row: U64Array, matrix: PackedSignatureMatrix) -> I64Array:
     """Module-level alias: ``popcount(row & matrix[r])`` for every row."""
     return matrix.and_popcount(row)
 
@@ -261,7 +276,7 @@ def widen_matrix(
 def scatter_columns(
     matrix: PackedSignatureMatrix,
     delta: PackedSignatureMatrix,
-    positions,
+    positions: Iterable[int],
 ) -> None:
     """OR bit column ``j`` of ``delta`` into bit ``positions[j]`` of ``matrix``.
 
@@ -295,7 +310,7 @@ def scatter_columns(
 
 
 def gather_columns(
-    matrix: PackedSignatureMatrix, order
+    matrix: PackedSignatureMatrix, order: Iterable[int]
 ) -> PackedSignatureMatrix:
     """Column-permuted copy: bit ``j`` of the result is bit ``order[j]``.
 

@@ -268,7 +268,7 @@ class ParallelBackend:
             sig for index in range(len(slices)) for sig in results[index]
         ]
         if drop_undetectable:
-            kept = [(f, s) for f, s in zip(faults, signatures) if s]
+            kept = [(f, s) for f, s in zip(faults, signatures, strict=True) if s]
             faults = [f for f, _ in kept]
             signatures = [s for _, s in kept]
         if getattr(

@@ -28,11 +28,15 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.circuit.netlist import Circuit
 from repro.faults.bridging import BridgingFault
 from repro.faults.stuck_at import StuckAtFault
+
+if TYPE_CHECKING:
+    from repro.faultsim.backends import DetectionBackend
+    from repro.faultsim.detection import Fault
 
 #: Bumped whenever the cached payload layout or the key material changes;
 #: part of every key, so old entries simply stop being addressed.
@@ -89,7 +93,7 @@ def circuit_digest(circuit: Circuit) -> str:
     return h.hexdigest()
 
 
-def backend_cache_key(backend) -> str:
+def backend_cache_key(backend: DetectionBackend) -> str:
     """Canonical text form of a frozen backend dataclass.
 
     ``repr`` of a frozen dataclass lists every field deterministically,
@@ -98,7 +102,7 @@ def backend_cache_key(backend) -> str:
     return f"{type(backend).__name__}({backend!r})"
 
 
-def _fault_token(fault) -> str:
+def _fault_token(fault: object) -> str:
     if isinstance(fault, StuckAtFault):
         return f"s{fault.lid}/{fault.value}"
     if isinstance(fault, BridgingFault):
@@ -112,9 +116,9 @@ def _fault_token(fault) -> str:
 
 def shard_key(
     circuit: Circuit,
-    backend,
+    backend: DetectionBackend,
     kind: str,
-    faults: Iterable,
+    faults: Iterable[Fault],
 ) -> str:
     """Content-addressed key for one shard's signature list."""
     material = "|".join(
@@ -140,7 +144,7 @@ class ShardCache:
     instances for cross-build assertions.
     """
 
-    def __init__(self, root: str | Path | None = None):
+    def __init__(self, root: str | Path | None = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0

@@ -19,9 +19,14 @@ one source of the bit-for-bit identity guarantee.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.circuit.netlist import Circuit
 from repro.errors import AnalysisError
+
+if TYPE_CHECKING:
+    from repro.faultsim.backends import DetectionBackend
+    from repro.faultsim.detection import Fault
 
 _KINDS = ("stuck_at", "bridging")
 
@@ -52,9 +57,9 @@ class ShardTask:
     """
 
     circuit: Circuit
-    backend: object
+    backend: DetectionBackend
     kind: str
-    faults: tuple
+    faults: tuple[Fault, ...]
     base_signatures: tuple[int, ...] | None
     shard_index: int
 

@@ -50,6 +50,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any, cast
 
 from repro.errors import AnalysisError
 from repro.parallel.cache import ShardCache
@@ -81,23 +82,23 @@ class Lease:
     """One claimed task: the payload plus where its claim file lives."""
 
     key: str
-    payload: dict
+    payload: dict[str, Any]
     path: Path
     worker: str
 
     @property
     def task(self) -> ShardTask:
-        return self.payload["task"]
+        return cast(ShardTask, self.payload["task"])
 
     @property
     def attempts(self) -> int:
-        return self.payload["attempts"]
+        return cast(int, self.payload["attempts"])
 
 
 class WorkQueue:
     """The on-disk queue (see the module docstring for the protocol)."""
 
-    def __init__(self, root: str | Path):
+    def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.tasks_dir = self.root / "tasks"
         self.claims_dir = self.root / "claims"
@@ -110,7 +111,7 @@ class WorkQueue:
 
     # -- atomic payload IO ---------------------------------------------
     @staticmethod
-    def _write(path: Path, payload: dict) -> None:
+    def _write(path: Path, payload: dict[str, Any]) -> None:
         tmp = path.with_name(
             f".{path.name}.{os.getpid()}-{threading.get_ident()}.tmp"
         )
@@ -119,7 +120,7 @@ class WorkQueue:
         os.replace(tmp, path)
 
     @staticmethod
-    def _read(path: Path) -> dict:
+    def _read(path: Path) -> dict[str, Any]:
         with open(path, "rb") as fh:
             payload = pickle.load(fh)
         if (
@@ -146,30 +147,53 @@ class WorkQueue:
         a key already pending or leased is left alone; a stale failure
         marker from a previous run is cleared so the new submission gets
         a fresh retry budget.
+
+        Every transition is race-free: the stale failure marker is
+        removed EAFP-style (unlink, tolerate absence), and the pending
+        file is installed with ``os.link`` from a complete temp file —
+        an atomic create-if-absent.  The old exists-then-write sequence
+        had a window in which a racing submitter could clobber a
+        requeued payload with ``attempts`` reset to 0, silently handing
+        a poisoned shard an unbounded retry budget.  The leased-key
+        check stays a bare probe with no act on the probed path: if the
+        lease resolves between probe and publish, the worst case is a
+        harmless duplicate task whose claimer finds the
+        content-addressed result already present and skips.
         """
         self._ensure()
         if self.result(key) is not None:
             return False
-        failed = self.failed_dir / f"{key}.err"
-        if failed.exists():
+        try:
+            (self.failed_dir / f"{key}.err").unlink()
+        except OSError:
+            pass
+        if (self.claims_dir / f"{key}.task").exists():
+            return False  # leased right now; the claim holder owns it
+        target = self.tasks_dir / f"{key}.task"
+        tmp = target.with_name(
+            f".{target.name}.{os.getpid()}-{threading.get_ident()}.tmp"
+        )
+        with open(tmp, "wb") as fh:
+            pickle.dump(
+                {
+                    "version": QUEUE_FORMAT_VERSION,
+                    "key": key,
+                    "task": task,
+                    "attempts": 0,
+                    "max_attempts": max_attempts,
+                },
+                fh,
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        try:
+            os.link(tmp, target)
+        except FileExistsError:
+            return False  # already pending — never clobber its attempts
+        finally:
             try:
-                failed.unlink()
+                os.unlink(tmp)
             except OSError:
                 pass
-        if (self.tasks_dir / f"{key}.task").exists() or (
-            self.claims_dir / f"{key}.task"
-        ).exists():
-            return False
-        self._write(
-            self.tasks_dir / f"{key}.task",
-            {
-                "version": QUEUE_FORMAT_VERSION,
-                "key": key,
-                "task": task,
-                "attempts": 0,
-                "max_attempts": max_attempts,
-            },
-        )
         return True
 
     def result(self, key: str) -> list[int] | None:
@@ -338,7 +362,9 @@ class WorkQueue:
             pass
         return outcome
 
-    def _retry_or_park(self, key: str, payload: dict, error: str) -> bool:
+    def _retry_or_park(
+        self, key: str, payload: dict[str, Any], error: str
+    ) -> bool:
         attempts = payload["attempts"] + 1
         if attempts >= payload.get("max_attempts", DEFAULT_MAX_ATTEMPTS):
             self._park(key, f"attempt {attempts}: {error}")

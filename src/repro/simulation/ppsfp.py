@@ -63,6 +63,19 @@ from __future__ import annotations
 
 import os
 from functools import reduce
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from collections.abc import Iterable, Sequence
+
+    import numpy as np
+    from numpy.typing import NDArray
+
+    from repro.faults.bridging import BridgingFault
+    from repro.faults.stuck_at import StuckAtFault
+    from repro.logic.packed import U64Array
+
+    IntpArray = NDArray[np.intp]
 
 from repro.circuit.gate import GateType
 from repro.circuit.netlist import Circuit, LineKind
@@ -119,7 +132,7 @@ def batch_rows_for(num_words: int) -> int:
 _IDENTITY_WHEN_UNARY = (GateType.AND, GateType.OR, GateType.XOR)
 
 
-def _invert(block, mask):
+def _invert(block: U64Array, mask: U64Array) -> U64Array:
     """``~block`` bounded to the universe's bit width.
 
     ``mask`` words are all-ones except (possibly) the final, partial
@@ -132,7 +145,9 @@ def _invert(block, mask):
     return out
 
 
-def eval_words(gate_type: GateType, inputs: list, mask):
+def eval_words(
+    gate_type: GateType, inputs: list[U64Array], mask: U64Array
+) -> U64Array:
     """Evaluate a gate over ``uint64`` word blocks.
 
     ``inputs`` are arrays of shape ``(W,)`` or ``(B, W)`` (numpy
@@ -170,7 +185,7 @@ def eval_words(gate_type: GateType, inputs: list, mask):
 # ----------------------------------------------------------------------
 # Base (fault-free) simulation, word-parallel
 # ----------------------------------------------------------------------
-def input_lane_matrix(num_inputs: int, vectors) -> "object":
+def input_lane_matrix(num_inputs: int, vectors: Iterable[int]) -> U64Array:
     """Bulk bit-transpose: vectors → per-input lane word rows.
 
     Returns a ``(num_inputs, words_for(len(vectors)))`` ``uint64`` array;
@@ -221,7 +236,9 @@ def input_lane_matrix(num_inputs: int, vectors) -> "object":
     return out
 
 
-def packed_line_words(circuit: Circuit, universe: VectorUniverse):
+def packed_line_words(
+    circuit: Circuit, universe: VectorUniverse
+) -> U64Array:
     """Fault-free word blocks of every line: a ``(lines, W)`` array.
 
     Bit ``i`` of row ``lid`` is line ``lid``'s value under the
@@ -265,8 +282,11 @@ class PackedSimulator:
     """
 
     def __init__(
-        self, circuit: Circuit, universe: VectorUniverse, base_words=None
-    ):
+        self,
+        circuit: Circuit,
+        universe: VectorUniverse,
+        base_words: U64Array | None = None,
+    ) -> None:
         if _np is None:  # pragma: no cover - numpy-less installs
             raise SimulationError(
                 "the PPSFP kernel requires numpy, which is not installed"
@@ -291,7 +311,9 @@ class PackedSimulator:
         """The base word blocks as a packed matrix (one row per line)."""
         return PackedSignatureMatrix(self.base.copy(), self.size)
 
-    def detection_rows(self, sites, forced):
+    def detection_rows(
+        self, sites: Sequence[int], forced: U64Array
+    ) -> U64Array:
         """Detection word rows for a batch of single faults.
 
         Parameters
@@ -344,7 +366,9 @@ class PackedSimulator:
             union |= cone_masks[lid] | (1 << lid)
         touched = union.to_bytes((len(circuit.lines) + 7) // 8, "little")
 
-        def force_site(lid, out, fresh):
+        def force_site(
+            lid: int, out: U64Array | None, fresh: bool
+        ) -> U64Array:
             # The forced override happens *after* normal evaluation; a
             # block that aliases another line's (or the base's) words
             # must be copied before rows are overwritten.
@@ -358,7 +382,7 @@ class PackedSimulator:
                 out[a:b] = forced[a:b]
             return out
 
-        vals: dict[int, object] = {}
+        vals: dict[int, U64Array] = {}
         # Input fault sites are fanin-less and absent from topo_order;
         # seed them before the walk.
         for lid in runs_at:
@@ -408,7 +432,11 @@ class PackedSimulator:
 # ----------------------------------------------------------------------
 # Table builders (the backends' kernel entry points)
 # ----------------------------------------------------------------------
-def _simulator(circuit, universe, base_signatures):
+def _simulator(
+    circuit: Circuit,
+    universe: VectorUniverse,
+    base_signatures: list[int] | None,
+) -> PackedSimulator:
     base_words = None
     if base_signatures is not None:
         base_words = PackedSignatureMatrix.from_bigints(
@@ -417,7 +445,9 @@ def _simulator(circuit, universe, base_signatures):
     return PackedSimulator(circuit, universe, base_words=base_words)
 
 
-def _cone_locality_order(circuit: Circuit, sites):
+def _cone_locality_order(
+    circuit: Circuit, sites: IntpArray | Sequence[int]
+) -> IntpArray:
     """Stable fault permutation grouping cone-similar fault sites.
 
     A batch's cost is driven by the *union* of its sites' fanout cones,
@@ -444,7 +474,7 @@ def _cone_locality_order(circuit: Circuit, sites):
 def stuck_at_matrix(
     circuit: Circuit,
     universe: VectorUniverse,
-    faults,
+    faults: Sequence[StuckAtFault],
     base_signatures: list[int] | None = None,
     batch_rows: int | None = None,
 ) -> PackedSignatureMatrix:
@@ -473,7 +503,7 @@ def stuck_at_matrix(
 def bridging_matrix(
     circuit: Circuit,
     universe: VectorUniverse,
-    faults,
+    faults: Sequence[BridgingFault],
     base_signatures: list[int] | None = None,
     batch_rows: int | None = None,
 ) -> PackedSignatureMatrix:
@@ -523,7 +553,7 @@ def bridging_matrix(
 def try_stuck_at_matrix(
     circuit: Circuit,
     universe: VectorUniverse,
-    faults,
+    faults: Sequence[StuckAtFault],
     base_signatures: list[int] | None = None,
 ) -> PackedSignatureMatrix | None:
     """Kernel-built stuck-at matrix, or None when the kernel is off."""
@@ -537,7 +567,7 @@ def try_stuck_at_matrix(
 def try_bridging_matrix(
     circuit: Circuit,
     universe: VectorUniverse,
-    faults,
+    faults: Sequence[BridgingFault],
     base_signatures: list[int] | None = None,
 ) -> PackedSignatureMatrix | None:
     """Kernel-built bridging matrix, or None when the kernel is off."""

@@ -121,7 +121,14 @@ def simulate_cubes_dualrail(
     return ones, zeros
 
 
-def _eval_lines(circuit, order, ones, zeros, lane_mask, forced=None):
+def _eval_lines(
+    circuit: Circuit,
+    order: Sequence[int],
+    ones: list[int],
+    zeros: list[int],
+    lane_mask: int,
+    forced: dict[int, int] | None = None,
+) -> None:
     """Evaluate the given lines in order (dual-rail, in place).
 
     The 2-input AND/OR/NAND/NOR cases are inlined — they dominate every

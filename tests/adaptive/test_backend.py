@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.adaptive import AdaptiveBackend
 from repro.bench_suite.randlogic import random_circuit
 from repro.core.worst_case import WorstCaseAnalysis
 from repro.errors import AnalysisError
@@ -11,7 +12,6 @@ from repro.faults.stuck_at import collapsed_stuck_at_faults
 from repro.faults.universe import FaultUniverse
 from repro.faultsim.backends import make_backend
 from repro.parallel import ParallelBackend, maybe_parallel
-from repro.adaptive import AdaptiveBackend
 
 
 @pytest.fixture(scope="module")

@@ -4,15 +4,15 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench_suite.randlogic import random_circuit
-from repro.errors import AnalysisError
-from repro.faults.universe import FaultUniverse
-from repro.faultsim.backends import ExhaustiveBackend
 from repro.adaptive import (
     AdaptiveSampler,
     StoppingRule,
     StratifiedVectorUniverse,
 )
+from repro.bench_suite.randlogic import random_circuit
+from repro.errors import AnalysisError
+from repro.faults.universe import FaultUniverse
+from repro.faultsim.backends import ExhaustiveBackend
 
 
 @pytest.fixture(scope="module")
@@ -91,7 +91,7 @@ class TestTrajectory:
         ).run()
         ks = [r.k_total for r in report.rounds]
         assert ks[0] == 8
-        for prev, cur in zip(ks, ks[1:]):
+        for prev, cur in zip(ks, ks[1:], strict=False):
             assert cur == min(prev * 2, 48, 64)
         # Incremental: total simulated vectors == final K, and the
         # round deltas sum to it exactly (nothing resimulated).
@@ -212,7 +212,7 @@ class TestStratifiedController:
         plan = report.plan
         if not report.universe.exact:
             for drawn, stratum in zip(
-                report.universe.draws_per_stratum, plan.strata
+                report.universe.draws_per_stratum, plan.strata, strict=True
             ):
                 assert drawn <= stratum.population
 

@@ -6,17 +6,17 @@ import random
 
 import pytest
 
-from repro.bench_suite.example import xor_tree
-from repro.bench_suite.randlogic import random_circuit
-from repro.errors import AnalysisError
-from repro.faultsim.detection import DetectionTable
-from repro.faults.universe import FaultUniverse
 from repro.adaptive.strata import (
     StratifiedVectorUniverse,
     build_bridging_strata,
     neyman_allocation,
     stratified_interval,
 )
+from repro.bench_suite.example import xor_tree
+from repro.bench_suite.randlogic import random_circuit
+from repro.errors import AnalysisError
+from repro.faults.universe import FaultUniverse
+from repro.faultsim.detection import DetectionTable
 from repro.simulation.twoval import simulate_vector
 
 
@@ -140,7 +140,7 @@ class TestNeymanAllocation:
         alloc = neyman_allocation(plan, 32, sigmas, drawn)
         assert sum(alloc) == 32
         assert all(
-            a <= s.population for a, s in zip(alloc, plan.strata)
+            a <= s.population for a, s in zip(alloc, plan.strata, strict=True)
         )
         # Every open stratum gets at least one draw (importance floor).
         assert all(a >= 1 for a in alloc)
@@ -283,7 +283,7 @@ class TestStratifiedEstimator:
         worst = WorstCaseAnalysis(target, untargeted)
         values = worst.estimated_nmin_values()
         checked = 0
-        for record, value in zip(worst.records, values):
+        for record, value in zip(worst.records, values, strict=True):
             if record.nmin is None:
                 assert value is None
                 continue

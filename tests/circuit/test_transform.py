@@ -94,7 +94,7 @@ class TestRename:
         renamed = rename_lines(c17_circuit)
         orig = line_signatures(c17_circuit)
         new = line_signatures(renamed)
-        for o_orig, o_new in zip(c17_circuit.outputs, renamed.outputs):
+        for o_orig, o_new in zip(c17_circuit.outputs, renamed.outputs, strict=True):
             assert orig[o_orig] == new[o_new]
 
 

@@ -87,7 +87,7 @@ class TestCrossFaultModels:
         untargeted = DetectionTable.for_bridging(majority_circuit)
         wc_collapsed = WorstCaseAnalysis(collapsed, untargeted)
         wc_full = WorstCaseAnalysis(full, untargeted)
-        for a, b in zip(wc_collapsed.records, wc_full.records):
+        for a, b in zip(wc_collapsed.records, wc_full.records, strict=True):
             a_val = a.nmin if a.nmin is not None else 10**9
             b_val = b.nmin if b.nmin is not None else 10**9
             assert b_val <= a_val
@@ -110,5 +110,5 @@ class TestCrossFaultModels:
         untargeted = DetectionTable.for_bridging(majority_circuit)
         wc_collapsed = WorstCaseAnalysis(collapsed, untargeted)
         wc_full = WorstCaseAnalysis(full, untargeted)
-        for a, b in zip(wc_collapsed.records, wc_full.records):
+        for a, b in zip(wc_collapsed.records, wc_full.records, strict=True):
             assert a.nmin == b.nmin

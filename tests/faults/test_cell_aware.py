@@ -106,7 +106,7 @@ class TestTableIntegration:
         c = example_circuit
         table = gate_exhaustive_table(c, drop_undetectable=False)
         by_gate: dict[int, list[int]] = {}
-        for fault, sig in zip(table.faults, table.signatures):
+        for fault, sig in zip(table.faults, table.signatures, strict=True):
             by_gate.setdefault(fault.lid, []).append(sig)
         for lid, sigs_list in by_gate.items():
             # Activations are disjoint, so detection sets are too.

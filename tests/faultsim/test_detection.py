@@ -117,7 +117,13 @@ class TestTableQueries:
     def test_detection_counts(self, example_universe):
         table = example_universe.target_table
         counts = table.detection_counts((1 << 6) | (1 << 12))
-        by_name = dict(zip([table.fault_name(i) for i in range(len(table))], counts))
+        by_name = dict(
+            zip(
+                [table.fault_name(i) for i in range(len(table))],
+                counts,
+                strict=True,
+            )
+        )
         assert by_name["1/1"] == 1   # vector 6 only
         assert by_name["2/0"] == 2   # vectors 6 and 12
 

@@ -46,26 +46,26 @@ class TestQuerySurface:
     """Every DetectionTable query must agree with the plain table."""
 
     def test_identity_fields(self, plain_tables, packed_tables):
-        for plain, packed in zip(plain_tables, packed_tables):
+        for plain, packed in zip(plain_tables, packed_tables, strict=True):
             assert packed.faults == plain.faults
             assert packed.signatures == plain.signatures
             assert packed.universe == plain.universe
             assert len(packed) == len(plain)
 
     def test_counts(self, plain_tables, packed_tables):
-        for plain, packed in zip(plain_tables, packed_tables):
+        for plain, packed in zip(plain_tables, packed_tables, strict=True):
             assert packed.counts() == plain.counts()
             for i in range(len(plain)):
                 assert packed.count(i) == plain.count(i)
 
     def test_detectability(self, plain_tables, packed_tables):
-        for plain, packed in zip(plain_tables, packed_tables):
+        for plain, packed in zip(plain_tables, packed_tables, strict=True):
             assert packed.num_detectable() == plain.num_detectable()
             assert packed.detectable_indices() == plain.detectable_indices()
 
     def test_test_set_queries(self, plain_tables, packed_tables):
         test_signature = 0b1011001
-        for plain, packed in zip(plain_tables, packed_tables):
+        for plain, packed in zip(plain_tables, packed_tables, strict=True):
             assert packed.detected_by(test_signature) == plain.detected_by(
                 test_signature
             )

@@ -1,0 +1,5 @@
+"""RPL000 fixture: a suppression with no justification suppresses nothing."""
+
+
+def sentinel(width: float) -> bool:
+    return width == 99.5  # reprolint: ignore[RPL006]

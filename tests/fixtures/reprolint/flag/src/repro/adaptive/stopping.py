@@ -1,0 +1,7 @@
+"""RPL006 flag fixture: exact float equality in a stopping rule."""
+
+
+def round_converged(half_width: float, confidence: float) -> bool:
+    if half_width == 0.0:
+        return True
+    return confidence != 0.95

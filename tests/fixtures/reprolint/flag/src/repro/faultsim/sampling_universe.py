@@ -1,0 +1,24 @@
+"""RPL003 flag fixture: the pre-PR-6 ``VectorUniverse`` pickle bug shape.
+
+A lazily-built ``init=False`` cache with no ``__getstate__`` rides into
+every executor pickle — exactly the dataclass shape that shipped the
+stale ``_bit_index`` across the pool boundary before PR 6 fixed it.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class VectorUniverse:
+    num_inputs: int
+    vectors: tuple = ()
+    _bit_index: dict = field(
+        init=False, default=None, repr=False, compare=False
+    )
+
+    def bit_of(self, vector: int) -> int:
+        cache = object.__getattribute__(self, "_bit_index")
+        if cache is None:
+            cache = {v: i for i, v in enumerate(self.vectors)}
+            object.__setattr__(self, "_bit_index", cache)
+        return cache[vector]

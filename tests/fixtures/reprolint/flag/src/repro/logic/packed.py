@@ -1,0 +1,13 @@
+"""RPL005 flag fixture: signed/float contamination of uint64 word lanes."""
+
+import numpy as _np
+
+
+def lane_hazards(words, counts):
+    rate = counts / 64
+    scaled = words ** 2
+    signed = words.astype(_np.int64)
+    view = words.view("int64")
+    neg = -_np.uint64(1)
+    mixed = _np.uint64(3) + 1
+    return rate, scaled, signed, view, neg, mixed

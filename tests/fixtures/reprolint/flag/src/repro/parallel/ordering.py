@@ -1,0 +1,12 @@
+"""RPL002 flag fixture: hash-ordered iteration in an order-sensitive module."""
+
+
+def plan_shards(lookup: dict) -> list:
+    outstanding = set(lookup)
+    picked = []
+    for key in outstanding:
+        picked.append(lookup[key])
+    ready = {k for k in lookup if lookup[k] is not None}
+    labels = [str(k) for k in ready]
+    ordered = list(outstanding | ready)
+    return picked + labels + ordered

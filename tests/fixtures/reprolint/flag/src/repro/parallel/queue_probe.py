@@ -1,0 +1,33 @@
+"""RPL004 flag fixture: the pre-fix ``WorkQueue.enqueue`` probe windows.
+
+Both hazards that used to live in ``repro.parallel.workqueue``: a stale
+failure marker probed then unlinked (a racing worker can fail the key in
+between, and the fresh marker is destroyed), and a pending-key probe
+followed by a write to the probed path (a racing submitter clobbers a
+requeued payload, resetting its ``attempts`` budget).
+"""
+
+
+class WorkQueue:
+    def __init__(self, tasks_dir, claims_dir, failed_dir, writer):
+        self.tasks_dir = tasks_dir
+        self.claims_dir = claims_dir
+        self.failed_dir = failed_dir
+        self._write = writer
+
+    def enqueue(self, task, key: str) -> bool:
+        failed = self.failed_dir / f"{key}.err"
+        if failed.exists():
+            try:
+                failed.unlink()
+            except OSError:
+                pass
+        if (self.tasks_dir / f"{key}.task").exists() or (
+            self.claims_dir / f"{key}.task"
+        ).exists():
+            return False
+        self._write(
+            self.tasks_dir / f"{key}.task",
+            {"key": key, "task": task, "attempts": 0},
+        )
+        return True

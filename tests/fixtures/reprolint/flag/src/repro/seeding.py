@@ -1,0 +1,11 @@
+"""RPL001 flag fixture: unseeded RNG construction outside tests."""
+
+import random
+
+import numpy as np
+
+
+def fresh_streams():
+    rng = random.Random()
+    gen = np.random.default_rng()
+    return rng, gen

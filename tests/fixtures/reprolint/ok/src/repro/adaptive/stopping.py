@@ -1,0 +1,13 @@
+"""RPL006 ok fixture: tolerance comparison and exact-integer restatement."""
+
+_TOL = 1e-12
+
+
+def round_converged(
+    half_width: float, confidence: float, hits: int
+) -> bool:
+    if abs(half_width) < _TOL:
+        return True
+    if hits == 0:
+        return False
+    return abs(confidence - 0.95) > _TOL

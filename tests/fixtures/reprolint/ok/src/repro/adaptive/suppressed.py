@@ -1,0 +1,7 @@
+"""Justified-suppression fixture: the pragma silences the finding."""
+
+
+def sentinel(width: float) -> bool:
+    # The 99.5 sentinel is assigned verbatim, never computed, so the
+    # comparison is exact by construction.
+    return width == 99.5  # reprolint: ignore[RPL006] -- sentinel assigned verbatim, exact compare

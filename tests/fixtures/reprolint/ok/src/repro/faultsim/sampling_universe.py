@@ -1,0 +1,26 @@
+"""RPL003 ok fixture: the cache is dropped from the pickle payload."""
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass(frozen=True)
+class VectorUniverse:
+    num_inputs: int
+    vectors: tuple = ()
+    _bit_index: dict = field(
+        init=False, default=None, repr=False, compare=False
+    )
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        for f in fields(self):
+            if not f.init and f.default is None:
+                state[f.name] = None
+        return state
+
+    def bit_of(self, vector: int) -> int:
+        cache = object.__getattribute__(self, "_bit_index")
+        if cache is None:
+            cache = {v: i for i, v in enumerate(self.vectors)}
+            object.__setattr__(self, "_bit_index", cache)
+        return cache[vector]

@@ -1,0 +1,19 @@
+"""RPL003 ok fixture: ``__getstate__`` inherited from a project base class.
+
+The subclass declares its own ``init=False`` cache but relies on the
+generic cache-dropping ``__getstate__`` defined on ``VectorUniverse``
+(in a *different* file) — the cross-file case the ``ProjectIndex``
+resolves.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.faultsim.sampling_universe import VectorUniverse
+
+
+@dataclass(frozen=True)
+class StratifiedVectorUniverse(VectorUniverse):
+    strata: tuple = ()
+    _stratum_cache: dict = field(
+        init=False, default=None, repr=False, compare=False
+    )

@@ -1,0 +1,13 @@
+"""RPL005 ok fixture: lanes stay uint64; only accumulators go signed."""
+
+import numpy as _np
+
+
+def lane_ops(words, mask):
+    counts = (words & mask).sum(axis=1, dtype=_np.int64)
+    rate_num = counts * 100 // 64
+    half = words >> _np.uint64(1)
+    complement = words ^ _np.uint64(0xFFFFFFFFFFFFFFFF)
+    order = _np.argsort(counts).astype(_np.intp)
+    mixed = _np.uint64(3) + _np.uint64(1)
+    return counts, rate_num, half, complement, order, mixed

@@ -1,0 +1,12 @@
+"""RPL002 ok fixture: every set is sorted before iteration order can escape."""
+
+
+def plan_shards(lookup: dict) -> list:
+    outstanding = set(lookup)
+    picked = []
+    for key in sorted(outstanding):
+        picked.append(lookup[key])
+    ready = {k for k in lookup if lookup[k] is not None}
+    labels = [str(k) for k in sorted(ready)]
+    ordered = sorted(outstanding | ready)
+    return picked + labels + ordered

@@ -1,0 +1,35 @@
+"""RPL004 ok fixture: race-free transitions (EAFP + atomic create).
+
+The stale failure marker is removed EAFP-style, and the pending file is
+installed with ``os.link`` from a complete temp file — an atomic
+create-if-absent that never clobbers an existing payload.  The leased
+probe is advisory: nothing later acts on the probed path.
+"""
+
+import os
+
+
+class WorkQueue:
+    def __init__(self, tasks_dir, claims_dir, failed_dir, writer):
+        self.tasks_dir = tasks_dir
+        self.claims_dir = claims_dir
+        self.failed_dir = failed_dir
+        self._write = writer
+
+    def enqueue(self, task, key: str) -> bool:
+        try:
+            (self.failed_dir / f"{key}.err").unlink()
+        except OSError:
+            pass
+        if (self.claims_dir / f"{key}.task").exists():
+            return False
+        target = self.tasks_dir / f"{key}.task"
+        tmp = target.with_name(f".{target.name}.{os.getpid()}.tmp")
+        self._write(tmp, {"key": key, "task": task, "attempts": 0})
+        try:
+            os.link(tmp, target)
+        except FileExistsError:
+            return False
+        finally:
+            os.unlink(tmp)
+        return True

@@ -1,0 +1,11 @@
+"""RPL001 ok fixture: every stream constructed from an explicit seed."""
+
+import random
+
+import numpy as np
+
+
+def fresh_streams(seed: int):
+    rng = random.Random(seed)
+    gen = np.random.default_rng(seed ^ 0x5EED)
+    return rng, gen

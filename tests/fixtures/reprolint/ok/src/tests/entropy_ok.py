@@ -1,0 +1,7 @@
+"""RPL001 tests-exemption fixture: fuzzing entropy is fine under tests/."""
+
+import random
+
+
+def fuzz_source():
+    return random.Random()

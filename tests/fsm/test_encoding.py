@@ -35,7 +35,7 @@ class TestGray:
     def test_adjacent_codes_differ_one_bit(self):
         enc = encode_states(STATES, "gray")
         codes = [enc.codes[s] for s in STATES]
-        for a, b in zip(codes, codes[1:]):
+        for a, b in zip(codes, codes[1:], strict=False):
             assert bin(a ^ b).count("1") == 1
 
     def test_codes_distinct(self):

@@ -77,7 +77,7 @@ class TestRoundTrip:
         assert parsed.num_inputs == original.num_inputs
         orig_sigs = line_signatures(original)
         new_sigs = line_signatures(parsed)
-        for o_orig, o_new in zip(original.outputs, parsed.outputs):
+        for o_orig, o_new in zip(original.outputs, parsed.outputs, strict=True):
             assert orig_sigs[o_orig] == new_sigs[o_new]
 
     def test_written_text_parses_cleanly(self, example_circuit):

@@ -94,5 +94,5 @@ class TestRoundTrip:
         parsed = parse_blif(text)
         orig_sigs = line_signatures(original)
         new_sigs = line_signatures(parsed)
-        for o_orig, o_new in zip(original.outputs, parsed.outputs):
+        for o_orig, o_new in zip(original.outputs, parsed.outputs, strict=True):
             assert orig_sigs[o_orig] == new_sigs[o_new]

@@ -37,7 +37,7 @@ def _outputs_match(original, clone):
     assert [original.lines[i].name for i in original.inputs] == [
         clone.lines[i].name for i in clone.inputs
     ]
-    for o1, o2 in zip(original.outputs, clone.outputs):
+    for o1, o2 in zip(original.outputs, clone.outputs, strict=True):
         assert original.lines[o1].name == clone.lines[o2].name
         assert orig[o1] == new[o2]
 

@@ -77,7 +77,7 @@ class TestRoundTrip:
         parsed = parse_verilog(text)
         orig_sigs = line_signatures(original)
         new_sigs = line_signatures(parsed)
-        for o_orig, o_new in zip(original.outputs, parsed.outputs):
+        for o_orig, o_new in zip(original.outputs, parsed.outputs, strict=True):
             assert orig_sigs[o_orig] == new_sigs[o_new]
 
     def test_numeric_names_escaped(self, example_circuit):
@@ -92,5 +92,5 @@ class TestRoundTrip:
         parsed = parse_verilog(write_verilog(original))
         orig_sigs = line_signatures(original)
         new_sigs = line_signatures(parsed)
-        for o_orig, o_new in zip(original.outputs, parsed.outputs):
+        for o_orig, o_new in zip(original.outputs, parsed.outputs, strict=True):
             assert orig_sigs[o_orig] == new_sigs[o_new]

@@ -15,7 +15,7 @@ class TestShardPlan:
         assert [len(s) for s in shards] == [3, 3, 2, 2]
         assert shards[0].start == 0
         assert shards[-1].stop == 10
-        for prev, cur in zip(shards, shards[1:]):
+        for prev, cur in zip(shards, shards[1:], strict=False):
             assert cur.start == prev.stop  # contiguous, ordered
 
     def test_sizes_differ_by_at_most_one(self):

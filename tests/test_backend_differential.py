@@ -416,7 +416,7 @@ def _dropped(report):
     """The paper's G from a report's raw bridging table."""
     table = report.untargeted_table
     kept = [
-        (f, s) for f, s in zip(table.faults, table.signatures) if s
+        (f, s) for f, s in zip(table.faults, table.signatures, strict=True) if s
     ]
     return type(table)(
         table.circuit,

@@ -74,7 +74,7 @@ class TestPipeline:
             # Same function on each output.
             orig = line_signatures(circuit)
             new = line_signatures(clone)
-            for o1, o2 in zip(circuit.outputs, clone.outputs):
+            for o1, o2 in zip(circuit.outputs, clone.outputs, strict=True):
                 assert orig[o1] == new[o2]
             clone_universe = FaultUniverse(clone)
             clone_worst = WorstCaseAnalysis(

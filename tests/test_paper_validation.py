@@ -151,5 +151,5 @@ class TestLinearGrowthPremise:
         ]
         assert sizes == sorted(sizes)
         # Doubling n should not much more than double the size.
-        for prev, cur in zip(sizes, sizes[1:]):
+        for prev, cur in zip(sizes, sizes[1:], strict=False):
             assert cur <= 2.5 * prev + 4

@@ -1,0 +1,9 @@
+"""Entry point: ``PYTHONPATH=tools python -m reprolint src``."""
+
+from __future__ import annotations
+
+import sys
+
+from reprolint.cli import main
+
+sys.exit(main())

@@ -1,0 +1,65 @@
+"""``python -m reprolint`` — the command-line front end."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from reprolint.engine import lint_paths
+from reprolint.rules import ALL_RULES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "Determinism-invariant static analysis for this repository. "
+            "Exit status 1 when any finding is reported."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RPLnnn",
+        help="run only these rule codes (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in ALL_RULES:
+            scope = ", ".join(rule.scope) if rule.scope else "all modules"
+            print(f"{rule.code}  {rule.name}: {rule.description} [{scope}]")
+        return 0
+    try:
+        findings = lint_paths(args.paths, select=args.select)
+    except (ValueError, OSError) as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(
+            f"reprolint: {len(findings)} finding(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,233 @@
+"""The reprolint driver: file discovery, rule dispatch, suppressions.
+
+The engine is deliberately small: it walks the requested paths, parses
+each ``*.py`` file once, derives a dotted *module path* (everything
+after the last ``src`` path component, so fixture trees that embed an
+``src/repro/...`` layout are analyzed under the same scoping as the real
+tree), asks every selected rule for findings, and filters them through
+the pragma layer.
+
+Suppression pragmas live on the flagged line::
+
+    value = lazy()  # reprolint: ignore[RPL003] -- rebuilt on first use
+
+``ignore[...]`` takes a comma-separated rule list; the justification
+after ``--`` (or ``:``) is mandatory.  A suppression with no
+justification does not suppress anything — it is reported as RPL000 so
+an unexplained escape hatch can never land silently.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:
+    from reprolint.rules import Rule
+
+#: Reported when an ``ignore[...]`` pragma carries no justification.
+MISSING_JUSTIFICATION = "RPL000"
+
+_PRAGMA = re.compile(
+    r"#\s*reprolint:\s*ignore\[(?P<codes>[A-Z0-9,\s]+)\]"
+    r"(?:\s*(?:--|:)\s*(?P<why>\S.*))?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class ClassInfo:
+    """Project-wide class facts rules may need (RPL003 inheritance)."""
+
+    name: str
+    module: str
+    bases: tuple[str, ...]
+    defines_getstate: bool
+
+
+class ProjectIndex:
+    """Cross-file symbol table built in a cheap pre-pass.
+
+    Currently records, for every class in the analyzed tree, whether it
+    defines ``__getstate__`` and which base names it lists — enough for
+    RPL003 to honor a ``__getstate__`` inherited from a project base
+    class (e.g. the stratified universe inheriting the generic
+    cache-dropping ``VectorUniverse.__getstate__``).  Resolution is by
+    bare class name, which is unambiguous in this codebase.
+    """
+
+    def __init__(self) -> None:
+        self._classes: dict[str, ClassInfo] = {}
+
+    def add_tree(self, module: str, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = tuple(
+                base.id
+                if isinstance(base, ast.Name)
+                else base.attr
+                if isinstance(base, ast.Attribute)
+                else ""
+                for base in node.bases
+            )
+            defines = any(
+                isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and item.name == "__getstate__"
+                for item in node.body
+            )
+            self._classes[node.name] = ClassInfo(
+                node.name, module, bases, defines
+            )
+
+    def has_getstate(self, class_name: str) -> bool:
+        """Whether the class or any resolvable ancestor drops state."""
+        seen: list[str] = []
+        queue = [class_name]
+        while queue:
+            name = queue.pop()
+            if name in seen:
+                continue
+            seen.append(name)
+            info = self._classes.get(name)
+            if info is None:
+                continue
+            if info.defines_getstate:
+                return True
+            queue.extend(info.bases)
+        return False
+
+
+def module_parts(path: Path) -> tuple[str, ...]:
+    """Dotted-module components of ``path`` for scoping decisions.
+
+    Everything after the *last* ``src`` component when one is present
+    (so ``tests/fixtures/.../src/repro/parallel/x.py`` scopes exactly
+    like ``src/repro/parallel/x.py``); otherwise the path's own parts.
+    The trailing ``.py`` is stripped; package ``__init__`` files keep
+    the component so the package scope still applies.
+    """
+    parts = list(path.parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if "src" in parts:
+        last = len(parts) - 1 - parts[::-1].index("src")
+        parts = parts[last + 1 :]
+    return tuple(p for p in parts if p)
+
+
+def _suppressions(
+    source: str, path: str
+) -> tuple[dict[int, frozenset[str]], list[Finding]]:
+    """Per-line suppressed rule codes, plus RPL000 pragma findings."""
+    by_line: dict[int, frozenset[str]] = {}
+    bad: list[Finding] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(text)
+        if match is None:
+            continue
+        codes = frozenset(
+            c.strip() for c in match.group("codes").split(",") if c.strip()
+        )
+        if not match.group("why"):
+            bad.append(
+                Finding(
+                    path,
+                    lineno,
+                    match.start() + 1,
+                    MISSING_JUSTIFICATION,
+                    "suppression needs a justification: "
+                    "`# reprolint: ignore[RPLnnn] -- why this is safe`",
+                )
+            )
+            continue
+        by_line[lineno] = codes
+    return by_line, bad
+
+
+def _select_rules(select: Iterable[str] | None) -> "list[Rule]":
+    from reprolint.rules import ALL_RULES
+
+    if select is None:
+        return list(ALL_RULES)
+    wanted = set(select)
+    unknown = wanted - {r.code for r in ALL_RULES}
+    if unknown:
+        raise ValueError(
+            f"unknown rule code(s): {', '.join(sorted(unknown))}"
+        )
+    return [r for r in ALL_RULES if r.code in wanted]
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Every ``*.py`` under the given files/directories, sorted."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(
+                p
+                for p in path.rglob("*.py")
+                if not any(part.startswith(".") for part in p.parts)
+            )
+        else:
+            yield path
+
+
+def lint_file(
+    path: str | Path,
+    select: Iterable[str] | None = None,
+    index: ProjectIndex | None = None,
+) -> list[Finding]:
+    """Findings for one file (convenience wrapper over the scan loop)."""
+    return lint_paths([path], select=select, index=index)
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    select: Iterable[str] | None = None,
+    index: ProjectIndex | None = None,
+) -> list[Finding]:
+    """Findings for every python file under ``paths``, location-sorted."""
+    rules = _select_rules(select)
+    files = list(iter_python_files(paths))
+    parsed: list[tuple[Path, tuple[str, ...], str, ast.Module]] = []
+    if index is None:
+        index = ProjectIndex()
+    for path in files:
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            raise ValueError(f"cannot parse {path}: {exc}") from exc
+        parts = module_parts(path)
+        parsed.append((path, parts, source, tree))
+        index.add_tree(".".join(parts), tree)
+    findings: list[Finding] = []
+    for path, parts, source, tree in parsed:
+        suppressed, pragma_findings = _suppressions(source, str(path))
+        findings.extend(pragma_findings)
+        for rule in rules:
+            if not rule.applies_to(parts):
+                continue
+            for finding in rule.check(str(path), parts, tree, index):
+                if rule.code in suppressed.get(finding.line, frozenset()):
+                    continue
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
