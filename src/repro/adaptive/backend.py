@@ -23,9 +23,11 @@ the trajectory stays bit-identical, only the substrate changes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Callable
 
 from repro.adaptive.controller import (
     AdaptiveReport,
+    AdaptiveRound,
     AdaptiveSampler,
     StoppingRule,
 )
@@ -64,6 +66,13 @@ class AdaptiveBackend:
     jobs: int = field(default=1, compare=False)
     executor: object | None = field(default=None, compare=False)
     use_cache: bool = field(default=True, compare=False)
+    #: Optional per-round observer (see AdaptiveSampler.on_round).
+    #: Excluded from equality *and* repr: a streamed service run must
+    #: share cache keys — in-memory and content-addressed — with an
+    #: unobserved run of the same configuration.
+    on_round: Callable[[AdaptiveRound], None] | None = field(
+        default=None, compare=False, repr=False
+    )
     name: str = "adaptive"
     needs_base_signatures = False
 
@@ -120,6 +129,7 @@ class AdaptiveBackend:
             jobs=self.jobs,
             executor=self.executor,
             use_cache=self.use_cache,
+            on_round=self.on_round,
         ).run()
         self._reports[key] = (circuit, report)
         return report

@@ -49,6 +49,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.adaptive.strata import (
     StrataPlan,
@@ -259,6 +260,11 @@ class AdaptiveSampler:
         stay bit-identical on any substrate.
     use_cache:
         Whether delta builds may use the persistent shard cache.
+    on_round:
+        Optional observer called with each :class:`AdaptiveRound` as
+        soon as the round is evaluated (the analysis service streams
+        these as chunked progress lines).  Purely observational: the
+        trajectory is bit-identical with or without it.
     """
 
     def __init__(
@@ -271,6 +277,7 @@ class AdaptiveSampler:
         jobs: int = 1,
         executor: object | None = None,
         use_cache: bool = True,
+        on_round: "Callable[[AdaptiveRound], None] | None" = None,
     ):
         if stratify is not None and stratify not in STRATIFY_SCHEMES:
             raise AnalysisError(
@@ -300,6 +307,7 @@ class AdaptiveSampler:
         self.jobs = jobs
         self.executor = executor
         self.use_cache = use_cache
+        self.on_round = on_round
 
     # -- draw streams --------------------------------------------------
     def _stream(self, stratum: int) -> random.Random:
@@ -381,6 +389,8 @@ class AdaptiveSampler:
                     met=met,
                 )
             )
+            if self.on_round is not None:
+                self.on_round(rounds[-1])
             if met:
                 reason = (
                     "exact (universe exhausted)"

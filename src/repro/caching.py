@@ -1,0 +1,130 @@
+"""Size-bounded LRU caching shared across layers.
+
+The experiment harness has always memoized built universes and
+worst-case analyses in a small backend-identity-keyed LRU (detection
+tables of the largest suite circuits weigh tens of megabytes, so an
+unbounded cache is not an option).  The analysis service
+(:mod:`repro.serve`) needs the exact same structure as its in-memory
+*hot tier* above the persistent content-addressed shard cache — so the
+implementation lives here, once, and both layers share it.
+
+Capacity comes from ``REPRO_TABLE_LRU`` (default
+:data:`DEFAULT_TABLE_LRU`, preserving the historical experiment-layer
+size); hit/miss/eviction counters are first-class because the service
+exports them through ``/stats``.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Generic, Hashable, TypeVar
+
+from repro.errors import AnalysisError
+
+__all__ = [
+    "DEFAULT_TABLE_LRU",
+    "LRUCache",
+    "table_lru_capacity",
+]
+
+#: Historical experiment-layer capacity: holds the whole 35-circuit
+#: suite (suite-wide tables revisit every circuit, and rebuilding the
+#: biggest detection tables costs ~10 s each) while the total footprint
+#: stays within a few GB (the two largest tables are ~400 MB each).
+DEFAULT_TABLE_LRU = 40
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+def table_lru_capacity(default: int = DEFAULT_TABLE_LRU) -> int:
+    """Hot-tier capacity: ``REPRO_TABLE_LRU`` or ``default``."""
+    raw = os.environ.get("REPRO_TABLE_LRU")
+    if raw is None or raw == "":
+        return default
+    try:
+        capacity = int(raw)
+    except ValueError as exc:
+        raise AnalysisError(
+            f"REPRO_TABLE_LRU must be an integer, got {raw!r}"
+        ) from exc
+    if capacity < 1:
+        raise AnalysisError(
+            f"REPRO_TABLE_LRU must be >= 1, got {capacity}"
+        )
+    return capacity
+
+
+class LRUCache(Generic[K, V]):
+    """Move-to-end LRU with a hard size bound and usage counters.
+
+    Semantics match the experiment layer's historical OrderedDict pair:
+    ``get`` refreshes recency and returns ``None`` on a miss (values are
+    never ``None``); ``put`` inserts/refreshes and evicts the least
+    recently used entries beyond ``capacity``.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise AnalysisError(
+                f"LRU capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._entries: OrderedDict[K, V] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries
+
+    def get(self, key: K) -> V | None:
+        """Value for ``key`` (refreshing recency), or ``None``."""
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return value
+
+    def peek(self, key: K) -> V | None:
+        """Like :meth:`get` but without touching recency or counters."""
+        return self._entries.get(key)
+
+    def put(self, key: K, value: V) -> None:
+        """Insert/refresh ``key`` and evict beyond ``capacity``."""
+        if value is None:
+            raise AnalysisError("LRUCache values must not be None")
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> int:
+        """Drop every entry (counters keep accumulating); returns count."""
+        removed = len(self._entries)
+        self._entries.clear()
+        return removed
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before the first lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> dict[str, int | float]:
+        """Counter snapshot (the service exports this via ``/stats``)."""
+        return {
+            "capacity": self.capacity,
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }

@@ -16,6 +16,7 @@ Commands regenerate the paper's artifacts::
     repro cache info|clear           # inspect / empty the shard cache
     repro worker --queue DIR         # drain shard tasks from a work queue
     repro queue info|clear           # inspect / empty a work queue
+    repro serve [--port P]           # always-on HTTP analysis service
 
 ``analyze``, ``escape``, and ``partition`` accept
 ``--backend exhaustive|sampled|serial|packed|adaptive`` (with
@@ -45,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import Any
 
 from repro.bench_suite.example import paper_example_ascii
 from repro.bench_suite.registry import circuit_names, get_circuit
@@ -166,7 +168,7 @@ def _add_backend(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _backend_from_args(args: argparse.Namespace):
+def _backend_from_args(args: argparse.Namespace) -> Any:
     from repro.errors import AnalysisError
     from repro.faultsim.backends import make_backend
     from repro.parallel import resolve_executor, resolve_jobs
@@ -335,6 +337,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "serve", help="always-on HTTP analysis service"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="listening port (0 picks a free one, printed on start)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="default worker count for requests that don't set one",
+    )
+    from repro.parallel import EXECUTOR_NAMES
+
+    p.add_argument(
+        "--executor",
+        choices=list(EXECUTOR_NAMES),
+        default=None,
+        help="default shard execution substrate for requests",
+    )
+    p.add_argument(
+        "--queue-dir",
+        default=None,
+        help=(
+            "work-queue directory used with --executor queue; `repro "
+            "worker` processes sharing it drain service-enqueued shards"
+        ),
+    )
+    p.add_argument(
+        "--table-lru",
+        type=int,
+        default=None,
+        help=(
+            "hot-tier capacity in cached table pairs "
+            "(default: REPRO_TABLE_LRU, else 40)"
+        ),
+    )
+
+    p = sub.add_parser(
         "gen-tests", help="generate a compact n-detection test set"
     )
     p.add_argument("circuit")
@@ -395,12 +439,32 @@ def _cmd_suite() -> str:
 
 
 def _cmd_partition(args: argparse.Namespace) -> str:
+    return partition_report(
+        get_circuit(args.circuit),
+        _backend_from_args(args),
+        circuit_name=args.circuit,
+        max_inputs=args.max_inputs,
+    )
+
+
+def partition_report(
+    circuit: Any,
+    backend: Any,
+    *,
+    circuit_name: str,
+    max_inputs: int,
+) -> str:
+    """Render the Section 4 cone-partitioned analysis.
+
+    The rendering half of ``repro partition``, shared with the analysis
+    service (:mod:`repro.serve`) so service responses stay byte-
+    identical to the CLI's.
+    """
     from repro.adaptive import AdaptiveBackend
     from repro.core.partition import PartitionedAnalysis
     from repro.faultsim.backends import PackedBackend, SampledBackend
     from repro.parallel import ParallelBackend
 
-    backend = _backend_from_args(args)
     jobs = backend.jobs if isinstance(backend, ParallelBackend) else None
     executor = (
         backend.executor if isinstance(backend, ParallelBackend) else None
@@ -414,14 +478,13 @@ def _cmd_partition(args: argparse.Namespace) -> str:
         # and `executor` are orthogonal and stay threaded through the
         # cone builds.
         backend = None
-    circuit = get_circuit(args.circuit)
     analysis = PartitionedAnalysis(
-        circuit, max_inputs=args.max_inputs, backend=backend, jobs=jobs,
+        circuit, max_inputs=max_inputs, backend=backend, jobs=jobs,
         executor=executor,
     )
     lines = [
-        f"Cone-partitioned analysis of {args.circuit} "
-        f"(max {args.max_inputs} inputs)"
+        f"Cone-partitioned analysis of {circuit_name} "
+        f"(max {max_inputs} inputs)"
     ]
     for key, value in analysis.summary().items():
         lines.append(f"  {key}: {value}")
@@ -500,6 +563,18 @@ def _cmd_queue(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import AnalysisService, run_server
+
+    service = AnalysisService(
+        jobs=args.jobs,
+        executor=args.executor,
+        queue_dir=args.queue_dir,
+        table_lru=args.table_lru,
+    )
+    return run_server(service, host=args.host, port=args.port)
+
+
 def _cmd_gen_tests(args: argparse.Namespace) -> str:
     import random
 
@@ -533,9 +608,6 @@ def _cmd_gen_tests(args: argparse.Namespace) -> str:
 
 
 def _cmd_escape(args: argparse.Namespace) -> str:
-    from repro.core.average_case import AverageCaseAnalysis
-    from repro.core.escape import EscapeAnalysis
-    from repro.core.procedure1 import build_random_ndetection_sets
     from repro.core.worst_case import WorstCaseAnalysis
     from repro.faults.universe import FaultUniverse
 
@@ -544,31 +616,96 @@ def _cmd_escape(args: argparse.Namespace) -> str:
     worst = WorstCaseAnalysis(
         universe.target_table, universe.untargeted_table
     )
+    return escape_report(
+        universe,
+        worst,
+        circuit_name=args.circuit,
+        backend_name=args.backend,
+        k=args.k,
+        nmax=args.nmax,
+        seed=args.seed,
+    )
+
+
+def escape_report(
+    universe: Any,
+    worst: Any,
+    *,
+    circuit_name: str,
+    backend_name: str,
+    k: int,
+    nmax: int,
+    seed: int,
+) -> str:
+    """Render the expected-escapes analysis from built tables.
+
+    The rendering half of ``repro escape``, shared with the analysis
+    service (:mod:`repro.serve`) so a cached universe/worst-case pair
+    produces responses byte-identical to the CLI's.
+    """
+    from repro.core.average_case import AverageCaseAnalysis
+    from repro.core.escape import EscapeAnalysis
+    from repro.core.procedure1 import build_random_ndetection_sets
+
     family = build_random_ndetection_sets(
         universe.target_table,
-        n_max=args.nmax,
-        num_sets=args.k,
-        seed=args.seed,
+        n_max=nmax,
+        num_sets=k,
+        seed=seed,
     )
     avg = AverageCaseAnalysis(family, universe.untargeted_table)
     escape = EscapeAnalysis(worst, avg)
     head = (
-        f"Escape analysis of {args.circuit} "
-        f"(backend={args.backend}, {len(worst)} untargeted faults, "
-        f"K={args.k}):\n"
+        f"Escape analysis of {circuit_name} "
+        f"(backend={backend_name}, {len(worst)} untargeted faults, "
+        f"K={k}):\n"
     )
     return head + escape.render() + "\n"
 
 
 def _cmd_analyze(args: argparse.Namespace) -> str:
-    from repro.adaptive import AdaptiveBackend
     from repro.core.worst_case import WorstCaseAnalysis
     from repro.faults.universe import FaultUniverse
-    from repro.parallel import ParallelBackend
 
     circuit = get_circuit(args.circuit)
     backend = _backend_from_args(args)
-    label = args.backend
+    universe = FaultUniverse(circuit, backend=backend)
+    worst = WorstCaseAnalysis(
+        universe.target_table, universe.untargeted_table
+    )
+    return analyze_report(
+        universe,
+        worst,
+        circuit_name=args.circuit,
+        backend_name=args.backend,
+        seed=args.seed,
+        confidence=args.confidence,
+    )
+
+
+def analyze_report(
+    universe: Any,
+    worst: Any,
+    *,
+    circuit_name: str,
+    backend_name: str,
+    seed: int,
+    confidence: float,
+) -> str:
+    """Render the worst-case analysis summary from built tables.
+
+    The rendering half of ``repro analyze``: ``universe`` is a built
+    :class:`~repro.faults.universe.FaultUniverse` and ``worst`` the
+    matching :class:`~repro.core.worst_case.WorstCaseAnalysis`.  The
+    analysis service (:mod:`repro.serve`) calls this with hot-tier
+    cached pairs, so service responses stay byte-identical to the CLI.
+    """
+    from repro.adaptive import AdaptiveBackend
+    from repro.parallel import ParallelBackend
+
+    circuit = universe.circuit
+    backend = universe.backend
+    label = backend_name
     if isinstance(backend, ParallelBackend):
         resolved = backend.resolved_executor
         if getattr(resolved, "jobs", 1) > 1:
@@ -580,16 +717,12 @@ def _cmd_analyze(args: argparse.Namespace) -> str:
             label += f" jobs={backend.jobs}"
         if backend.executor is not None:
             label += f" executor={backend.executor.name}"
-    universe = FaultUniverse(circuit, backend=backend)
-    worst = WorstCaseAnalysis(
-        universe.target_table, universe.untargeted_table
-    )
     vu = worst.universe
     lines = [
-        f"Worst-case analysis of {args.circuit} (backend={label})",
+        f"Worst-case analysis of {circuit_name} (backend={label})",
         f"  inputs: {circuit.num_inputs}  |U| = 2**{circuit.num_inputs}",
         f"  vector universe: {vu.size} of {vu.space} vectors"
-        + ("" if vu.exact else f" (sampled, seed={args.seed})"),
+        + ("" if vu.exact else f" (sampled, seed={seed})"),
         f"  target faults |F|: {len(universe.target_table)} "
         f"({universe.target_table.num_detectable()} detectable)",
         f"  untargeted faults |G|: {len(worst)}",
@@ -633,12 +766,12 @@ def _cmd_analyze(args: argparse.Namespace) -> str:
         if estimates:
             top = max(range(len(estimates)), key=estimates.__getitem__)
             ci = universe.target_table.count_estimate(
-                top, args.confidence
+                top, confidence
             )
             lines.append(
                 f"  largest N(f) estimate: {ci.estimate:.1f} "
                 f"[{ci.low:.1f}, {ci.high:.1f}] "
-                f"at {args.confidence:.0%} confidence"
+                f"at {confidence:.0%} confidence"
             )
     values = [v for v in worst.nmin_values() if v is not None]
     no_guarantee = len(worst) - len(values)
@@ -719,6 +852,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         out = _cmd_worker(args)
     elif args.command == "queue":
         out = _cmd_queue(args)
+    elif args.command == "serve":
+        # Blocks until interrupted; the ready line prints from inside.
+        return _cmd_serve(args)
     elif args.command == "gen-tests":
         out = _cmd_gen_tests(args)
     elif args.command == "escape":

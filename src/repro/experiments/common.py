@@ -28,6 +28,10 @@ reproduce the full-size experiment:
 ``REPRO_QUEUE_DIR``  work-queue directory for REPRO_EXECUTOR=queue
                      (and the default of ``repro worker --queue`` /
                      ``repro queue``).
+``REPRO_TABLE_LRU``  capacity of the in-memory universe / worst-case
+                     LRUs (default 40 — holds the whole 35-circuit
+                     suite).  The analysis service's hot tier reads
+                     the same knob.
 ``REPRO_TARGET_HALFWIDTH``  adaptive backend: relative CI precision
                      target (default 0.05).
 ``REPRO_MAX_SAMPLES``       adaptive backend: total vector budget.
@@ -47,18 +51,18 @@ in-memory table instead of holding identical multi-hundred-MB copies.
 from __future__ import annotations
 
 import os
-from collections import OrderedDict
 
 from repro.bench_suite.registry import get_circuit, suite_table_groups
+from repro.caching import LRUCache, table_lru_capacity
 from repro.core.worst_case import WorstCaseAnalysis
 from repro.faults.universe import FaultUniverse
 from repro.faultsim.backends import (
     DetectionBackend,
     ExhaustiveBackend,
     make_backend,
+    table_identity,
 )
 from repro.parallel import (
-    ParallelBackend,
     maybe_parallel,
     resolve_executor,
     resolve_jobs,
@@ -141,60 +145,26 @@ def get_universe(
     backend's cached tables.
     """
     backend = backend or backend_from_env()
-    key = (name, _table_identity(backend))
-    universe = _cache_get(_UNIVERSE_CACHE, key)
+    key = (name, table_identity(backend))
+    universe = _UNIVERSE_CACHE.get(key)
     if universe is None:
         universe = FaultUniverse(get_circuit(name), backend=backend)
         # Touch the tables so the cache holds fully-built universes.
         universe.target_table
         universe.untargeted_table
-        _cache_put(_UNIVERSE_CACHE, key, universe)
+        _UNIVERSE_CACHE.put(key, universe)
     return universe
 
 
-def _table_identity(
-    backend: DetectionBackend | None,
-) -> DetectionBackend | None:
-    """Cache key for "which tables does this backend produce?".
-
-    Two canonicalizations: the default and explicit exhaustive collide,
-    and a parallel wrapper collides with its base (the sharded build is
-    bit-for-bit identical — only construction speed differs).  Keys are
-    therefore executor-normalized too: a queue-distributed build, a
-    local pool build, and an inline build of the same engine share one
-    LRU entry.  The adaptive backend needs no special case here: its
-    ``jobs``/``executor`` fields are excluded from equality, so
-    differently-executed adaptive runs already share one key.
-    """
-    if isinstance(backend, ParallelBackend):
-        backend = backend.base
-    if backend == ExhaustiveBackend():
-        return None
-    return backend
-
-
-#: Backend-identity-keyed LRUs (backends are frozen dataclasses).
-#: Sized to hold the whole 35-circuit suite: suite-wide tables (2, 3,
-#: 5) revisit every circuit, and rebuilding the biggest detection
-#: tables costs ~10 s each.  Total footprint stays within a few GB
-#: (the two largest tables are ~400 MB each).
-_CACHE_SIZE = 40
-_UNIVERSE_CACHE: OrderedDict = OrderedDict()
-_WORST_CASE_CACHE: OrderedDict = OrderedDict()
-
-
-def _cache_get(cache: OrderedDict, key):
-    value = cache.get(key)
-    if value is not None:
-        cache.move_to_end(key)
-    return value
-
-
-def _cache_put(cache: OrderedDict, key, value) -> None:
-    cache[key] = value
-    cache.move_to_end(key)
-    while len(cache) > _CACHE_SIZE:
-        cache.popitem(last=False)
+#: Backend-identity-keyed LRUs (backends are frozen dataclasses; the
+#: identity normalization lives in
+#: :func:`repro.faultsim.backends.table_identity`).  The bounded LRU
+#: itself is :class:`repro.caching.LRUCache` — the same implementation
+#: the analysis service (:mod:`repro.serve`) uses as its hot tier —
+#: sized by ``REPRO_TABLE_LRU`` (default 40: the whole 35-circuit
+#: suite; total footprint stays within a few GB).
+_UNIVERSE_CACHE: LRUCache = LRUCache(table_lru_capacity())
+_WORST_CASE_CACHE: LRUCache = LRUCache(table_lru_capacity())
 
 
 def get_worst_case(
@@ -202,12 +172,12 @@ def get_worst_case(
 ) -> WorstCaseAnalysis:
     """Worst-case analysis for a suite circuit (cached)."""
     backend = backend or backend_from_env()
-    key = (name, _table_identity(backend))
-    analysis = _cache_get(_WORST_CASE_CACHE, key)
+    key = (name, table_identity(backend))
+    analysis = _WORST_CASE_CACHE.get(key)
     if analysis is None:
         u = get_universe(name, backend)
         analysis = WorstCaseAnalysis(u.target_table, u.untargeted_table)
-        _cache_put(_WORST_CASE_CACHE, key, analysis)
+        _WORST_CASE_CACHE.put(key, analysis)
     return analysis
 
 

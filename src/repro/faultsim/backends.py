@@ -644,6 +644,33 @@ def make_backend(
     return backend
 
 
+def table_identity(
+    backend: DetectionBackend | None,
+) -> DetectionBackend | None:
+    """Canonical key for "which tables does this backend produce?".
+
+    Two canonicalizations: the default and explicit exhaustive collide
+    (both map to ``None``), and a parallel wrapper collides with its
+    base (the sharded build is bit-for-bit identical — only
+    construction speed differs).  Keys are therefore executor-
+    normalized too: a queue-distributed build, a local pool build, and
+    an inline build of the same engine share one cache entry.  The
+    adaptive backend needs no special case here: its ``jobs`` /
+    ``executor`` fields are excluded from equality, so differently-
+    executed adaptive runs already share one key.  Both the experiment
+    LRUs and the serve hot tier key on this.
+    """
+    if backend is None:
+        return None
+    from repro.parallel.backend import ParallelBackend
+
+    if isinstance(backend, ParallelBackend):
+        backend = backend.base
+    if backend == ExhaustiveBackend():
+        return None
+    return backend
+
+
 def default_backend_for(circuit: Circuit, samples: int = 1 << 14,
                         seed: int = 0) -> DetectionBackend:
     """Exhaustive when the circuit fits under the cap, else sampled."""

@@ -10,6 +10,11 @@
     Structural Verilog gate-primitive subset.
 ``vectors``
     Plain-text test-vector files (one MSB-first binary row per test).
+
+:func:`parse_netlist` dispatches over the combinational netlist
+dialects by format name — the analysis service accepts inline circuit
+sources through it (``kiss2`` covers FSMs, not netlists, so it is not
+in the dispatch table).
 """
 
 from repro.io_formats.bench import parse_bench, write_bench
@@ -18,7 +23,35 @@ from repro.io_formats.kiss2 import parse_kiss2, write_kiss2
 from repro.io_formats.verilog import parse_verilog, write_verilog
 from repro.io_formats.vectors import parse_vectors, write_vectors
 
+#: Format names :func:`parse_netlist` accepts.
+NETLIST_FORMATS: tuple[str, ...] = ("bench", "blif", "verilog")
+
+
+def parse_netlist(fmt: str, text: str, name: str | None = None):
+    """Parse a combinational netlist source in the named dialect.
+
+    ``fmt`` is one of :data:`NETLIST_FORMATS`; ``name`` overrides the
+    circuit name for dialects that accept one (``bench`` requires a
+    non-empty fallback, so ``None`` becomes ``"bench"`` there, matching
+    :func:`parse_bench`'s own default).
+    """
+    from repro.errors import ParseError
+
+    if fmt == "bench":
+        return parse_bench(text, name=name if name is not None else "bench")
+    if fmt == "blif":
+        return parse_blif(text, name=name)
+    if fmt == "verilog":
+        return parse_verilog(text, name=name)
+    raise ParseError(
+        f"unknown netlist format {fmt!r}; choose from "
+        f"{', '.join(NETLIST_FORMATS)}"
+    )
+
+
 __all__ = [
+    "NETLIST_FORMATS",
+    "parse_netlist",
     "parse_bench",
     "write_bench",
     "parse_blif",

@@ -1,0 +1,145 @@
+"""Single-flight deduplication of concurrent async builds.
+
+The expensive unit of work in the analysis service is a detection-table
+build: seconds to minutes of CPU.  When N identical requests arrive
+concurrently, running N builds would be pure waste — they are
+deterministic, so every copy produces the same bytes.
+:class:`SingleFlight` collapses them: the first requester for a key
+starts the build ("leads the flight"), every concurrent requester for
+the same key awaits the same future ("joins"), and exactly one build
+runs.
+
+Guarantees:
+
+* **Dedup** — at most one factory invocation per key is in flight at
+  any moment.  Requests arriving after completion start a fresh flight
+  (the caller's cache, not this class, handles result reuse).
+* **Waiter isolation** — a waiter's cancellation never cancels the
+  build other waiters are awaiting (waiters hold the future through
+  ``asyncio.shield``).
+* **Abandonment** — when the *last* waiter cancels mid-build, the
+  flight is cancelled and removed, so the next requester starts a
+  fresh, usable flight instead of awaiting an orphan forever.
+* **Error propagation** — a failing factory rejects every waiter with
+  the same exception, and the flight is removed so the next requester
+  retries.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Generic, Hashable, TypeVar
+
+__all__ = ["SingleFlight"]
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class _Flight(Generic[V]):
+    """One in-flight build: the shared future and its waiter count."""
+
+    __slots__ = ("future", "task", "waiters")
+
+    def __init__(self, future: "asyncio.Future[V]") -> None:
+        self.future = future
+        self.task: "asyncio.Task[None] | None" = None
+        self.waiters = 0
+
+
+class SingleFlight(Generic[K, V]):
+    """Collapse concurrent builds of the same key into one execution."""
+
+    def __init__(self) -> None:
+        self._flights: dict[K, _Flight[V]] = {}
+        #: Flights led (factory invocations started).
+        self.started = 0
+        #: Requests that joined an existing flight instead of building.
+        self.joined = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Number of builds currently executing."""
+        return len(self._flights)
+
+    def keys(self) -> list[K]:
+        """Keys currently in flight (sorted textually for stable output)."""
+        return sorted(self._flights, key=repr)
+
+    async def run(
+        self, key: K, factory: Callable[[], Awaitable[V]]
+    ) -> V:
+        """Await the (single) build of ``key``.
+
+        ``factory`` is invoked only by the flight leader; joiners await
+        the leader's result.  Raises whatever the factory raises, or
+        :class:`asyncio.CancelledError` if this waiter is cancelled.
+        """
+        flight = self._flights.get(key)
+        if flight is None:
+            loop = asyncio.get_running_loop()
+            flight = _Flight(loop.create_future())
+            self._flights[key] = flight
+            flight.task = asyncio.create_task(
+                self._lead(key, flight, factory)
+            )
+            self.started += 1
+        else:
+            self.joined += 1
+        flight.waiters += 1
+        try:
+            # shield: cancelling THIS waiter must not cancel the shared
+            # future other waiters (and the leader task) rely on.
+            return await asyncio.shield(flight.future)
+        finally:
+            flight.waiters -= 1
+            if flight.waiters == 0 and not flight.future.done():
+                # Last requester abandoned the flight mid-build: cancel
+                # the build and clear the slot so the next requester
+                # starts fresh instead of joining an orphan.
+                if flight.task is not None:
+                    flight.task.cancel()
+                self._discard(key, flight)
+
+    async def _lead(
+        self,
+        key: K,
+        flight: _Flight[V],
+        factory: Callable[[], Awaitable[V]],
+    ) -> None:
+        try:
+            result = await factory()
+        except asyncio.CancelledError:
+            self._discard(key, flight)
+            if not flight.future.done():
+                flight.future.cancel()
+            raise
+        except Exception as exc:  # noqa: BLE001 - rejects all waiters with the factory's error
+            self._discard(key, flight)
+            if not flight.future.done():
+                if flight.waiters > 0:
+                    flight.future.set_exception(exc)
+                else:
+                    # Nobody left to retrieve it; cancelling avoids the
+                    # "exception was never retrieved" warning.
+                    flight.future.cancel()
+        else:
+            # Discard before resolving: a request arriving after
+            # completion must lead a fresh flight (reuse of finished
+            # results is the cache's job, not this class's).
+            self._discard(key, flight)
+            if not flight.future.done():
+                flight.future.set_result(result)
+
+    def _discard(self, key: K, flight: _Flight[V]) -> None:
+        """Remove ``flight`` from the table iff it still owns ``key``."""
+        if self._flights.get(key) is flight:
+            del self._flights[key]
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot for ``/stats``."""
+        return {
+            "started": self.started,
+            "joined": self.joined,
+            "in_flight": self.in_flight,
+        }

@@ -1,0 +1,125 @@
+"""Service telemetry: request counters and latency histograms.
+
+The service answers ``/stats`` from these structures, so they are
+designed for cheap updates on the request path (one bisect per
+observation) and a deterministic JSON snapshot: bucket labels are
+fixed 1-2.5-5 log-spaced bounds, and every mapping is emitted in a
+stable order.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+__all__ = ["EndpointStats", "LatencyHistogram", "ServiceStats"]
+
+#: Upper bucket bounds in seconds (1-2.5-5 per decade, 1 ms .. 100 s);
+#: observations above the last bound land in the overflow bucket.
+DEFAULT_BOUNDS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0,
+    10.0, 25.0, 50.0,
+    100.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bound latency histogram with approximate quantiles."""
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BOUNDS) -> None:
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1: overflow bucket
+        self.count = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one observation (seconds)."""
+        self.counts[bisect_left(self.bounds, seconds)] += 1
+        self.count += 1
+        self.sum += seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile: the upper bound of the q-th bucket.
+
+        The overflow bucket reports the observed maximum.  Returns 0.0
+        before the first observation.
+        """
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, bucket in enumerate(self.counts):
+            cumulative += bucket
+            if cumulative >= rank and bucket:
+                if i < len(self.bounds):
+                    return self.bounds[i]
+                return self.max
+        return self.max
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-ready summary (stable key order)."""
+        buckets = {
+            f"le_{bound:g}s": self.counts[i]
+            for i, bound in enumerate(self.bounds)
+        }
+        buckets["overflow"] = self.counts[len(self.bounds)]
+        return {
+            "count": self.count,
+            "sum_s": self.sum,
+            "mean_s": self.sum / self.count if self.count else 0.0,
+            "max_s": self.max,
+            "p50_s": self.quantile(0.5),
+            "p99_s": self.quantile(0.99),
+            "buckets": buckets,
+        }
+
+
+class EndpointStats:
+    """Per-endpoint request/error counters plus a latency histogram."""
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.errors = 0
+        self.latency = LatencyHistogram()
+
+    def observe(self, seconds: float, error: bool) -> None:
+        self.requests += 1
+        if error:
+            self.errors += 1
+        self.latency.observe(seconds)
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "latency": self.latency.snapshot(),
+        }
+
+
+class ServiceStats:
+    """All per-endpoint stats, keyed by route (``"POST /analyze"``)."""
+
+    def __init__(self) -> None:
+        self._endpoints: dict[str, EndpointStats] = {}
+
+    def endpoint(self, route: str) -> EndpointStats:
+        stats = self._endpoints.get(route)
+        if stats is None:
+            stats = EndpointStats()
+            self._endpoints[route] = stats
+        return stats
+
+    @property
+    def total_requests(self) -> int:
+        return sum(s.requests for s in self._endpoints.values())
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            route: self._endpoints[route].snapshot()
+            for route in sorted(self._endpoints)
+        }

@@ -1,0 +1,25 @@
+"""RPL004 flag fixture: probe-then-act on service spill files.
+
+The service shares its cache/queue directories with ``repro worker``
+processes; an ``exists()`` probe before reading or replacing a spill
+file races a worker completing (or garbage-collecting) the same entry.
+"""
+
+
+class SpillStore:
+    def __init__(self, root, writer):
+        self.root = root
+        self._write = writer
+
+    def load(self, key: str):
+        path = self.root / f"{key}.table"
+        if path.exists():
+            return path.read_bytes()
+        return None
+
+    def store(self, key: str, payload: bytes) -> bool:
+        path = self.root / f"{key}.table"
+        if path.exists():
+            return False
+        self._write(path, payload)
+        return True

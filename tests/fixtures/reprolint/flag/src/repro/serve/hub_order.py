@@ -1,0 +1,24 @@
+"""RPL002 flag fixture: hash-ordered iteration in service reporting.
+
+The ``/stats`` document and in-flight key listings are diffed
+byte-for-byte by the service's identity tests; iterating raw sets makes
+both depend on ``PYTHONHASHSEED``.
+"""
+
+
+def render_in_flight(keys):
+    pending = set(keys)
+    lines = []
+    for key in pending:
+        lines.append(f"in-flight: {key}")
+    return lines
+
+
+def snapshot(keys):
+    live = {k for k in keys if k is not None}
+    return list(live)
+
+
+def merged_labels(ours, theirs):
+    merged = set(ours) | set(theirs)
+    return [str(k) for k in merged]

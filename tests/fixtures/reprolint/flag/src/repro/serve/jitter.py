@@ -1,0 +1,16 @@
+"""RPL001 flag fixture: OS-entropy RNG in service retry/backoff code.
+
+A service that jitters its retry delays (or samples probe circuits)
+from an unseeded stream gives unreproducible request traces — two
+replays of the same request log diverge.
+"""
+
+import random
+
+import numpy as np
+
+
+def backoff_delays(attempts: int) -> list[float]:
+    rng = random.Random()
+    gen = np.random.default_rng()
+    return [rng.random() + float(gen.random()) for _ in range(attempts)]

@@ -1,0 +1,27 @@
+"""RPL004 ok fixture: EAFP reads and atomic create for spill files."""
+
+import os
+
+
+class SpillStore:
+    def __init__(self, root, writer):
+        self.root = root
+        self._write = writer
+
+    def load(self, key: str):
+        try:
+            return (self.root / f"{key}.table").read_bytes()
+        except FileNotFoundError:
+            return None
+
+    def store(self, key: str, payload: bytes) -> bool:
+        target = self.root / f"{key}.table"
+        tmp = target.with_name(f".{target.name}.{os.getpid()}.tmp")
+        self._write(tmp, payload)
+        try:
+            os.link(tmp, target)
+        except FileExistsError:
+            return False
+        finally:
+            os.unlink(tmp)
+        return True

@@ -1,0 +1,19 @@
+"""RPL002 ok fixture: service reporting iterates sorted views."""
+
+
+def render_in_flight(keys):
+    pending = set(keys)
+    lines = []
+    for key in sorted(pending, key=repr):
+        lines.append(f"in-flight: {key}")
+    return lines
+
+
+def snapshot(keys):
+    live = {k for k in keys if k is not None}
+    return sorted(live, key=repr)
+
+
+def merged_labels(ours, theirs):
+    merged = set(ours) | set(theirs)
+    return [str(k) for k in sorted(merged, key=repr)]

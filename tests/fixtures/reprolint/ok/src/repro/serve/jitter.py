@@ -1,0 +1,11 @@
+"""RPL001 ok fixture: service jitter drawn from explicitly seeded streams."""
+
+import random
+
+import numpy as np
+
+
+def backoff_delays(attempts: int, seed: int) -> list[float]:
+    rng = random.Random(seed)
+    gen = np.random.default_rng(seed)
+    return [rng.random() + float(gen.random()) for _ in range(attempts)]

@@ -1,0 +1,179 @@
+"""Unit tests for the single-flight build deduplicator."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve import SingleFlight
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class Factory:
+    """A controllable factory: counts calls, can block on an event."""
+
+    def __init__(self, value="built", gate=None):
+        self.calls = 0
+        self.value = value
+        self.gate = gate
+
+    async def __call__(self):
+        self.calls += 1
+        if self.gate is not None:
+            await self.gate.wait()
+        return f"{self.value}#{self.calls}"
+
+
+class TestDedup:
+    def test_concurrent_identical_requests_build_once(self):
+        async def main():
+            flight = SingleFlight()
+            gate = asyncio.Event()
+            factory = Factory(gate=gate)
+
+            async def request():
+                return await flight.run("key", factory)
+
+            tasks = [asyncio.create_task(request()) for _ in range(5)]
+            while flight.joined < 4:
+                await asyncio.sleep(0)
+            assert flight.in_flight == 1
+            assert flight.keys() == ["key"]
+            gate.set()
+            results = await asyncio.gather(*tasks)
+            return results, factory.calls, flight.stats()
+
+        results, calls, stats = run(main())
+        assert calls == 1
+        assert results == ["built#1"] * 5
+        assert stats == {"started": 1, "joined": 4, "in_flight": 0}
+
+    def test_distinct_keys_run_independently(self):
+        async def main():
+            flight = SingleFlight()
+            fa, fb = Factory("a"), Factory("b")
+            ra, rb = await asyncio.gather(
+                flight.run("a", fa), flight.run("b", fb)
+            )
+            return ra, rb, fa.calls, fb.calls, flight.started
+
+        ra, rb, ca, cb, started = run(main())
+        assert (ra, rb) == ("a#1", "b#1")
+        assert (ca, cb) == (1, 1)
+        assert started == 2
+
+    def test_sequential_requests_lead_fresh_flights(self):
+        async def main():
+            flight = SingleFlight()
+            factory = Factory()
+            first = await flight.run("key", factory)
+            second = await flight.run("key", factory)
+            return first, second, factory.calls, flight.stats()
+
+        first, second, calls, stats = run(main())
+        # No result reuse: that's the cache's job, one layer up.
+        assert (first, second) == ("built#1", "built#2")
+        assert calls == 2
+        assert stats == {"started": 2, "joined": 0, "in_flight": 0}
+
+
+class TestErrors:
+    def test_error_rejects_every_waiter_then_resets(self):
+        async def main():
+            flight = SingleFlight()
+            gate = asyncio.Event()
+            state = {"calls": 0}
+
+            async def failing():
+                state["calls"] += 1
+                await gate.wait()
+                raise ValueError("table build exploded")
+
+            async def request():
+                return await flight.run("key", failing)
+
+            tasks = [asyncio.create_task(request()) for _ in range(3)]
+            while flight.joined < 2:
+                await asyncio.sleep(0)
+            gate.set()
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            # The failed flight is gone; a retry leads a fresh build.
+            retry = await flight.run("key", Factory("retry"))
+            return results, retry, state["calls"], flight.in_flight
+
+        results, retry, calls, in_flight = run(main())
+        assert calls == 1
+        assert all(isinstance(r, ValueError) for r in results)
+        assert {str(r) for r in results} == {"table build exploded"}
+        assert retry == "retry#1"
+        assert in_flight == 0
+
+
+class TestCancellation:
+    def test_one_waiter_cancelling_leaves_others_running(self):
+        async def main():
+            flight = SingleFlight()
+            gate = asyncio.Event()
+            factory = Factory(gate=gate)
+
+            async def request():
+                return await flight.run("key", factory)
+
+            keeper = asyncio.create_task(request())
+            leaver = asyncio.create_task(request())
+            while flight.joined < 1:
+                await asyncio.sleep(0)
+            leaver.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await leaver
+            assert flight.in_flight == 1  # the build survived
+            gate.set()
+            return await keeper, factory.calls
+
+        result, calls = run(main())
+        assert result == "built#1"
+        assert calls == 1
+
+    def test_last_waiter_cancelling_abandons_the_flight(self):
+        async def main():
+            flight = SingleFlight()
+            gate = asyncio.Event()
+            factory = Factory(gate=gate)
+
+            only = asyncio.create_task(flight.run("key", factory))
+            while flight.started < 1:
+                await asyncio.sleep(0)
+            only.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await only
+            await asyncio.sleep(0)  # let the leader task unwind
+            assert flight.in_flight == 0
+            # The flight is reusable: the next request leads fresh.
+            gate.set()
+            fresh = await flight.run("key", factory)
+            return fresh, factory.calls
+
+        fresh, calls = run(main())
+        assert fresh == "built#2"
+        assert calls == 2
+
+    def test_keys_sorted_for_stable_reporting(self):
+        async def main():
+            flight = SingleFlight()
+            gate = asyncio.Event()
+            tasks = [
+                asyncio.create_task(flight.run(k, Factory(k, gate=gate)))
+                for k in ("zebra", "alpha", "mid")
+            ]
+            while flight.started < 3:
+                await asyncio.sleep(0)
+            keys = flight.keys()
+            gate.set()
+            await asyncio.gather(*tasks)
+            return keys
+
+        assert run(main()) == ["alpha", "mid", "zebra"]

@@ -47,6 +47,22 @@ PAIRS = {
     "RPL006": ("repro/adaptive/stopping.py", "repro/adaptive/stopping.py"),
 }
 
+#: rule code -> (flag fixture, ok fixture) for the ``repro.serve`` tree.
+#: Kept separate from PAIRS (one canonical pair per rule); these pin the
+#: service-scoping added when ``repro serve`` landed.
+SERVE_PAIRS = {
+    "RPL001": ("repro/serve/jitter.py", "repro/serve/jitter.py"),
+    "RPL002": ("repro/serve/hub_order.py", "repro/serve/hub_order.py"),
+    "RPL004": ("repro/serve/cache_spill.py", "repro/serve/cache_spill.py"),
+}
+
+#: minimum finding count the serve flag fixture must produce, per rule
+SERVE_MIN_FINDINGS = {
+    "RPL001": 2,  # random.Random() and np.random.default_rng()
+    "RPL002": 3,  # for-loop, list() call, comprehension over a union
+    "RPL004": 2,  # probed-read and probed-write windows
+}
+
 #: minimum finding count the flag fixture must produce, per rule
 MIN_FINDINGS = {
     "RPL001": 2,  # random.Random() and np.random.default_rng()
@@ -77,6 +93,45 @@ class TestRulePairs:
 
     def test_every_rule_has_a_pair(self):
         assert sorted(PAIRS) == sorted(r.code for r in ALL_RULES)
+
+
+class TestServePairs:
+    """The analysis service is in scope for the determinism rules.
+
+    ``repro.serve`` renders byte-diffed documents (RPL002), shares the
+    shard cache / queue directories with ``repro worker`` processes
+    (RPL004), and must never jitter from OS entropy (RPL001).
+    """
+
+    @pytest.mark.parametrize("code", sorted(SERVE_PAIRS))
+    def test_flag_fixture_is_flagged(self, code):
+        flag_path = FLAG / SERVE_PAIRS[code][0]
+        findings = lint_file(flag_path, select=[code])
+        assert findings, f"{code}: serve flag fixture produced no findings"
+        assert all(f.rule == code for f in findings)
+        assert len(findings) >= SERVE_MIN_FINDINGS[code], [
+            f.render() for f in findings
+        ]
+
+    @pytest.mark.parametrize("code", sorted(SERVE_PAIRS))
+    def test_ok_fixture_is_clean(self, code):
+        ok_path = OK / SERVE_PAIRS[code][1]
+        findings = lint_file(ok_path, select=[code])
+        assert findings == [], [f.render() for f in findings]
+
+    def test_serve_tree_is_in_scope_for_order_and_toctou_rules(self):
+        by_code = {r.code: r for r in ALL_RULES}
+        serve_parts = ("repro", "serve", "service")
+        assert by_code["RPL002"].applies_to(serve_parts)
+        assert by_code["RPL004"].applies_to(serve_parts)
+
+    def test_serve_tree_stays_out_of_scope_for_kernel_rules(self):
+        # The uint64 lane rule has nothing to say about the service; the
+        # RPL002-rotten fixture must come back clean under it.
+        findings = lint_file(
+            FLAG / "repro/serve/hub_order.py", select=["RPL005"]
+        )
+        assert findings == []
 
 
 class TestScoping:

@@ -158,17 +158,19 @@ class UnorderedIteration(Rule):
     up in shard plans, content-addressed cache keys, and signature bit
     layouts — iterating a ``set`` (hash order, perturbed by
     ``PYTHONHASHSEED`` for str members) makes those artifacts differ
-    between processes.  Iterate ``sorted(...)`` views, or justify with
-    a pragma when order provably cannot escape.
+    between processes.  In ``repro.serve`` it ends up in ``/stats``
+    documents and response ordering, which the byte-identity tests
+    diff.  Iterate ``sorted(...)`` views, or justify with a pragma
+    when order provably cannot escape.
     """
 
     code = "RPL002"
     name = "unordered-iteration"
     description = (
         "iteration over a set in order-sensitive modules "
-        "(repro.parallel / repro.faultsim)"
+        "(repro.parallel / repro.faultsim / repro.serve)"
     )
-    scope = ("repro.parallel", "repro.faultsim")
+    scope = ("repro.parallel", "repro.faultsim", "repro.serve")
 
     _SET_CALLS = {"set", "frozenset"}
     _SET_METHODS = {
@@ -387,8 +389,10 @@ class ExistsThenAct(Rule):
     The work queue's whole design is single-atomic-op transitions; an
     ``exists()`` probe followed by ``open``/``rename``/``unlink``/a
     write on the same path reintroduces a window in which a racing
-    worker observes (or destroys) the stale branch.  Use EAFP
-    (``try``/``except FileNotFoundError``) or an atomic
+    worker observes (or destroys) the stale branch.  The analysis
+    service shares the hazard: it sits above the same shard cache and
+    queue directories, with ``repro worker`` processes racing it.  Use
+    EAFP (``try``/``except FileNotFoundError``) or an atomic
     create/rename.
     """
 
@@ -396,9 +400,9 @@ class ExistsThenAct(Rule):
     name = "exists-then-act"
     description = (
         "`.exists()` followed by an act on the same path in "
-        "repro.parallel (TOCTOU)"
+        "repro.parallel / repro.serve (TOCTOU)"
     )
-    scope = ("repro.parallel",)
+    scope = ("repro.parallel", "repro.serve")
 
     _MUTATORS = {
         "open",
