@@ -51,6 +51,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable
 
+from repro import obs
 from repro.adaptive.strata import (
     StrataPlan,
     StratifiedVectorUniverse,
@@ -347,48 +348,69 @@ class AdaptiveSampler:
         sigma: list[float] | None = None
         k_total = 0
         while True:
-            k_target = (
-                min(rule.initial_samples, budget)
-                if k_total == 0
-                else min(k_total * rule.growth, budget)
-            )
-            k_new = k_target - k_total
-            allocation = None
-            if k_target >= space:
-                # Completion round: the budget covers all of U — finish
-                # the universe deterministically and exactly.
-                new_vectors = sorted(
-                    set(range(space)) - state.seen
+            # One span per growth round: the round's table builds (and,
+            # under a parallel backend, their shard spans) nest inside,
+            # so a trace shows where each K-doubling spent its time.
+            with obs.span(
+                "adaptive_round",
+                index=len(rounds),
+                circuit=circuit.name,
+            ) as round_span:
+                k_target = (
+                    min(rule.initial_samples, budget)
+                    if k_total == 0
+                    else min(k_total * rule.growth, budget)
                 )
-            elif stratified:
-                allocation = self._allocate(plan, k_new, sigma, state)
-                new_vectors = self._draw_stratified(
-                    plan, allocation, streams, state
+                k_new = k_target - k_total
+                allocation = None
+                if k_target >= space:
+                    # Completion round: the budget covers all of U —
+                    # finish the universe deterministically and exactly.
+                    new_vectors = sorted(
+                        set(range(space)) - state.seen
+                    )
+                elif stratified:
+                    allocation = self._allocate(plan, k_new, sigma, state)
+                    new_vectors = self._draw_stratified(
+                        plan, allocation, streams, state
+                    )
+                else:
+                    new_vectors = self._draw_uniform(
+                        k_new, space, streams[0], state
+                    )
+                self._extend(faults_f, faults_g, new_vectors, state)
+                k_total = len(state.drawn)
+                evaluation = evaluator.evaluate(state)
+                sigma = evaluation.sigma
+                met = evaluation.met
+                rounds.append(
+                    AdaptiveRound(
+                        index=len(rounds),
+                        k_before=k_total - len(new_vectors),
+                        k_new=len(new_vectors),
+                        k_total=k_total,
+                        allocation=(
+                            tuple(allocation)
+                            if allocation is not None
+                            else None
+                        ),
+                        absolute_worst=evaluation.absolute_worst,
+                        relative_worst=evaluation.relative_worst,
+                        focus_size=len(evaluation.focus),
+                        met=met,
+                    )
                 )
-            else:
-                new_vectors = self._draw_uniform(
-                    k_new, space, streams[0], state
-                )
-            self._extend(faults_f, faults_g, new_vectors, state)
-            k_total = len(state.drawn)
-            evaluation = evaluator.evaluate(state)
-            sigma = evaluation.sigma
-            met = evaluation.met
-            rounds.append(
-                AdaptiveRound(
-                    index=len(rounds),
-                    k_before=k_total - len(new_vectors),
+                round_span.set(
                     k_new=len(new_vectors),
                     k_total=k_total,
-                    allocation=(
-                        tuple(allocation) if allocation is not None else None
-                    ),
                     absolute_worst=evaluation.absolute_worst,
                     relative_worst=evaluation.relative_worst,
-                    focus_size=len(evaluation.focus),
                     met=met,
                 )
-            )
+            obs.metrics().counter(
+                "repro_adaptive_rounds_total",
+                help="Growth rounds executed by the adaptive sampler",
+            ).inc()
             if self.on_round is not None:
                 self.on_round(rounds[-1])
             if met:

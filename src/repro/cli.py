@@ -15,8 +15,9 @@ Commands regenerate the paper's artifacts::
     repro analyze CIRCUIT            # one-circuit worst-case analysis
     repro cache info|clear           # inspect / empty the shard cache
     repro worker --queue DIR         # drain shard tasks from a work queue
-    repro queue info|clear           # inspect / empty a work queue
+    repro queue info|stats|clear     # inspect / empty a work queue
     repro serve [--port P]           # always-on HTTP analysis service
+    repro trace summary|tree PATH    # profile a --trace JSONL capture
 
 ``analyze``, ``escape``, and ``partition`` accept
 ``--backend exhaustive|sampled|serial|packed|adaptive`` (with
@@ -40,6 +41,12 @@ work-queue directory (``--queue-dir`` / ``REPRO_QUEUE_DIR``) that
 independent ``repro worker --queue DIR`` processes — on this or any
 host sharing the directory — drain, with the same bit-for-bit identity
 guarantee.
+
+``repro --trace PATH <command>`` records a span trace of the run:
+every table build, shard, executor round-trip, and kernel batch lands
+in PATH as JSONL, stitched across worker processes (pool children and
+``repro worker`` drains alike carry the submitter's trace id).
+``repro trace summary PATH`` profiles the capture.
 """
 
 from __future__ import annotations
@@ -47,6 +54,8 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Any
+
+from repro import obs
 
 from repro.bench_suite.example import paper_example_ascii
 from repro.bench_suite.registry import circuit_names, get_circuit
@@ -237,6 +246,16 @@ def build_parser() -> argparse.ArgumentParser:
             "Average-Case Analysis of n-Detection Test Sets' (DATE 2005)"
         ),
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "record a JSONL span trace of this run to PATH "
+            "(truncated first; worker processes append to the same "
+            "file and inherit the trace id via REPRO_TRACE_FILE)"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("table1", help="Table 1 (example circuit)")
@@ -330,10 +349,32 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "queue", help="inspect or clear a distributed work queue"
     )
-    p.add_argument("action", choices=["info", "clear"])
+    p.add_argument(
+        "action",
+        choices=["info", "stats", "clear"],
+        help="stats adds per-task ages, lease heartbeats, and errors",
+    )
     p.add_argument(
         "--queue",
         help="work-queue directory (default: REPRO_QUEUE_DIR)",
+    )
+
+    p = sub.add_parser(
+        "trace",
+        help="profile a JSONL trace captured with --trace",
+    )
+    p.add_argument(
+        "action",
+        choices=["summary", "tree"],
+        help="summary: per-span-name totals and the critical path; "
+        "tree: the full span hierarchy",
+    )
+    p.add_argument("path", help="JSONL trace file written by --trace")
+    p.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="span-name rows in the summary table (default 10)",
     )
 
     p = sub.add_parser(
@@ -439,12 +480,13 @@ def _cmd_suite() -> str:
 
 
 def _cmd_partition(args: argparse.Namespace) -> str:
-    return partition_report(
-        get_circuit(args.circuit),
-        _backend_from_args(args),
-        circuit_name=args.circuit,
-        max_inputs=args.max_inputs,
-    )
+    with obs.span("partition_analysis", circuit=args.circuit):
+        return partition_report(
+            get_circuit(args.circuit),
+            _backend_from_args(args),
+            circuit_name=args.circuit,
+            max_inputs=args.max_inputs,
+        )
 
 
 def partition_report(
@@ -521,7 +563,21 @@ def _cmd_cache(args: argparse.Namespace) -> str:
 
 
 def _cmd_worker(args: argparse.Namespace) -> str:
+    import logging
+
+    from repro.obs.tracer import EVENT_LOGGER
     from repro.parallel import QueueWorker, WorkQueue, resolve_queue_dir
+
+    # Lease reclaims, requeues, and poisoned-shard parks are structured
+    # one-line events on the obs logger; a long-lived worker should show
+    # them on stderr even with no logging configured by the operator.
+    logger = logging.getLogger(EVENT_LOGGER)
+    if not logger.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("%(name)s: %(message)s"))
+        logger.addHandler(handler)
+        if logger.level == logging.NOTSET:
+            logger.setLevel(logging.INFO)
 
     queue = WorkQueue(
         resolve_queue_dir(
@@ -553,6 +609,8 @@ def _cmd_queue(args: argparse.Namespace) -> str:
     if args.action == "clear":
         removed = queue.clear()
         return f"removed {removed} queue entries from {queue.root}\n"
+    if args.action == "stats":
+        return _queue_stats_report(queue)
     stats = queue.stats()
     return (
         f"work queue: {queue.root}\n"
@@ -561,6 +619,53 @@ def _cmd_queue(args: argparse.Namespace) -> str:
         f"  results: {stats['results']}\n"
         f"  failed: {stats['failed']}\n"
     )
+
+
+def _queue_stats_report(queue: Any) -> str:
+    detail = queue.detailed_stats()
+    lines = [
+        f"work queue: {queue.root}",
+        f"  pending: {len(detail['pending'])}",
+    ]
+    for entry in detail["pending"]:
+        attempts = entry.get("attempts")
+        if attempts is None:
+            lines.append(f"    {entry['key']}  (unreadable payload)")
+            continue
+        age = entry.get("age_s")
+        age_text = "" if age is None else f"  age={age:.1f}s"
+        lines.append(
+            f"    {entry['key']}  attempts={attempts}/"
+            f"{entry['max_attempts']}{age_text}"
+        )
+    lines.append(f"  leased: {len(detail['leased'])}")
+    for lease in detail["leased"]:
+        lines.append(
+            f"    {lease['key']}  "
+            f"heartbeat_age={lease['heartbeat_age_s']:.1f}s"
+        )
+    lines.append(f"  failed: {len(detail['failed'])}")
+    for failure in detail["failed"]:
+        error = str(failure["error"] or "").splitlines()
+        lines.append(
+            f"    {failure['key']}  {error[0] if error else ''}"
+        )
+    lines.append(f"  results: {detail['results']}")
+    return "\n".join(lines) + "\n"
+
+
+def _cmd_trace(args: argparse.Namespace) -> str:
+    from repro.obs.summary import (
+        load_trace,
+        render_summary,
+        render_tree,
+        summarize,
+    )
+
+    summary = summarize(load_trace(args.path))
+    if args.action == "summary":
+        return render_summary(summary, top=args.top) + "\n"
+    return render_tree(summary) + "\n"
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -612,19 +717,22 @@ def _cmd_escape(args: argparse.Namespace) -> str:
     from repro.faults.universe import FaultUniverse
 
     circuit = get_circuit(args.circuit)
-    universe = FaultUniverse(circuit, backend=_backend_from_args(args))
-    worst = WorstCaseAnalysis(
-        universe.target_table, universe.untargeted_table
-    )
-    return escape_report(
-        universe,
-        worst,
-        circuit_name=args.circuit,
-        backend_name=args.backend,
-        k=args.k,
-        nmax=args.nmax,
-        seed=args.seed,
-    )
+    backend = _backend_from_args(args)
+    with obs.span("build_tables", circuit=args.circuit):
+        universe = FaultUniverse(circuit, backend=backend)
+        worst = WorstCaseAnalysis(
+            universe.target_table, universe.untargeted_table
+        )
+    with obs.span("report", circuit=args.circuit):
+        return escape_report(
+            universe,
+            worst,
+            circuit_name=args.circuit,
+            backend_name=args.backend,
+            k=args.k,
+            nmax=args.nmax,
+            seed=args.seed,
+        )
 
 
 def escape_report(
@@ -669,18 +777,23 @@ def _cmd_analyze(args: argparse.Namespace) -> str:
 
     circuit = get_circuit(args.circuit)
     backend = _backend_from_args(args)
-    universe = FaultUniverse(circuit, backend=backend)
-    worst = WorstCaseAnalysis(
-        universe.target_table, universe.untargeted_table
-    )
-    return analyze_report(
-        universe,
-        worst,
-        circuit_name=args.circuit,
-        backend_name=args.backend,
-        seed=args.seed,
-        confidence=args.confidence,
-    )
+    with obs.span("build_tables", circuit=args.circuit):
+        universe = FaultUniverse(circuit, backend=backend)
+        worst = WorstCaseAnalysis(
+            universe.target_table, universe.untargeted_table
+        )
+    # The report phase owns the worst-case scans (nmin, fractions),
+    # which dominate after the tables are hot — span it so the trace
+    # attributes that time instead of leaving it in the root's self.
+    with obs.span("report", circuit=args.circuit):
+        return analyze_report(
+            universe,
+            worst,
+            circuit_name=args.circuit,
+            backend_name=args.backend,
+            seed=args.seed,
+            confidence=args.confidence,
+        )
 
 
 def analyze_report(
@@ -792,11 +905,42 @@ def analyze_report(
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    previous: obs.Tracer | obs.NullTracer | None = None
+    tracing = bool(getattr(args, "trace", None))
+    if tracing:
+        previous = _activate_trace(args.trace)
     try:
+        if tracing:
+            # One root span per run: everything the command does (table
+            # builds, shard round-trips, rendering) nests under it, so
+            # `repro trace summary` attributes the whole wall time.
+            with obs.span(args.command):
+                return _dispatch(args)
         return _dispatch(args)
     except ReproError as exc:
         sys.stderr.write(f"error: {exc}\n")
         return 2
+    finally:
+        if tracing:
+            obs.current_tracer().close()
+            obs.reset(previous)
+
+
+def _activate_trace(path: str) -> obs.Tracer | obs.NullTracer | None:
+    """Start tracing this process and every worker it spawns.
+
+    The path lands in ``REPRO_TRACE_FILE`` so spawned children (pool
+    workers on platforms without fork, service subprocesses) lazily
+    join the same file; fork children inherit the activated tracer
+    directly; queue workers pick the trace id out of the task payload.
+    """
+    import os
+
+    from repro.obs.tracer import TRACE_FILE_ENV
+
+    os.environ[TRACE_FILE_ENV] = path
+    writer = obs.JsonlTraceWriter(path, truncate=True)
+    return obs.activate(obs.Tracer(writer))
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -852,6 +996,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         out = _cmd_worker(args)
     elif args.command == "queue":
         out = _cmd_queue(args)
+    elif args.command == "trace":
+        out = _cmd_trace(args)
     elif args.command == "serve":
         # Blocks until interrupted; the ready line prints from inside.
         return _cmd_serve(args)

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Union
 
+from repro import obs
 from repro.circuit.netlist import Circuit
 from repro.errors import FaultError
 from repro.faults.bridging import BridgingFault, four_way_bridging_faults
@@ -56,6 +57,22 @@ def _kernel_matrix(kind, circuit, universe, faults, base_signatures):
     return build(
         circuit, universe, list(faults), base_signatures=base_signatures
     )
+
+
+def _observe_table_build(kind: str, engine: str, seconds: float) -> None:
+    """Always-on build telemetry (one counter bump + one histogram)."""
+    registry = obs.metrics()
+    registry.counter(
+        "repro_table_builds_total",
+        help="Detection-table builds, by fault kind and engine",
+        kind=kind,
+        engine=engine,
+    ).inc()
+    registry.histogram(
+        "repro_table_build_seconds",
+        help="Wall time of detection-table builds",
+        kind=kind,
+    ).observe(seconds)
 
 
 def universe_line_signatures(
@@ -196,34 +213,53 @@ class DetectionTable:
             universe = VectorUniverse(circuit.num_inputs)
         if faults is None:
             faults = collapsed_stuck_at_faults(circuit)
-        matrix = _kernel_matrix(
-            "stuck_at", circuit, universe, faults, base_signatures
-        )
-        if matrix is not None:
-            table = matrix.to_bigints()
-        else:
-            # `is None`, not truthiness: an explicit (if degenerate) empty
-            # signature list must not silently trigger a recompute.
-            if base_signatures is None:
-                base_signatures = universe_line_signatures(circuit, universe)
-            sigs = base_signatures
-            mask = universe.mask
-            cone_cache: dict[int, list[int]] = {}
-            table = []
-            for f in faults:
-                cone = cone_cache.get(f.lid)
-                if cone is None:
-                    cone = circuit.fanout_cone_order(f.lid)
-                    cone_cache[f.lid] = cone
-                table.append(
-                    stuck_at_detection_signature(
-                        circuit, sigs, f, mask=mask, cone_order=cone
+        clock = obs.system_clock()
+        started = clock.monotonic()
+        with obs.span(
+            "table_build",
+            kind="stuck_at",
+            circuit=circuit.name,
+            faults=len(faults),
+            k=universe.size,
+        ) as build_span:
+            matrix = _kernel_matrix(
+                "stuck_at", circuit, universe, faults, base_signatures
+            )
+            engine = "ppsfp" if matrix is not None else "bigint"
+            build_span.set(engine=engine)
+            if matrix is not None:
+                table = matrix.to_bigints()
+            else:
+                # `is None`, not truthiness: an explicit (if degenerate)
+                # empty signature list must not silently trigger a
+                # recompute.
+                if base_signatures is None:
+                    base_signatures = universe_line_signatures(
+                        circuit, universe
                     )
-                )
-        if drop_undetectable:
-            kept = [(f, t) for f, t in zip(faults, table, strict=True) if t]
-            faults = [f for f, _ in kept]
-            table = [t for _, t in kept]
+                sigs = base_signatures
+                mask = universe.mask
+                cone_cache: dict[int, list[int]] = {}
+                table = []
+                for f in faults:
+                    cone = cone_cache.get(f.lid)
+                    if cone is None:
+                        cone = circuit.fanout_cone_order(f.lid)
+                        cone_cache[f.lid] = cone
+                    table.append(
+                        stuck_at_detection_signature(
+                            circuit, sigs, f, mask=mask, cone_order=cone
+                        )
+                    )
+            if drop_undetectable:
+                kept = [
+                    (f, t) for f, t in zip(faults, table, strict=True) if t
+                ]
+                faults = [f for f, _ in kept]
+                table = [t for _, t in kept]
+        _observe_table_build(
+            "stuck_at", engine, clock.monotonic() - started
+        )
         return cls(circuit, list(faults), table, universe)
 
     @classmethod
@@ -245,32 +281,50 @@ class DetectionTable:
             universe = VectorUniverse(circuit.num_inputs)
         if faults is None:
             faults = four_way_bridging_faults(circuit)
-        matrix = _kernel_matrix(
-            "bridging", circuit, universe, faults, base_signatures
-        )
-        if matrix is not None:
-            table = matrix.to_bigints()
-        else:
-            if base_signatures is None:
-                base_signatures = universe_line_signatures(circuit, universe)
-            sigs = base_signatures
-            mask = universe.mask
-            cone_cache: dict[int, list[int]] = {}
-            table = []
-            for g in faults:
-                cone = cone_cache.get(g.victim)
-                if cone is None:
-                    cone = circuit.fanout_cone_order(g.victim)
-                    cone_cache[g.victim] = cone
-                table.append(
-                    bridging_detection_signature(
-                        circuit, sigs, g, mask=mask, cone_order=cone
+        clock = obs.system_clock()
+        started = clock.monotonic()
+        with obs.span(
+            "table_build",
+            kind="bridging",
+            circuit=circuit.name,
+            faults=len(faults),
+            k=universe.size,
+        ) as build_span:
+            matrix = _kernel_matrix(
+                "bridging", circuit, universe, faults, base_signatures
+            )
+            engine = "ppsfp" if matrix is not None else "bigint"
+            build_span.set(engine=engine)
+            if matrix is not None:
+                table = matrix.to_bigints()
+            else:
+                if base_signatures is None:
+                    base_signatures = universe_line_signatures(
+                        circuit, universe
                     )
-                )
-        if drop_undetectable:
-            kept = [(g, t) for g, t in zip(faults, table, strict=True) if t]
-            faults = [g for g, _ in kept]
-            table = [t for _, t in kept]
+                sigs = base_signatures
+                mask = universe.mask
+                cone_cache: dict[int, list[int]] = {}
+                table = []
+                for g in faults:
+                    cone = cone_cache.get(g.victim)
+                    if cone is None:
+                        cone = circuit.fanout_cone_order(g.victim)
+                        cone_cache[g.victim] = cone
+                    table.append(
+                        bridging_detection_signature(
+                            circuit, sigs, g, mask=mask, cone_order=cone
+                        )
+                    )
+            if drop_undetectable:
+                kept = [
+                    (g, t) for g, t in zip(faults, table, strict=True) if t
+                ]
+                faults = [g for g, _ in kept]
+                table = [t for _, t in kept]
+        _observe_table_build(
+            "bridging", engine, clock.monotonic() - started
+        )
         return cls(circuit, list(faults), table, universe)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,80 @@
+"""Injected clocks: the only module allowed to touch ``time`` directly.
+
+Every duration and timestamp the observability layer records flows
+through a :class:`Clock`, so tests (and CI trace-diffing) can substitute
+a :class:`ManualClock` and get byte-deterministic trace files.  The
+reprolint rule RPL007 enforces the funnel: direct ``time.time()`` /
+``time.monotonic()`` / ``time.perf_counter()`` calls anywhere else under
+``repro.obs`` are findings — this module is the single audited
+exemption.
+
+Two time axes, deliberately separate:
+
+``monotonic()``
+    Span durations.  Never compared across processes or hosts.
+``wall()``
+    Event ordering and cross-process latency (queue enqueue → claim).
+    Subject to clock skew between hosts; consumers that subtract wall
+    times across processes must clamp at zero and say so.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+__all__ = ["Clock", "ManualClock", "SystemClock", "system_clock"]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """The two time axes the observability layer consumes."""
+
+    def monotonic(self) -> float:
+        """Seconds on a monotonic axis (durations only)."""
+
+    def wall(self) -> float:
+        """Seconds since the Unix epoch (ordering, cross-process)."""
+
+
+@dataclass(frozen=True)
+class SystemClock:
+    """The real clocks (``time.monotonic`` / ``time.time``)."""
+
+    def monotonic(self) -> float:
+        return time.monotonic()
+
+    def wall(self) -> float:
+        return time.time()
+
+
+@dataclass
+class ManualClock:
+    """A settable clock for tests and deterministic trace fixtures.
+
+    ``advance`` moves both axes together (a manual clock never skews
+    against itself); ``now``/``epoch`` seed the two axes independently.
+    """
+
+    now: float = 0.0
+    epoch: float = 1_000_000.0
+
+    def monotonic(self) -> float:
+        return self.now
+
+    def wall(self) -> float:
+        return self.epoch + self.now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot advance by {seconds} (negative)")
+        self.now += seconds
+
+
+_SYSTEM = SystemClock()
+
+
+def system_clock() -> SystemClock:
+    """The shared real-clock instance (module singleton)."""
+    return _SYSTEM

@@ -32,6 +32,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
+from repro import obs
 from repro.circuit.netlist import Circuit
 from repro.errors import AnalysisError
 from repro.faults.bridging import BridgingFault, four_way_bridging_faults
@@ -224,53 +225,86 @@ class ParallelBackend:
         base_signatures: list[int] | None,
         drop_undetectable: bool,
     ) -> DetectionTable:
-        universe = self.base.universe_for(circuit)
-        if self.needs_base_signatures and base_signatures is None:
-            base_signatures = self.base.line_signatures(circuit)
-        shipped = (
-            tuple(base_signatures) if base_signatures is not None else None
-        )
-        plan = ShardPlan(self.shards or DEFAULT_NUM_SHARDS)
-        slices = plan.split(faults)
-        cache = ShardCache(self.cache_dir) if self.use_cache else None
-        results: dict[int, list[int]] = {}
-        keys: dict[int, str] = {}
-        pending: list[ShardTask] = []
-        for index, shard_faults in enumerate(slices):
-            if cache is not None:
-                key = shard_key(circuit, self.base, kind, shard_faults)
-                keys[index] = key
-                cached = cache.get(key)
-                if cached is not None:
-                    results[index] = cached
-                    continue
-            pending.append(
-                ShardTask(
-                    circuit=circuit,
-                    backend=self.base,
-                    kind=kind,
-                    faults=tuple(shard_faults),
-                    base_signatures=shipped,
-                    shard_index=index,
-                )
+        executor = self.resolved_executor
+        tracer = obs.current_tracer()
+        registry = obs.metrics()
+        with tracer.span(
+            "parallel_build",
+            circuit=circuit.name,
+            kind=kind,
+            faults=len(faults),
+            executor=executor.describe(),
+        ) as build_span:
+            universe = self.base.universe_for(circuit)
+            if self.needs_base_signatures and base_signatures is None:
+                base_signatures = self.base.line_signatures(circuit)
+            shipped = (
+                tuple(base_signatures) if base_signatures is not None else None
             )
-        if pending:
-            # Executors may complete out of order (the queue executor
-            # collects results as workers finish); reassembly goes by
-            # the shard index each outcome carries.
-            for index, shard_signatures in self.resolved_executor.submit(
-                pending
-            ):
-                results[index] = shard_signatures
-                if cache is not None:
-                    cache.put(keys[index], shard_signatures)
-        signatures = [
-            sig for index in range(len(slices)) for sig in results[index]
-        ]
-        if drop_undetectable:
-            kept = [(f, s) for f, s in zip(faults, signatures, strict=True) if s]
-            faults = [f for f, _ in kept]
-            signatures = [s for _, s in kept]
+            plan = ShardPlan(self.shards or DEFAULT_NUM_SHARDS)
+            slices = plan.split(faults)
+            cache = ShardCache(self.cache_dir) if self.use_cache else None
+            results: dict[int, list[int]] = {}
+            keys: dict[int, str] = {}
+            pending: list[ShardTask] = []
+            with tracer.span("cache_lookup", shards=len(slices)):
+                for index, shard_faults in enumerate(slices):
+                    if cache is not None:
+                        key = shard_key(circuit, self.base, kind, shard_faults)
+                        keys[index] = key
+                        cached = cache.get(key)
+                        if cached is not None:
+                            results[index] = cached
+                            continue
+                    pending.append(
+                        ShardTask(
+                            circuit=circuit,
+                            backend=self.base,
+                            kind=kind,
+                            faults=tuple(shard_faults),
+                            base_signatures=shipped,
+                            shard_index=index,
+                            trace=build_span.remote(),
+                        )
+                    )
+            hits = len(results)
+            build_span.set(cache_hits=hits, cache_misses=len(pending))
+            registry.counter(
+                "repro_shard_cache_lookups_total",
+                help="Per-shard cache probes during parallel builds",
+                outcome="hit",
+            ).inc(hits)
+            registry.counter(
+                "repro_shard_cache_lookups_total", outcome="miss"
+            ).inc(len(pending))
+            if pending:
+                # Executors may complete out of order (the queue executor
+                # collects results as workers finish); reassembly goes by
+                # the shard index each outcome carries.
+                for index, shard_signatures in executor.submit(pending):
+                    results[index] = shard_signatures
+                    if cache is not None:
+                        cache.put(keys[index], shard_signatures)
+            with tracer.span("merge", shards=len(slices)):
+                signatures = [
+                    sig
+                    for index in range(len(slices))
+                    for sig in results[index]
+                ]
+                if drop_undetectable:
+                    kept = [
+                        (f, s)
+                        for f, s in zip(faults, signatures, strict=True)
+                        if s
+                    ]
+                    faults = [f for f, _ in kept]
+                    signatures = [s for _, s in kept]
+        registry.counter(
+            "repro_parallel_builds_total",
+            help="Sharded table builds, by kind and executor",
+            kind=kind,
+            executor=executor.name,
+        ).inc()
         if getattr(
             self.base, "builds_packed",
             getattr(self.base, "name", "") == "packed",

@@ -18,9 +18,10 @@ one source of the bit-for-bit identity guarantee.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro import obs
 from repro.circuit.netlist import Circuit
 from repro.errors import AnalysisError
 
@@ -54,6 +55,13 @@ class ShardTask:
         re-derived per process.
     shard_index:
         Position of this shard in the plan (merge order).
+    trace:
+        Optional ``(trace_id, parent_span_id)`` propagation context from
+        the submitting build's span.  Rides inside the pickle through
+        pools and queue task files, so a worker on any host stitches its
+        shard span into the submitter's trace.  Excluded from equality
+        (and absent from the content-addressed shard key), so tracing
+        never changes what counts as the same shard.
     """
 
     circuit: Circuit
@@ -62,6 +70,7 @@ class ShardTask:
     faults: tuple[Fault, ...]
     base_signatures: tuple[int, ...] | None
     shard_index: int
+    trace: tuple[str, str] | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -75,20 +84,44 @@ def run_shard(task: ShardTask) -> tuple[int, list[int]]:
 
     Returns ``(shard_index, signatures)`` so out-of-order completion can
     be reassembled deterministically.
+
+    The build runs under a ``shard_build`` span stitched to the
+    submitter's trace context when the task carries one (``getattr``
+    keeps payloads pickled before the ``trace`` field existed loadable).
+    The span id is ``<parent>.s<shard_index>`` — derived, not counted —
+    so concurrent workers across processes never collide.
     """
     build = (
         task.backend.build_stuck_at
         if task.kind == "stuck_at"
         else task.backend.build_bridging
     )
-    table = build(
-        task.circuit,
-        faults=list(task.faults),
-        base_signatures=(
-            list(task.base_signatures)
-            if task.base_signatures is not None
-            else None
-        ),
-        drop_undetectable=False,
-    )
+    trace = getattr(task, "trace", None)
+    span_id = f"{trace[1]}.s{task.shard_index}" if trace is not None else None
+    clock = obs.system_clock()
+    started = clock.monotonic()
+    with obs.span(
+        "shard_build",
+        parent=trace,
+        span_id=span_id,
+        shard=task.shard_index,
+        kind=task.kind,
+        faults=len(task.faults),
+        backend=getattr(task.backend, "name", "?"),
+    ):
+        table = build(
+            task.circuit,
+            faults=list(task.faults),
+            base_signatures=(
+                list(task.base_signatures)
+                if task.base_signatures is not None
+                else None
+            ),
+            drop_undetectable=False,
+        )
+    obs.metrics().histogram(
+        "repro_shard_build_seconds",
+        help="Wall time spent building one fault shard",
+        kind=task.kind,
+    ).observe(clock.monotonic() - started)
     return task.shard_index, list(table.signatures)

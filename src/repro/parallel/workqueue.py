@@ -52,7 +52,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, cast
 
+from repro import obs
 from repro.errors import AnalysisError
+from repro.obs.tracer import TRACE_FILE_ENV
 from repro.parallel.cache import ShardCache
 from repro.parallel.worker import ShardTask, run_shard
 
@@ -75,6 +77,11 @@ CRASH_ENV = "REPRO_QUEUE_CRASH_AFTER_CLAIM"
 
 def default_worker_id() -> str:
     return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def _short(text: str, limit: int = 160) -> str:
+    """Event-attribute-sized failure text (full text lives in failed/)."""
+    return text if len(text) <= limit else text[: limit - 1] + "…"
 
 
 @dataclass(frozen=True)
@@ -181,6 +188,24 @@ class WorkQueue:
                     "task": task,
                     "attempts": 0,
                     "max_attempts": max_attempts,
+                    # Stamped at publish time so the claiming worker can
+                    # report queue wait (claim wall minus this; wall
+                    # clocks can skew across hosts, so consumers clamp
+                    # at zero).
+                    "enqueued_wall": obs.system_clock().wall(),
+                    # Where the submitter's trace lands, if it traces at
+                    # all.  The queue directory already implies a shared
+                    # filesystem, so workers started without
+                    # REPRO_TRACE_FILE can still join the trace — file
+                    # AND id, so worker-local records (reclaim events,
+                    # shard-internal table builds) land in the same
+                    # trace instead of forking their own.
+                    "trace_file": os.environ.get(TRACE_FILE_ENV)
+                    if obs.tracing_enabled()
+                    else None,
+                    "trace_id": obs.current_tracer().trace_id
+                    if obs.tracing_enabled()
+                    else None,
                 },
                 fh,
                 protocol=pickle.HIGHEST_PROTOCOL,
@@ -194,6 +219,10 @@ class WorkQueue:
                 os.unlink(tmp)
             except OSError:
                 pass
+        obs.metrics().counter(
+            "repro_queue_enqueued_total",
+            help="Tasks published to the work queue",
+        ).inc()
         return True
 
     def result(self, key: str) -> list[int] | None:
@@ -214,8 +243,13 @@ class WorkQueue:
         for path in sorted(self.tasks_dir.glob("*.task")):
             target = self.claims_dir / path.name
             try:
+                # Freshen BEFORE the rename: rename preserves mtime, so
+                # a task that sat pending longer than the lease timeout
+                # would otherwise be born already-expired and stolen by
+                # a scavenger before we finish the handshake.
+                os.utime(path)
                 os.rename(path, target)
-            except FileNotFoundError:
+            except OSError:
                 continue  # another claimer won this one
             key = path.name[: -len(".task")]
             try:
@@ -228,7 +262,10 @@ class WorkQueue:
                 except OSError:
                     pass
                 continue
-            os.utime(target)  # the lease starts now, not at enqueue time
+            try:
+                os.utime(target)  # lease starts now, not at enqueue time
+            except OSError:
+                continue  # a scavenger stole the claim mid-handshake
             return Lease(key=key, payload=payload, path=target, worker=worker)
         return None
 
@@ -341,6 +378,11 @@ class WorkQueue:
             os.rename(path, private)
         except OSError:
             return None
+        obs.event("lease_reclaimed", key=key, reason=_short(error))
+        obs.metrics().counter(
+            "repro_queue_reclaims_total",
+            help="Expired or orphaned leases stolen back by a scavenger",
+        ).inc()
         # Freshen the private file so the orphan-recovery sweep above
         # only steals it back after a full lease of real abandonment
         # (rename preserves the stale mtime that got us here).
@@ -372,6 +414,16 @@ class WorkQueue:
         self._write(
             self.tasks_dir / f"{key}.task", {**payload, "attempts": attempts}
         )
+        obs.event(
+            "task_requeued",
+            key=key,
+            attempts=attempts,
+            reason=_short(error),
+        )
+        obs.metrics().counter(
+            "repro_queue_requeues_total",
+            help="Tasks returned to the queue after a failed attempt",
+        ).inc()
         return True
 
     def _park(self, key: str, error: str) -> None:
@@ -379,6 +431,11 @@ class WorkQueue:
         tmp = self.failed_dir / f".{key}.{os.getpid()}.tmp"
         tmp.write_text(error)
         os.replace(tmp, self.failed_dir / f"{key}.err")
+        obs.event("shard_parked", key=key, error=_short(error))
+        obs.metrics().counter(
+            "repro_queue_parked_total",
+            help="Tasks parked terminally after exhausting retries",
+        ).inc()
 
     # -- inspection (the `repro queue` subcommand) ---------------------
     def pending_keys(self) -> list[str]:
@@ -408,6 +465,58 @@ class WorkQueue:
             "leased": len(self.leased_keys()),
             "results": len(self.results.entries()),
             "failed": len(self.failed_keys()),
+        }
+
+    def detailed_stats(self, now: float | None = None) -> dict[str, Any]:
+        """Live queue introspection for ``repro queue stats``.
+
+        Per pending task: retry attempts and age since publish; per
+        lease: heartbeat age (how long since the holder last proved it
+        was alive); per failure: the parked error text.  Every read is
+        EAFP — tasks claimed or completed mid-scan just drop out of the
+        report.
+        """
+        self._ensure()
+        now = time.time() if now is None else now
+        pending: list[dict[str, object]] = []
+        for path in sorted(self.tasks_dir.glob("*.task")):
+            key = path.name[: -len(".task")]
+            entry: dict[str, object] = {"key": key}
+            try:
+                payload = self._read(path)
+            except (AnalysisError, pickle.UnpicklingError, EOFError,
+                    OSError, AttributeError, ImportError, IndexError):
+                entry["attempts"] = None
+            else:
+                entry["attempts"] = payload["attempts"]
+                entry["max_attempts"] = payload.get(
+                    "max_attempts", DEFAULT_MAX_ATTEMPTS
+                )
+                enqueued = payload.get("enqueued_wall")
+                if enqueued is not None:
+                    entry["age_s"] = round(max(0.0, now - enqueued), 3)
+            pending.append(entry)
+        leases: list[dict[str, object]] = []
+        for path in sorted(self.claims_dir.glob("*.task")):
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:
+                continue  # resolved under us
+            leases.append(
+                {
+                    "key": path.name[: -len(".task")],
+                    "heartbeat_age_s": round(max(0.0, age), 3),
+                }
+            )
+        failed = [
+            {"key": key, "error": self.failure(key)}
+            for key in self.failed_keys()
+        ]
+        return {
+            "pending": pending,
+            "leased": leases,
+            "failed": failed,
+            "results": len(self.results.entries()),
         }
 
     def clear(self) -> int:
@@ -502,6 +611,8 @@ class QueueWorker:
                 stats["skipped"] += 1
                 self.queue.complete(lease, self.queue.result(lease.key))
                 continue
+            self._adopt_trace(lease)
+            self._report_queue_wait(lease)
             try:
                 _index, signatures = self._build(lease)
             except Exception as exc:  # noqa: BLE001 - reported to the queue
@@ -510,8 +621,66 @@ class QueueWorker:
                 continue
             self.queue.complete(lease, signatures)
             stats["built"] += 1
+            obs.metrics().counter(
+                "repro_queue_completed_total",
+                help="Shards built to completion by queue workers",
+            ).inc()
             if max_tasks is not None and stats["built"] >= max_tasks:
                 return stats
+
+    def _adopt_trace(self, lease: Lease) -> None:
+        """Join the submitter's trace file when this process has none.
+
+        Workers usually start before — and independently of — a traced
+        run, so ``REPRO_TRACE_FILE`` is not in their environment; the
+        task payload carries the submitter's trace path instead.  First
+        sighting wins: the worker activates one appending tracer and
+        keeps it for its lifetime.  The payload's trace id is adopted
+        too, so worker-local roots (reclaim events, shard-internal
+        table builds) join the submitter's trace rather than forking
+        their own; the worker id namespaces those root span ids so they
+        never collide with the submitter's ``1, 2, ...`` sequence.
+        """
+        trace_file = lease.payload.get("trace_file")
+        if not trace_file or obs.tracing_enabled():
+            return
+        trace_id = lease.payload.get("trace_id")
+        obs.activate(
+            obs.Tracer(
+                obs.JsonlTraceWriter(str(trace_file)),
+                trace_id=str(trace_id) if trace_id else None,
+                root_prefix=f"{self.worker_id}-",
+            )
+        )
+
+    def _report_queue_wait(self, lease: Lease) -> None:
+        """Record how long the claimed task sat published-but-unbuilt.
+
+        Measured as claim wall time minus the submitter's enqueue stamp
+        — the one latency no single process observes end to end — and
+        clamped at zero because wall clocks can skew across hosts.  The
+        span stitches into the submitter's trace as a sibling of the
+        shard build (``<parent>.q<index>``).
+        """
+        enqueued = lease.payload.get("enqueued_wall")
+        if enqueued is None:
+            return  # payload published before the stamp existed
+        wait = max(0.0, obs.system_clock().wall() - float(enqueued))
+        obs.metrics().histogram(
+            "repro_queue_wait_seconds",
+            help="Enqueue-to-claim latency of queue shards",
+        ).observe(wait)
+        trace = getattr(lease.task, "trace", None)
+        if trace is not None:
+            obs.current_tracer().record(
+                "queue_wait",
+                wait,
+                parent=trace,
+                span_id=f"{trace[1]}.q{lease.task.shard_index}",
+                key=lease.key[:12],
+                attempts=lease.attempts,
+                worker=lease.worker,
+            )
 
     def _build(self, lease: Lease) -> tuple[int, list[int]]:
         stop = threading.Event()

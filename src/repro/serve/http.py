@@ -12,6 +12,10 @@ Routes
     ``GET /stats``
         Request counters, hot-tier hit rate, in-flight builds, and
         per-endpoint latency histograms.
+    ``GET /metrics``
+        The shared :mod:`repro.obs.metrics` registry as Prometheus
+        text exposition (version 0.0.4), with hot-tier and
+        single-flight gauges sampled at scrape time.
     ``POST /analyze`` / ``POST /escape`` / ``POST /partition``
         JSON payload in, the byte-identical CLI report out
         (``text/plain``).
@@ -33,6 +37,7 @@ import threading
 import time
 from typing import AsyncIterator
 
+from repro import obs
 from repro.errors import AnalysisError, ReproError
 from repro.serve.service import AnalysisService
 
@@ -121,48 +126,79 @@ class HttpServer:
         endpoint = self.service.stats.endpoint(route)
         started = time.monotonic()
         error = True
-        try:
-            if method == "GET" and path == "/healthz":
-                await self._send_json(writer, 200, {"status": "ok"})
-            elif method == "GET" and path == "/stats":
-                await self._send_json(
-                    writer, 200, self.service.stats_snapshot()
+        with obs.current_tracer().span(
+            "http_request", method=method, path=path
+        ) as request_span:
+            ctx = request_span.context
+            headers: tuple[tuple[str, str], ...] = ()
+            if ctx is not None:
+                headers = (
+                    ("X-Repro-Trace-Id", ctx.trace_id),
+                    ("X-Repro-Span-Id", ctx.span_id),
                 )
-            elif method == "POST" and path == "/analyze/stream":
-                await self._send_stream(
+            try:
+                if method == "GET" and path == "/healthz":
+                    await self._send_json(
+                        writer, 200, {"status": "ok"}, headers=headers
+                    )
+                elif method == "GET" and path == "/stats":
+                    await self._send_json(
+                        writer,
+                        200,
+                        self.service.stats_snapshot(),
+                        headers=headers,
+                    )
+                elif method == "GET" and path == "/metrics":
+                    await self._send(
+                        writer,
+                        200,
+                        "text/plain; version=0.0.4; charset=utf-8",
+                        self.service.metrics_text().encode("utf-8"),
+                        headers=headers,
+                    )
+                elif method == "POST" and path == "/analyze/stream":
+                    await self._send_stream(
+                        writer,
+                        self.service.analyze_stream(self._payload(body)),
+                        headers=headers,
+                    )
+                elif method == "POST" and path in (
+                    "/analyze",
+                    "/escape",
+                    "/partition",
+                ):
+                    handler = {
+                        "/analyze": self.service.analyze,
+                        "/escape": self.service.escape,
+                        "/partition": self.service.partition,
+                    }[path]
+                    report = await handler(self._payload(body))
+                    await self._send_text(writer, 200, report, headers=headers)
+                else:
+                    await self._send_json(
+                        writer,
+                        404,
+                        {"error": f"no such endpoint: {route}"},
+                        headers=headers,
+                    )
+                    return  # a miss is not an endpoint error
+                error = False
+            except ReproError as exc:
+                await self._send_json(
+                    writer, 400, {"error": str(exc)}, headers=headers
+                )
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - boundary: report, don't crash the server
+                await self._send_json(
                     writer,
-                    self.service.analyze_stream(self._payload(body)),
+                    500,
+                    {"error": f"internal error: {type(exc).__name__}: {exc}"},
+                    headers=headers,
                 )
-            elif method == "POST" and path in (
-                "/analyze",
-                "/escape",
-                "/partition",
-            ):
-                handler = {
-                    "/analyze": self.service.analyze,
-                    "/escape": self.service.escape,
-                    "/partition": self.service.partition,
-                }[path]
-                report = await handler(self._payload(body))
-                await self._send_text(writer, 200, report)
-            else:
-                await self._send_json(
-                    writer, 404, {"error": f"no such endpoint: {route}"}
-                )
-                return  # a miss is not an endpoint error
-            error = False
-        except ReproError as exc:
-            await self._send_json(writer, 400, {"error": str(exc)})
-        except asyncio.CancelledError:
-            raise
-        except Exception as exc:  # noqa: BLE001 - boundary: report, don't crash the server
-            await self._send_json(
-                writer,
-                500,
-                {"error": f"internal error: {type(exc).__name__}: {exc}"},
-            )
-        finally:
-            endpoint.observe(time.monotonic() - started, error)
+            finally:
+                request_span.set(error=error)
+                endpoint.observe(time.monotonic() - started, error)
 
     @staticmethod
     def _payload(body: bytes) -> object:
@@ -180,11 +216,15 @@ class HttpServer:
         status: int,
         content_type: str,
         payload: bytes,
+        *,
+        headers: tuple[tuple[str, str], ...] = (),
     ) -> None:
+        extra = "".join(f"{name}: {value}\r\n" for name, value in headers)
         head = (
             f"HTTP/1.1 {status} {_REASONS[status]}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(payload)}\r\n"
+            f"{extra}"
             f"Connection: close\r\n"
             f"\r\n"
         )
@@ -197,22 +237,37 @@ class HttpServer:
         writer: asyncio.StreamWriter,
         status: int,
         document: dict[str, object],
+        *,
+        headers: tuple[tuple[str, str], ...] = (),
     ) -> None:
         body = json.dumps(document, sort_keys=True).encode("utf-8")
-        await cls._send(writer, status, "application/json", body)
+        await cls._send(
+            writer, status, "application/json", body, headers=headers
+        )
 
     @classmethod
     async def _send_text(
-        cls, writer: asyncio.StreamWriter, status: int, text: str
+        cls,
+        writer: asyncio.StreamWriter,
+        status: int,
+        text: str,
+        *,
+        headers: tuple[tuple[str, str], ...] = (),
     ) -> None:
         await cls._send(
-            writer, status, "text/plain; charset=utf-8", text.encode("utf-8")
+            writer,
+            status,
+            "text/plain; charset=utf-8",
+            text.encode("utf-8"),
+            headers=headers,
         )
 
     async def _send_stream(
         self,
         writer: asyncio.StreamWriter,
         chunks: AsyncIterator[str],
+        *,
+        headers: tuple[tuple[str, str], ...] = (),
     ) -> None:
         """Send an async iterator of text as a chunked 200 response.
 
@@ -224,10 +279,12 @@ class HttpServer:
             first = await anext(chunks)
         except StopAsyncIteration:
             first = ""
+        extra = "".join(f"{name}: {value}\r\n" for name, value in headers)
         head = (
             "HTTP/1.1 200 OK\r\n"
             "Content-Type: text/plain; charset=utf-8\r\n"
             "Transfer-Encoding: chunked\r\n"
+            f"{extra}"
             "Connection: close\r\n"
             "\r\n"
         )

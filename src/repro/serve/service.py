@@ -38,6 +38,7 @@ import io
 from dataclasses import dataclass, replace
 from typing import Any, AsyncIterator, Callable, cast
 
+from repro import obs
 from repro.adaptive import AdaptiveBackend
 from repro.bench_suite.registry import get_circuit
 from repro.caching import LRUCache, table_lru_capacity
@@ -331,8 +332,17 @@ class AnalysisService:
         """
         key = request.cache_key
         pair = self.cache.get(key)
+        registry = obs.metrics()
         if pair is not None:
+            registry.counter(
+                "repro_hot_tier_lookups_total",
+                help="Hot-tier probes on the request path",
+                outcome="hit",
+            ).inc()
             return cast(TablePair, pair)
+        registry.counter(
+            "repro_hot_tier_lookups_total", outcome="miss"
+        ).inc()
         loop = asyncio.get_running_loop()
         backend = request.backend
         hub: _ProgressHub | None = None
@@ -352,13 +362,23 @@ class AnalysisService:
                     progress.publish(round_.render(target))
 
                 build_backend = replace(backend, on_round=publish)
+            # run_in_executor does not propagate contextvars, so the
+            # request span is captured here (loop thread) and passed to
+            # the build span explicitly — builds show up as children of
+            # the HTTP request that led the flight.
+            parent = obs.current_context()
+
+            def build() -> TablePair:
+                with obs.span(
+                    "service_build",
+                    parent=parent,
+                    command=request.command,
+                    circuit=request.circuit_name,
+                ):
+                    return self._build_pair(request.circuit, build_backend)
+
             try:
-                built = await loop.run_in_executor(
-                    None,
-                    self._build_pair,
-                    request.circuit,
-                    build_backend,
-                )
+                built = await loop.run_in_executor(None, build)
                 self.cache.put(key, built)
                 return built
             finally:
@@ -413,23 +433,41 @@ class AnalysisService:
         request = self._resolve("partition", payload)
         key = request.cache_key
         report = self.cache.get(key)
+        registry = obs.metrics()
         if report is None:
+            registry.counter(
+                "repro_hot_tier_lookups_total", outcome="miss"
+            ).inc()
 
             async def factory() -> object:
                 loop = asyncio.get_running_loop()
-                built = await loop.run_in_executor(
-                    None,
-                    lambda: partition_report(
-                        request.circuit,
-                        request.backend,
-                        circuit_name=request.circuit_name,
-                        max_inputs=request.args.max_inputs,
-                    ),
-                )
+                parent = obs.current_context()
+
+                def build() -> str:
+                    with obs.span(
+                        "service_build",
+                        parent=parent,
+                        command="partition",
+                        circuit=request.circuit_name,
+                    ):
+                        return partition_report(
+                            request.circuit,
+                            request.backend,
+                            circuit_name=request.circuit_name,
+                            max_inputs=request.args.max_inputs,
+                        )
+
+                built = await loop.run_in_executor(None, build)
                 self.cache.put(key, built)
                 return built
 
             report = await self.flights.run(key, factory)
+        else:
+            registry.counter(
+                "repro_hot_tier_lookups_total",
+                help="Hot-tier probes on the request path",
+                outcome="hit",
+            ).inc()
         return cast(str, report)
 
     async def analyze_stream(self, payload: object) -> AsyncIterator[str]:
@@ -504,3 +542,25 @@ class AnalysisService:
             "hot_tier": self.cache.stats(),
             "flights": self.flights.stats(),
         }
+
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` document (Prometheus text exposition).
+
+        Event-driven metrics (request counters, latency histograms,
+        build/cache/queue counters) accumulate in the process-wide
+        registry as they happen; state-shaped numbers (hot-tier
+        occupancy, in-flight builds) are sampled into gauges at scrape
+        time so the exposition always reflects the current service.
+        """
+        registry = obs.metrics()
+        for prefix, source, what in (
+            ("repro_hot_tier", self.cache.stats(), "hot-tier LRU"),
+            ("repro_flights", self.flights.stats(), "single-flight"),
+        ):
+            for name in sorted(source):
+                value = source[name]
+                registry.gauge(
+                    f"{prefix}_{name}",
+                    help=f"Sampled {what} counter at scrape time",
+                ).set(float(value))
+        return registry.render()

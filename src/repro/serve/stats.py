@@ -5,84 +5,36 @@ designed for cheap updates on the request path (one bisect per
 observation) and a deterministic JSON snapshot: bucket labels are
 fixed 1-2.5-5 log-spaced bounds, and every mapping is emitted in a
 stable order.
+
+The histogram itself now lives in :mod:`repro.obs.metrics` (the shared
+registry every layer writes into); :data:`LatencyHistogram` stays as
+this module's name for it.  Quantiles of an *empty* histogram are
+``None`` — ``/stats`` reports ``null`` rather than the lowest bucket
+bound for an endpoint that has served nothing.
+
+Per-endpoint observations are mirrored into the process-wide metrics
+registry (``repro_http_requests_total`` / ``repro_http_request_seconds``
+by method and path), which is what ``GET /metrics`` renders.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left
+from repro import obs
+from repro.obs.metrics import DEFAULT_BOUNDS, Histogram
 
 __all__ = ["EndpointStats", "LatencyHistogram", "ServiceStats"]
 
-#: Upper bucket bounds in seconds (1-2.5-5 per decade, 1 ms .. 100 s);
-#: observations above the last bound land in the overflow bucket.
-DEFAULT_BOUNDS: tuple[float, ...] = (
-    0.001, 0.0025, 0.005,
-    0.01, 0.025, 0.05,
-    0.1, 0.25, 0.5,
-    1.0, 2.5, 5.0,
-    10.0, 25.0, 50.0,
-    100.0,
-)
+#: The shared fixed-bound histogram (see the module docstring).
+LatencyHistogram = Histogram
 
-
-class LatencyHistogram:
-    """Fixed-bound latency histogram with approximate quantiles."""
-
-    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BOUNDS) -> None:
-        self.bounds = bounds
-        self.counts = [0] * (len(bounds) + 1)  # +1: overflow bucket
-        self.count = 0
-        self.sum = 0.0
-        self.max = 0.0
-
-    def observe(self, seconds: float) -> None:
-        """Record one observation (seconds)."""
-        self.counts[bisect_left(self.bounds, seconds)] += 1
-        self.count += 1
-        self.sum += seconds
-        if seconds > self.max:
-            self.max = seconds
-
-    def quantile(self, q: float) -> float:
-        """Approximate q-quantile: the upper bound of the q-th bucket.
-
-        The overflow bucket reports the observed maximum.  Returns 0.0
-        before the first observation.
-        """
-        if self.count == 0:
-            return 0.0
-        rank = q * self.count
-        cumulative = 0
-        for i, bucket in enumerate(self.counts):
-            cumulative += bucket
-            if cumulative >= rank and bucket:
-                if i < len(self.bounds):
-                    return self.bounds[i]
-                return self.max
-        return self.max
-
-    def snapshot(self) -> dict[str, object]:
-        """JSON-ready summary (stable key order)."""
-        buckets = {
-            f"le_{bound:g}s": self.counts[i]
-            for i, bound in enumerate(self.bounds)
-        }
-        buckets["overflow"] = self.counts[len(self.bounds)]
-        return {
-            "count": self.count,
-            "sum_s": self.sum,
-            "mean_s": self.sum / self.count if self.count else 0.0,
-            "max_s": self.max,
-            "p50_s": self.quantile(0.5),
-            "p99_s": self.quantile(0.99),
-            "buckets": buckets,
-        }
+_ = DEFAULT_BOUNDS  # re-exported: callers size custom histograms with it
 
 
 class EndpointStats:
     """Per-endpoint request/error counters plus a latency histogram."""
 
-    def __init__(self) -> None:
+    def __init__(self, route: str = "") -> None:
+        self.route = route
         self.requests = 0
         self.errors = 0
         self.latency = LatencyHistogram()
@@ -92,6 +44,22 @@ class EndpointStats:
         if error:
             self.errors += 1
         self.latency.observe(seconds)
+        if self.route:
+            method, _, path = self.route.partition(" ")
+            registry = obs.metrics()
+            registry.counter(
+                "repro_http_requests_total",
+                help="HTTP requests served, by route and outcome",
+                method=method,
+                path=path,
+                outcome="error" if error else "ok",
+            ).inc()
+            registry.histogram(
+                "repro_http_request_seconds",
+                help="HTTP request latency, by route",
+                method=method,
+                path=path,
+            ).observe(seconds)
 
     def snapshot(self) -> dict[str, object]:
         return {
@@ -110,7 +78,7 @@ class ServiceStats:
     def endpoint(self, route: str) -> EndpointStats:
         stats = self._endpoints.get(route)
         if stats is None:
-            stats = EndpointStats()
+            stats = EndpointStats(route)
             self._endpoints[route] = stats
         return stats
 

@@ -77,6 +77,7 @@ if TYPE_CHECKING:
 
     IntpArray = NDArray[np.intp]
 
+from repro import obs
 from repro.circuit.gate import GateType
 from repro.circuit.netlist import Circuit, LineKind
 from repro.errors import SimulationError
@@ -471,6 +472,39 @@ def _cone_locality_order(
     return _np.argsort(ranks, kind="stable")
 
 
+def _observe_kernel(
+    kind: str, faults: int, words: int, batches: int, seconds: float
+) -> None:
+    """Kernel throughput telemetry, once per matrix (not per batch).
+
+    Counters accumulate faults/batches/word-ops per fault kind; the
+    derived faults-per-second rate lives in ``repro_ppsfp_seconds_total``
+    vs ``repro_ppsfp_faults_total`` so scrapes can compute it over any
+    window.
+    """
+    registry = obs.metrics()
+    registry.counter(
+        "repro_ppsfp_faults_total",
+        help="Faults simulated by the PPSFP kernel",
+        kind=kind,
+    ).inc(faults)
+    registry.counter(
+        "repro_ppsfp_batches_total",
+        help="Fault batches evaluated by the PPSFP kernel",
+        kind=kind,
+    ).inc(batches)
+    registry.counter(
+        "repro_ppsfp_words_total",
+        help="Signature words per fault row in kernel matrices",
+        kind=kind,
+    ).inc(faults * words)
+    registry.counter(
+        "repro_ppsfp_seconds_total",
+        help="Wall seconds spent inside PPSFP matrix builds",
+        kind=kind,
+    ).inc(seconds)
+
+
 def stuck_at_matrix(
     circuit: Circuit,
     universe: VectorUniverse,
@@ -490,13 +524,24 @@ def stuck_at_matrix(
     values = _np.fromiter((f.value for f in faults), dtype=bool, count=num)
     order = _cone_locality_order(circuit, sites_arr)
     out = _np.zeros((num, num_words), dtype=_np.uint64)
-    for start in range(0, num, batch_rows):
-        idx = order[start : start + batch_rows]
-        sites = sites_arr[idx].tolist()
-        forced = _np.where(
-            values[idx][:, None], sim.mask_row, _np.uint64(0)
-        )
-        out[idx] = sim.detection_rows(sites, forced)
+    clock = obs.system_clock()
+    started = clock.monotonic()
+    batches = 0
+    with obs.span(
+        "ppsfp_matrix", kind="stuck_at", faults=num, words=num_words
+    ) as kernel_span:
+        for start in range(0, num, batch_rows):
+            idx = order[start : start + batch_rows]
+            sites = sites_arr[idx].tolist()
+            forced = _np.where(
+                values[idx][:, None], sim.mask_row, _np.uint64(0)
+            )
+            out[idx] = sim.detection_rows(sites, forced)
+            batches += 1
+        kernel_span.set(batches=batches)
+    _observe_kernel(
+        "stuck_at", num, num_words, batches, clock.monotonic() - started
+    )
     return PackedSignatureMatrix(out, universe.size)
 
 
@@ -530,23 +575,35 @@ def bridging_matrix(
     )
     order = _cone_locality_order(circuit, victims)
     out = _np.zeros((num, num_words), dtype=_np.uint64)
-    for start in range(0, num, batch_rows):
-        idx = order[start : start + batch_rows]
-        s1 = base[victims[idx]]
-        s2 = base[aggressors[idx]]
-        # value-true means "activates on the line's 1s": matching bits
-        # are the signature itself, else its masked complement — written
-        # as XOR with a per-row flip word (0 or the all-ones mask row).
-        m1 = s1 ^ _np.where(vv[idx][:, None], zero_row, mask)
-        m2 = s2 ^ _np.where(av[idx][:, None], zero_row, mask)
-        activated = m1 & m2
-        live = _np.nonzero(activated.any(axis=1))[0]
-        if live.size == 0:
-            continue  # nowhere activated: detection rows stay zero
-        forced = (s1 ^ activated)[live]
-        sites = victims[idx[live]].tolist()
-        det = sim.detection_rows(sites, forced)
-        out[idx[live]] = det
+    clock = obs.system_clock()
+    started = clock.monotonic()
+    batches = 0
+    with obs.span(
+        "ppsfp_matrix", kind="bridging", faults=num, words=num_words
+    ) as kernel_span:
+        for start in range(0, num, batch_rows):
+            idx = order[start : start + batch_rows]
+            s1 = base[victims[idx]]
+            s2 = base[aggressors[idx]]
+            # value-true means "activates on the line's 1s": matching
+            # bits are the signature itself, else its masked complement
+            # — written as XOR with a per-row flip word (0 or the
+            # all-ones mask row).
+            m1 = s1 ^ _np.where(vv[idx][:, None], zero_row, mask)
+            m2 = s2 ^ _np.where(av[idx][:, None], zero_row, mask)
+            activated = m1 & m2
+            live = _np.nonzero(activated.any(axis=1))[0]
+            batches += 1
+            if live.size == 0:
+                continue  # nowhere activated: detection rows stay zero
+            forced = (s1 ^ activated)[live]
+            sites = victims[idx[live]].tolist()
+            det = sim.detection_rows(sites, forced)
+            out[idx[live]] = det
+        kernel_span.set(batches=batches)
+    _observe_kernel(
+        "bridging", num, num_words, batches, clock.monotonic() - started
+    )
     return PackedSignatureMatrix(out, universe.size)
 
 

@@ -1,0 +1,17 @@
+"""RPL007 flag fixture: direct clock reads in observability code."""
+
+import time
+from time import monotonic
+from time import perf_counter as pc
+
+
+def span_duration(started: float) -> float:
+    return time.monotonic() - started
+
+
+def stamp_record() -> float:
+    return time.time()
+
+
+def measure() -> tuple[float, float]:
+    return monotonic(), pc()

@@ -1,0 +1,17 @@
+"""RPL007 ok fixture: every read goes through the injected clock."""
+
+
+class Clock:
+    def monotonic(self) -> float:
+        raise NotImplementedError
+
+    def wall(self) -> float:
+        raise NotImplementedError
+
+
+def span_duration(clock: Clock, started: float) -> float:
+    return clock.monotonic() - started
+
+
+def stamp_record(clock: Clock) -> float:
+    return clock.wall()

@@ -1,0 +1,25 @@
+"""Isolation for the observability suite.
+
+The tracer resolution and the metrics registry are process-wide by
+design (that is what makes instrumentation call sites cheap), so every
+test here starts from a known-disabled tracer, a clean registry, and no
+trace environment variables, and puts the lazy env resolution back
+afterwards.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _isolate_obs(monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE_FILE", raising=False)
+    monkeypatch.delenv("REPRO_TRACE_ID", raising=False)
+    obs.activate(obs.NULL_TRACER)
+    obs.metrics().reset()
+    yield
+    obs.reset()  # back to lazy env resolution
+    obs.metrics().reset()

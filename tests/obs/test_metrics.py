@@ -1,0 +1,161 @@
+"""The metrics registry: instruments, label addressing, rendering.
+
+The Prometheus rendering must be deterministic (families by name,
+series by label values, cumulative buckets) because the serve smoke
+test and operators' scrapers diff it; the empty-histogram quantile
+contract (``None``, not the lowest bound) is the ``/stats`` regression
+this PR fixes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates_and_rejects_negatives(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError, match=">= 0"):
+            counter.inc(-1)
+
+    def test_gauge_sets_and_adds(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.add(-3)
+        assert gauge.value == 7
+
+    def test_histogram_buckets_by_bisect(self):
+        h = Histogram(bounds=(0.1, 1.0))
+        h.observe(0.05)   # first bucket (le 0.1)
+        h.observe(0.1)    # boundary lands in its own bucket
+        h.observe(0.5)    # second bucket
+        h.observe(99.0)   # overflow
+        assert h.counts == [2, 1, 1]
+        assert h.count == 4
+        assert h.max == 99.0
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError, match="increasing"):
+            Histogram(bounds=(1.0, 0.5))
+        with pytest.raises(ValueError, match="increasing"):
+            Histogram(bounds=(1.0, 1.0))
+
+
+class TestEmptyHistogramQuantiles:
+    """Regression: an idle endpoint must report null, not a fake 1 ms."""
+
+    def test_empty_quantiles_are_none(self):
+        h = Histogram()
+        assert h.quantile(0.5) is None
+        assert h.quantile(0.99) is None
+
+    def test_empty_snapshot_serializes_null_quantiles(self):
+        snapshot = Histogram().snapshot()
+        assert snapshot["p50_s"] is None
+        assert snapshot["p99_s"] is None
+        assert snapshot["count"] == 0
+
+    def test_first_observation_restores_quantiles(self):
+        h = Histogram()
+        h.observe(0.003)
+        assert h.quantile(0.5) == 0.005  # upper bound of its bucket
+        assert h.snapshot()["p50_s"] == 0.005
+
+    def test_overflow_quantile_reports_observed_max(self):
+        h = Histogram()
+        h.observe(500.0)
+        assert h.quantile(0.99) == 500.0
+
+
+class TestRegistry:
+    def test_same_labels_any_kwarg_order_address_one_series(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", kind="a", outcome="hit").inc()
+        registry.counter("repro_x_total", outcome="hit", kind="a").inc()
+        snapshot = registry.snapshot()
+        series = snapshot["repro_x_total"]
+        assert list(series.values()) == [2.0]
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total")
+        with pytest.raises(ValueError, match="counter"):
+            registry.gauge("repro_x_total")
+
+    def test_bad_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="metric name"):
+            registry.counter("0bad")
+        with pytest.raises(ValueError, match="label name"):
+            registry.counter("repro_ok", **{"le": "x"})
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total").inc()
+        registry.reset()
+        assert registry.render() == ""
+
+
+class TestRendering:
+    def test_counter_and_gauge_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_b_total", help="b things", kind="stuck_at"
+        ).inc(3)
+        registry.gauge("repro_a_depth").set(2)
+        text = registry.render()
+        assert text == (
+            "# TYPE repro_a_depth gauge\n"
+            "repro_a_depth 2\n"
+            "# HELP repro_b_total b things\n"
+            "# TYPE repro_b_total counter\n"
+            'repro_b_total{kind="stuck_at"} 3\n'
+        )
+
+    def test_histogram_exposition_is_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("repro_lat_seconds", bounds=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(10.0)
+        text = registry.render()
+        assert 'repro_lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_seconds_bucket{le="1"} 2' in text
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_lat_seconds_sum 10.55" in text
+        assert "repro_lat_seconds_count 3" in text
+
+    def test_series_order_is_deterministic(self):
+        def build() -> str:
+            registry = MetricsRegistry()
+            registry.counter("repro_x_total", kind="b").inc()
+            registry.counter("repro_x_total", kind="a").inc(2)
+            registry.gauge("repro_a_gauge").set(1)
+            return registry.render()
+
+        text = build()
+        assert text == build()
+        assert text.index('kind="a"') < text.index('kind="b"')
+        assert text.index("repro_a_gauge") < text.index("repro_x_total")
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", path='a"b\\c\nd').inc()
+        text = registry.render()
+        assert '{path="a\\"b\\\\c\\nd"}' in text
+
+    def test_default_bounds_cover_one_ms_to_one_hundred_seconds(self):
+        assert DEFAULT_BOUNDS[0] == 0.001
+        assert DEFAULT_BOUNDS[-1] == 100.0
+        assert list(DEFAULT_BOUNDS) == sorted(DEFAULT_BOUNDS)

@@ -1,0 +1,230 @@
+"""Trace context across process boundaries, and worker event lines.
+
+The acceptance scenario: a traced submitter drives the queue executor,
+one worker is killed mid-shard (the ``REPRO_QUEUE_CRASH_AFTER_CLAIM``
+hook), the shard is requeued, and a healthy ``repro worker``
+subprocess — started with *no* trace environment of its own — finishes
+the build.  The single JSONL file must then contain one stitched
+trace: worker-side ``shard_build`` spans carrying the submitter's
+trace id, parented under the submitter's ``table_build`` span.
+
+The second half covers the worker's structured event lines: lease
+reclaims, requeues, and poisoned-shard parks must emit one-line
+``event=...`` log records and bump the queue counters.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.obs.tracer import ListTraceWriter
+from repro.bench_suite.registry import get_circuit
+from repro.faults.stuck_at import collapsed_stuck_at_faults
+from repro.faults.universe import FaultUniverse
+from repro.faultsim.backends import ExhaustiveBackend, SerialBackend
+from repro.parallel import (
+    ParallelBackend,
+    QueueExecutor,
+    QueueWorker,
+    ShardTask,
+    WorkQueue,
+    shard_key,
+)
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def worker_env(trace_free: bool = True) -> dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_QUEUE_DIR", None)
+    env.pop("REPRO_QUEUE_CRASH_AFTER_CLAIM", None)
+    if trace_free:
+        # The point of the payload-borne trace path: workers join the
+        # trace without inheriting any environment from the submitter.
+        env.pop("REPRO_TRACE_FILE", None)
+        env.pop("REPRO_TRACE_ID", None)
+    return env
+
+
+def spawn_worker(queue_dir: Path, *, crash: bool = False) -> subprocess.Popen:
+    env = worker_env()
+    if crash:
+        env["REPRO_QUEUE_CRASH_AFTER_CLAIM"] = "1"
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "worker",
+            "--queue", str(queue_dir),
+            "--poll-interval", "0.01",
+            "--lease-timeout", "0.5",
+            "--idle-exit", "60" if crash else "3",
+        ],
+        env=env,
+    )
+
+
+def poisoned_task() -> ShardTask:
+    # The serial engine is capped at 16 inputs, so this shard raises a
+    # clean AnalysisError on every build attempt.
+    circuit = get_circuit("wide28")
+    return ShardTask(
+        circuit=circuit,
+        backend=SerialBackend(),
+        kind="stuck_at",
+        faults=tuple(collapsed_stuck_at_faults(circuit)[:2]),
+        base_signatures=None,
+        shard_index=0,
+    )
+
+
+class TestCrossProcessStitching:
+    def test_worker_spans_join_submitter_trace_through_crash_requeue(
+        self, tmp_path, monkeypatch
+    ):
+        trace_path = tmp_path / "run.jsonl"
+        monkeypatch.setenv("REPRO_TRACE_FILE", str(trace_path))
+        tracer = obs.Tracer(
+            obs.JsonlTraceWriter(str(trace_path), truncate=True)
+        )
+        obs.activate(tracer)
+
+        queue_dir = tmp_path / "queue"
+        backend = ParallelBackend(
+            base=ExhaustiveBackend(),
+            executor=QueueExecutor(
+                queue_dir=str(queue_dir),
+                poll_interval=0.01,
+                wait_timeout=120.0,
+                lease_timeout=0.5,
+            ),
+            cache_dir=str(tmp_path / "shards"),
+        )
+
+        crasher = spawn_worker(queue_dir, crash=True)
+        result: dict = {}
+
+        def submit() -> None:
+            with obs.span("analyze"):
+                universe = FaultUniverse(
+                    get_circuit("lion"), backend=backend
+                )
+                result["f"] = universe.target_table.signatures
+                result["g"] = universe.untargeted_table.signatures
+
+        submitter = threading.Thread(target=submit, daemon=True)
+        submitter.start()
+        assert crasher.wait(timeout=60) == 42  # died holding a lease
+        healthy = spawn_worker(queue_dir)
+        submitter.join(timeout=120)
+        assert not submitter.is_alive()
+        assert healthy.wait(timeout=120) == 0
+        tracer.close()
+
+        reference = FaultUniverse(get_circuit("lion"))
+        assert result["f"] == reference.target_table.signatures
+        assert result["g"] == reference.untargeted_table.signatures
+
+        records = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        # One stitched trace: every record — submitter and worker
+        # alike — carries the submitter's trace id.
+        assert {r["trace"] for r in records} == {tracer.trace_id}
+
+        by_name: dict[str, list[dict]] = {}
+        for record in records:
+            by_name.setdefault(record["name"], []).append(record)
+        submitter_pid = str(os.getpid())
+
+        # The submitter's parallel_build spans anchor the shard work
+        # (workers write their own table_build spans too, for the
+        # per-shard tables they build — those nest under their shard).
+        builds = {
+            r["span"]: r
+            for r in by_name["parallel_build"]
+            if r["proc"] == submitter_pid
+        }
+        assert builds, "submitter-side parallel_build spans missing"
+
+        shards = by_name["shard_build"]
+        assert shards, "no worker-side shard spans reached the file"
+        for shard in shards:
+            # Built in a worker subprocess, derived shard id, parented
+            # under the submitter's parallel_build span.
+            assert shard["proc"] != submitter_pid
+            assert shard["parent"] in builds
+            assert shard["span"].startswith(f"{shard['parent']}.s")
+
+        for wait in by_name.get("queue_wait", []):
+            assert wait["parent"] in builds
+            assert ".q" in wait["span"]
+
+    def test_pool_executor_tasks_carry_the_trace_tuple(self, tmp_path):
+        # The tuple rides the pickled ShardTask itself; verify the
+        # stamping side without any worker round trip.
+        tracer = obs.Tracer(ListTraceWriter(), trace_id="T9")
+        obs.activate(tracer)
+        with obs.span("table_build") as span:
+            assert span.remote() == ("T9", "1")
+
+
+class TestWorkerEventLines:
+    def test_poisoned_shard_park_emits_one_line_events(
+        self, tmp_path, caplog
+    ):
+        queue = WorkQueue(tmp_path / "queue")
+        bad = poisoned_task()
+        key = shard_key(bad.circuit, bad.backend, bad.kind, bad.faults)
+        queue.enqueue(bad, key, max_attempts=2)
+        with caplog.at_level(logging.INFO, logger="repro.obs"):
+            stats = QueueWorker(queue, poll_interval=0.01).serve(
+                idle_exit=0.2
+            )
+        assert stats["failed"] == 2
+        assert queue.failed_keys() == [key]
+
+        events = [m for m in caplog.messages if m.startswith("event=")]
+        requeues = [m for m in events if m.startswith("event=task_requeued")]
+        parks = [m for m in events if m.startswith("event=shard_parked")]
+        assert len(requeues) == 1 and len(parks) == 1
+        for line in requeues + parks:
+            assert f"key={key}" in line
+            assert "\n" not in line  # one line, grep-able
+        assert "attempts=1" in requeues[0]
+        assert "AnalysisError" in parks[0]
+
+        counters = obs.metrics().snapshot()
+        assert counters["repro_queue_requeues_total"] == {"{}": 1.0}
+        assert counters["repro_queue_parked_total"] == {"{}": 1.0}
+
+    def test_lease_reclaim_emits_event_and_counter(self, tmp_path, caplog):
+        queue = WorkQueue(tmp_path / "queue")
+        task = poisoned_task()
+        key = shard_key(task.circuit, task.backend, task.kind, task.faults)
+        queue.enqueue(task, key, max_attempts=5)
+        lease = queue.claim("doomed-worker")
+        assert lease is not None
+        with caplog.at_level(logging.INFO, logger="repro.obs"):
+            requeued, failed = queue.reclaim_expired(
+                lease_timeout=0.001, now=time.time() + 10.0
+            )
+        assert requeued == [key] and failed == []
+        reclaims = [
+            m for m in caplog.messages
+            if m.startswith("event=lease_reclaimed")
+        ]
+        assert len(reclaims) == 1
+        assert f"key={key}" in reclaims[0]
+        counters = obs.metrics().snapshot()
+        assert counters["repro_queue_reclaims_total"] == {"{}": 1.0}

@@ -1,0 +1,173 @@
+"""Trace analysis: forest building, self time, coverage, rendering.
+
+Traces are produced with a ``ManualClock`` tracer writing real JSONL,
+then read back through ``load_trace`` — the same round trip ``repro
+trace summary`` makes — so these tests pin the whole pipeline, not
+just the aggregation arithmetic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.obs.clock import ManualClock
+from repro.obs.summary import (
+    build_forest,
+    load_trace,
+    render_summary,
+    render_tree,
+    summarize,
+)
+from repro.obs.tracer import JsonlTraceWriter, Tracer
+
+
+def write_sample_trace(path: str) -> None:
+    """analyze(2s) -> build(1.5s) -> shards s0 (local) + s1 (remote).
+
+    The two shards take 1s each, so they *overrun* their 1.5s parent —
+    the shape a parallel build produces — which exercises the self-time
+    clamp.  The remote shard is written by a second tracer with its own
+    trace id but a propagated parent tuple, like a queue worker.
+    """
+    clock = ManualClock()
+    tracer = Tracer(
+        JsonlTraceWriter(path, truncate=True),
+        clock=clock,
+        trace_id="T",
+        proc="sub",
+    )
+    with tracer.span("analyze"):
+        with tracer.span("build", circuit="lion") as build:
+            with tracer.span("shard", span_id=f"{build.context.span_id}.s0"):
+                clock.advance(1.0)
+            clock.advance(0.5)
+        tracer.event("done", built=2)
+        clock.advance(0.5)
+    # A worker process: different tracer, stitches via the remote tuple.
+    worker = Tracer(
+        JsonlTraceWriter(path), clock=clock, trace_id="W", proc="wrk"
+    )
+    with worker.span("shard", parent=("T", "1.1"), span_id="1.1.s1"):
+        clock.advance(1.0)
+    tracer.close()
+    worker.close()
+
+
+@pytest.fixture()
+def sample_summary(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    write_sample_trace(path)
+    return summarize(load_trace(path))
+
+
+class TestLoadAndForest:
+    def test_round_trip_reads_every_record(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        write_sample_trace(path)
+        nodes = load_trace(path)
+        assert len(nodes) == 5  # 4 spans + 1 event
+        assert {n.kind for n in nodes} == {"span", "event"}
+
+    def test_worker_spans_join_the_submitter_trace(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        write_sample_trace(path)
+        forest = build_forest(load_trace(path))
+        assert list(forest) == ["T"]  # one stitched trace, no orphans
+        (root,) = forest["T"]
+        build = root.children[0]
+        assert sorted(c.span_id for c in build.children) == [
+            "1.1.s0",
+            "1.1.s1",
+        ]
+        assert {c.proc for c in build.children} == {"sub", "wrk"}
+
+    def test_bad_record_names_file_and_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        good = '{"kind":"span","trace":"T","span":"1","name":"a"}'
+        path.write_text(good + "\nnot json\n")
+        with pytest.raises(AnalysisError, match=r"trace\.jsonl:2:"):
+            load_trace(str(path))
+
+    def test_record_missing_keys_is_a_clean_error(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind":"span"}\n')
+        with pytest.raises(AnalysisError, match="missing key"):
+            load_trace(str(path))
+
+    def test_missing_file_is_a_clean_error(self, tmp_path):
+        with pytest.raises(AnalysisError, match="cannot read trace file"):
+            load_trace(str(tmp_path / "nope.jsonl"))
+
+    def test_empty_trace_is_a_clean_error(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("")
+        with pytest.raises(AnalysisError, match="empty"):
+            summarize(load_trace(str(path)))
+
+
+class TestSummarize:
+    def test_wall_and_coverage(self, sample_summary):
+        assert sample_summary.trace_id == "T"
+        assert sample_summary.span_count == 4
+        assert sample_summary.event_count == 1
+        assert sample_summary.wall == pytest.approx(2.0)
+        assert sample_summary.procs == ["sub", "wrk"]
+
+    def test_parallel_overrun_clamps_self_time_at_zero(self, sample_summary):
+        (root,) = sample_summary.roots
+        build = root.children[0]
+        # build is 1.5s but its shards sum to 2.0s (they ran in
+        # parallel): self time clamps to zero instead of going negative.
+        assert build.duration == pytest.approx(1.5)
+        assert build.self_time == 0.0
+        # The root's 0.5s tail is genuine self time.
+        assert root.self_time == pytest.approx(0.5)
+
+    def test_aggregates_sort_by_total_descending(self, sample_summary):
+        names = [a.name for a in sample_summary.aggregates]
+        assert names[0] == "analyze"
+        shard = next(
+            a for a in sample_summary.aggregates if a.name == "shard"
+        )
+        assert shard.count == 2
+        assert shard.total == pytest.approx(2.0)
+
+    def test_critical_path_follows_largest_child(self, sample_summary):
+        names = [n.name for n in sample_summary.critical_path]
+        assert names[0] == "analyze"
+        assert names[1] == "build"
+        assert names[2] == "shard"
+
+    def test_unknown_trace_id_rejected(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        write_sample_trace(path)
+        with pytest.raises(AnalysisError, match="not in file"):
+            summarize(load_trace(path), trace_id="NOPE")
+
+
+class TestRendering:
+    def test_summary_text_is_deterministic(self, sample_summary):
+        text = render_summary(sample_summary)
+        assert text == render_summary(sample_summary)
+        assert "trace T" in text
+        assert "critical path:" in text
+        assert "analyze" in text
+
+    def test_summary_reports_coverage_percent(self, sample_summary):
+        # analyze self = 2.0 - 1.5 = 0.5s -> 75.0% attributed.
+        assert "attributed to child spans: 75.0%" in render_summary(
+            sample_summary
+        )
+
+    def test_tree_shows_hierarchy_events_and_procs(self, sample_summary):
+        text = render_tree(sample_summary)
+        lines = text.splitlines()
+        assert lines[0] == "trace T"
+        assert lines[1].startswith("  analyze")
+        assert any("* done" in line for line in lines)  # the event
+        assert any("proc wrk" in line for line in lines)
+
+    def test_top_limit_truncates_with_a_count(self, sample_summary):
+        text = render_summary(sample_summary, top=1)
+        assert "more span name(s)" in text

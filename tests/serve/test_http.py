@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import io
 import json
+import re
 import socket
 import threading
 import urllib.error
@@ -183,3 +184,73 @@ class TestStats:
         hot = stats["hot_tier"]
         assert hot["capacity"] >= 1
         assert hot["hits"] + hot["misses"] >= K
+
+
+class TestObservability:
+    def test_metrics_is_parseable_prometheus_text(self, server):
+        get(server, "/healthz")  # ensure at least one observed request
+        with urllib.request.urlopen(
+            server.address + "/metrics", timeout=60
+        ) as resp:
+            assert resp.status == 200
+            content_type = resp.headers["Content-Type"]
+            body = resp.read().decode()
+        assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+        series = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? \S+$"
+        )
+        for line in body.splitlines():
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+            else:
+                assert series.match(line), line
+                float(line.rsplit(" ", 1)[1])  # the sample value parses
+        assert "repro_http_requests_total" in body
+        assert "repro_http_request_seconds_bucket" in body
+        assert 'le="+Inf"' in body
+        assert "repro_hot_tier_" in body
+        assert "repro_flights_" in body
+
+    def test_untraced_responses_have_no_trace_headers(self, server):
+        # Tracing off (the default): zero tracer overhead, no headers.
+        with urllib.request.urlopen(
+            server.address + "/healthz", timeout=60
+        ) as resp:
+            assert resp.headers["X-Repro-Trace-Id"] is None
+            assert resp.headers["X-Repro-Span-Id"] is None
+
+    def test_traced_responses_carry_trace_headers(self):
+        from repro import obs
+        from repro.obs.tracer import ListTraceWriter, Tracer
+
+        previous = obs.activate(Tracer(ListTraceWriter(), trace_id="SRV"))
+        try:
+            with BackgroundServer(AnalysisService()) as fresh:
+                with urllib.request.urlopen(
+                    fresh.address + "/healthz", timeout=60
+                ) as resp:
+                    assert resp.headers["X-Repro-Trace-Id"] == "SRV"
+                    first_span = resp.headers["X-Repro-Span-Id"]
+                with urllib.request.urlopen(
+                    fresh.address + "/healthz", timeout=60
+                ) as resp:
+                    # Same serving trace, a distinct span per request.
+                    assert resp.headers["X-Repro-Trace-Id"] == "SRV"
+                    assert resp.headers["X-Repro-Span-Id"] != first_span
+        finally:
+            obs.reset(previous)
+
+    def test_idle_endpoint_stats_report_null_quantiles(self):
+        # Regression: an endpoint with zero completed requests must
+        # serve null p50/p99, not the lowest bucket bound.  The very
+        # first GET /stats sees its own route registered but not yet
+        # observed, so a fresh server exposes the empty histogram.
+        with BackgroundServer(AnalysisService()) as fresh:
+            status, body = get(fresh, "/stats")
+        assert status == 200
+        endpoint = json.loads(body)["endpoints"]["GET /stats"]
+        assert endpoint["requests"] == 0
+        latency = endpoint["latency"]
+        assert latency["count"] == 0
+        assert latency["p50_s"] is None
+        assert latency["p99_s"] is None

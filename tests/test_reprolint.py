@@ -45,6 +45,7 @@ PAIRS = {
     ),
     "RPL005": ("repro/logic/packed.py", "repro/logic/packed.py"),
     "RPL006": ("repro/adaptive/stopping.py", "repro/adaptive/stopping.py"),
+    "RPL007": ("repro/obs/span_timing.py", "repro/obs/span_timing.py"),
 }
 
 #: rule code -> (flag fixture, ok fixture) for the ``repro.serve`` tree.
@@ -71,6 +72,7 @@ MIN_FINDINGS = {
     "RPL004": 2,  # probed-unlink and probed-write windows
     "RPL005": 5,  # /, **, astype(int64), view("int64"), -uint64, +int
     "RPL006": 2,  # == 0.0 and != 0.95
+    "RPL007": 4,  # time.monotonic(), time.time(), bare monotonic(), pc()
 }
 
 
@@ -151,6 +153,14 @@ class TestScoping:
             OK / "tests" / "entropy_ok.py", select=["RPL001"]
         )
         assert findings == []
+
+    def test_obs_clock_module_is_exempt_from_clock_rule(self):
+        # repro.obs.clock is the single audited time call site; every
+        # other repro.obs module is in scope.
+        by_code = {r.code: r for r in ALL_RULES}
+        assert not by_code["RPL007"].applies_to(("repro", "obs", "clock"))
+        assert by_code["RPL007"].applies_to(("repro", "obs", "tracer"))
+        assert not by_code["RPL007"].applies_to(("repro", "serve", "http"))
 
     def test_scoped_rule_ignores_out_of_scope_modules(self):
         # The RPL004 flag fixture is rotten with probe windows, but the

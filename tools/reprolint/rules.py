@@ -685,6 +685,84 @@ class FloatEquality(Rule):
         return findings
 
 
+# ----------------------------------------------------------------------
+# RPL007 — direct clock reads in the observability layer
+# ----------------------------------------------------------------------
+class DirectClockRead(Rule):
+    """``repro.obs`` must read time through the injected ``Clock``.
+
+    The tracer's determinism guarantee — byte-identical trace files
+    under ``ManualClock`` in tests — holds only because every duration
+    and timestamp funnels through the one injected clock.  A stray
+    ``time.monotonic()`` in a span or histogram path reintroduces
+    wall-clock jitter that no test can pin.  ``repro.obs.clock`` is the
+    single audited call site (``SystemClock`` wraps the real functions)
+    and is exempt.
+    """
+
+    code = "RPL007"
+    name = "direct-clock-read"
+    description = (
+        "direct time.time()/monotonic()/perf_counter() in repro.obs "
+        "(inject a Clock; repro.obs.clock is the audited call site)"
+    )
+    scope = ("repro.obs",)
+
+    _FUNCTIONS = {
+        "time",
+        "monotonic",
+        "perf_counter",
+        "time_ns",
+        "monotonic_ns",
+        "perf_counter_ns",
+    }
+
+    def applies_to(self, parts: Sequence[str]) -> bool:
+        if _dotted(parts) == "repro.obs.clock":
+            return False  # the single audited call site
+        return super().applies_to(parts)
+
+    def check(
+        self,
+        path: str,
+        parts: Sequence[str],
+        tree: ast.Module,
+        index: ProjectIndex,
+    ) -> list[Finding]:
+        imported: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                imported.update(
+                    alias.asname or alias.name
+                    for alias in node.names
+                    if alias.name in self._FUNCTIONS
+                )
+        findings: list[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _call_chain(node.func)
+            if chain is None:
+                continue
+            flagged = (
+                chain.startswith("time.")
+                and chain[len("time.") :] in self._FUNCTIONS
+            ) or chain in imported
+            if flagged:
+                findings.append(
+                    self.finding(
+                        path,
+                        node,
+                        f"`{chain}()` reads the process clock directly — "
+                        f"observability code takes an injected Clock "
+                        f"(``obs.system_clock()`` by default) so tests "
+                        f"can drive time deterministically; the only "
+                        f"audited call site is repro.obs.clock",
+                    )
+                )
+        return findings
+
+
 ALL_RULES: tuple[Rule, ...] = (
     UnseededRng(),
     UnorderedIteration(),
@@ -692,4 +770,5 @@ ALL_RULES: tuple[Rule, ...] = (
     ExistsThenAct(),
     Uint64Hazard(),
     FloatEquality(),
+    DirectClockRead(),
 )
