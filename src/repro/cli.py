@@ -145,6 +145,14 @@ def _add_backend(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--broker",
+        default=None,
+        help=(
+            "broker HOST:PORT for --executor tcp "
+            "(default: REPRO_BROKER)"
+        ),
+    )
+    parser.add_argument(
         "--target-halfwidth",
         type=float,
         default=None,
@@ -192,6 +200,7 @@ def _backend_from_args(args: argparse.Namespace) -> Any:
         getattr(args, "executor", None),
         jobs=jobs,
         queue_dir=getattr(args, "queue_dir", None),
+        broker=getattr(args, "broker", None),
     )
     sampling_backends = ("sampled", "packed")
     if args.backend not in sampling_backends and args.samples is not None:
@@ -309,11 +318,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "worker",
-        help="drain shard tasks from a distributed work queue",
+        help="drain shard tasks from a distributed work queue or broker",
     )
     p.add_argument(
         "--queue",
         help="work-queue directory (default: REPRO_QUEUE_DIR)",
+    )
+    p.add_argument(
+        "--broker",
+        help=(
+            "drain a TCP broker at HOST:PORT instead of a filesystem "
+            "queue (default: REPRO_BROKER; mutually exclusive with "
+            "--queue)"
+        ),
     )
     p.add_argument(
         "--max-tasks",
@@ -357,6 +374,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--queue",
         help="work-queue directory (default: REPRO_QUEUE_DIR)",
+    )
+    p.add_argument(
+        "--broker",
+        help=(
+            "inspect a live TCP broker at HOST:PORT instead of a "
+            "filesystem queue (mutually exclusive with --queue)"
+        ),
+    )
+
+    p = sub.add_parser(
+        "broker",
+        help="run the TCP shard broker (--executor tcp submits to it)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8766,
+        help="listening port (0 picks a free one, printed on start)",
+    )
+    p.add_argument(
+        "--no-steal",
+        action="store_true",
+        help="disable work stealing (stale leases only requeue on death)",
+    )
+    p.add_argument(
+        "--steal-after",
+        type=float,
+        default=0.5,
+        help=(
+            "lease age in seconds beyond which an idle worker "
+            "duplicates a peer's in-flight shard"
+        ),
+    )
+    p.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=30.0,
+        help=(
+            "heartbeat age after which a busy worker is presumed dead "
+            "and its shard requeued"
+        ),
     )
 
     p = sub.add_parser(
@@ -407,6 +466,23 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "work-queue directory used with --executor queue; `repro "
             "worker` processes sharing it drain service-enqueued shards"
+        ),
+    )
+    p.add_argument(
+        "--broker",
+        default=None,
+        help=(
+            "broker HOST:PORT used with --executor tcp; `repro worker "
+            "--broker` processes attached to it build service shards"
+        ),
+    )
+    p.add_argument(
+        "--broker-port",
+        type=int,
+        default=None,
+        help=(
+            "embed a TCP shard broker on this port (0 picks a free "
+            "one) and default requests to --executor tcp against it"
         ),
     )
     p.add_argument(
@@ -562,15 +638,18 @@ def _cmd_cache(args: argparse.Namespace) -> str:
     return "\n".join(lines) + "\n"
 
 
-def _cmd_worker(args: argparse.Namespace) -> str:
+def _install_event_logging() -> None:
+    """Show structured obs events on stderr for long-lived daemons.
+
+    Lease reclaims, requeues, steals, and poisoned-shard parks are
+    structured one-line events on the obs logger; a long-lived worker
+    or broker should show them even with no logging configured by the
+    operator.
+    """
     import logging
 
     from repro.obs.tracer import EVENT_LOGGER
-    from repro.parallel import QueueWorker, WorkQueue, resolve_queue_dir
 
-    # Lease reclaims, requeues, and poisoned-shard parks are structured
-    # one-line events on the obs logger; a long-lived worker should show
-    # them on stderr even with no logging configured by the operator.
     logger = logging.getLogger(EVENT_LOGGER)
     if not logger.handlers:
         handler = logging.StreamHandler(sys.stderr)
@@ -578,6 +657,36 @@ def _cmd_worker(args: argparse.Namespace) -> str:
         logger.addHandler(handler)
         if logger.level == logging.NOTSET:
             logger.setLevel(logging.INFO)
+
+
+def _cmd_worker(args: argparse.Namespace) -> str:
+    from repro.errors import AnalysisError
+    from repro.parallel import QueueWorker, WorkQueue, resolve_queue_dir
+
+    _install_event_logging()
+    if args.broker is not None:
+        if args.queue is not None:
+            raise AnalysisError(
+                "--queue and --broker are mutually exclusive: a worker "
+                "drains either a filesystem queue or a TCP broker"
+            )
+        from repro.parallel import TcpWorker
+
+        tcp_worker = TcpWorker(
+            broker=args.broker,
+            lease_timeout=args.lease_timeout,
+        )
+        tcp_stats = tcp_worker.serve(
+            max_tasks=args.max_tasks, idle_exit=args.idle_exit
+        )
+        return (
+            f"worker {tcp_worker.worker_id} @ broker "
+            f"{args.broker}: "
+            f"built {tcp_stats['built']} shard(s) "
+            f"({tcp_stats['stolen']} stolen), "
+            f"skipped {tcp_stats['skipped']} already-cached, "
+            f"{tcp_stats['failed']} failed attempt(s)\n"
+        )
 
     queue = WorkQueue(
         resolve_queue_dir(
@@ -600,8 +709,30 @@ def _cmd_worker(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_broker(args: argparse.Namespace) -> int:
+    from repro.parallel import run_broker
+
+    _install_event_logging()
+    return run_broker(
+        host=args.host,
+        port=args.port,
+        steal=not args.no_steal,
+        steal_after=args.steal_after,
+        lease_timeout=args.lease_timeout,
+    )
+
+
 def _cmd_queue(args: argparse.Namespace) -> str:
+    from repro.errors import AnalysisError
     from repro.parallel import WorkQueue, resolve_queue_dir
+
+    if args.broker is not None:
+        if args.queue is not None:
+            raise AnalysisError(
+                "--queue and --broker are mutually exclusive: inspect "
+                "either a filesystem queue or a TCP broker"
+            )
+        return _broker_queue_report(args)
 
     queue = WorkQueue(
         resolve_queue_dir(args.queue, what="repro queue", flag="--queue")
@@ -654,6 +785,53 @@ def _queue_stats_report(queue: Any) -> str:
     return "\n".join(lines) + "\n"
 
 
+def _broker_queue_report(args: argparse.Namespace) -> str:
+    """``repro queue {info,stats,clear} --broker`` against a live broker."""
+    from repro.parallel import broker_clear, broker_stats
+
+    if args.action == "clear":
+        removed = broker_clear(args.broker)
+        return f"removed {removed} queue entries from broker {args.broker}\n"
+    stats = broker_stats(args.broker)
+    counters = stats["counters"]
+    lines = [
+        f"broker: {stats['address']} "
+        f"(steal={'on' if stats['steal'] else 'off'})",
+        f"  pending tasks: {len(stats['pending'])}",
+        f"  building: {len(stats['building'])}",
+        f"  workers: {len(stats['workers'])}",
+        f"  results: {stats['results']}",
+        f"  failed: {len(stats['failed'])}",
+        f"  steals: {counters['steals']}",
+    ]
+    if args.action == "info":
+        return "\n".join(lines) + "\n"
+    for entry in stats["building"]:
+        builders = ", ".join(
+            f"{b['worker']} (age={b['age_s']:.1f}s)"
+            for b in entry["builders"]
+        )
+        lines.append(
+            f"    {entry['key']}  attempts={entry['attempts']}  "
+            f"builders: {builders}"
+        )
+    for worker in stats["workers"]:
+        current = worker["current"] or "idle"
+        lines.append(f"    worker {worker['worker']}: {current}")
+    for failure in stats["failed"]:
+        error = str(failure["error"] or "").splitlines()
+        lines.append(
+            f"    failed {failure['key']}  {error[0] if error else ''}"
+        )
+    lines.append(
+        "  counters: "
+        + ", ".join(
+            f"{key}={counters[key]}" for key in sorted(counters)
+        )
+    )
+    return "\n".join(lines) + "\n"
+
+
 def _cmd_trace(args: argparse.Namespace) -> str:
     from repro.obs.summary import (
         load_trace,
@@ -669,12 +847,37 @@ def _cmd_trace(args: argparse.Namespace) -> str:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.errors import AnalysisError
     from repro.serve import AnalysisService, run_server
 
+    executor = args.executor
+    broker = args.broker
+    if args.broker_port is not None:
+        # Embedded broker: the service runs its own TCP broker and
+        # defaults requests to the tcp executor against it — workers
+        # attach with `repro worker --broker HOST:PORT`.
+        if broker is not None:
+            raise AnalysisError(
+                "--broker and --broker-port are mutually exclusive: "
+                "point at an external broker or embed one, not both"
+            )
+        from repro.parallel import BackgroundBroker
+
+        embedded = BackgroundBroker(
+            host=args.host, port=args.broker_port
+        ).start()
+        broker = embedded.address
+        executor = executor or "tcp"
+        sys.stdout.write(
+            f"repro serve: embedded broker on {broker} "
+            f"(attach workers with `repro worker --broker {broker}`)\n"
+        )
+        sys.stdout.flush()
     service = AnalysisService(
         jobs=args.jobs,
-        executor=args.executor,
+        executor=executor,
         queue_dir=args.queue_dir,
+        broker=broker,
         table_lru=args.table_lru,
     )
     return run_server(service, host=args.host, port=args.port)
@@ -1001,6 +1204,9 @@ def _dispatch(args: argparse.Namespace) -> int:
     elif args.command == "serve":
         # Blocks until interrupted; the ready line prints from inside.
         return _cmd_serve(args)
+    elif args.command == "broker":
+        # Blocks until interrupted; the ready line prints from inside.
+        return _cmd_broker(args)
     elif args.command == "gen-tests":
         out = _cmd_gen_tests(args)
     elif args.command == "escape":

@@ -531,6 +531,7 @@ def make_backend(
     *,
     executor: "str | object | None" = None,
     queue_dir: str | None = None,
+    broker: str | None = None,
     target_halfwidth: float | None = None,
     confidence: float | None = None,
     max_samples: int | None = None,
@@ -546,8 +547,9 @@ def make_backend(
     persistent shard cache); ``jobs=1``/``None`` stays single-process.
     ``executor`` selects the shard execution substrate explicitly — an
     :class:`repro.parallel.ShardExecutor` instance or one of the names
-    ``inline``/``pool``/``queue`` (``queue_dir`` locates the work-queue
-    directory for the latter) — and overrides the ``jobs`` sugar.  The
+    ``inline``/``pool``/``queue``/``tcp`` (``queue_dir`` locates the
+    work-queue directory for ``queue``; ``broker`` the ``HOST:PORT``
+    for ``tcp``) — and overrides the ``jobs`` sugar.  The
     remaining keyword-only parameters configure the ``adaptive`` engine
     (:class:`repro.adaptive.AdaptiveBackend`): target CI half-width,
     confidence, sample budget, initial draw, and the stratification
@@ -630,11 +632,18 @@ def make_backend(
     if isinstance(executor, str):
         from repro.parallel import make_executor
 
-        exec_obj = make_executor(executor, jobs=jobs, queue_dir=queue_dir)
-    elif queue_dir is not None:
-        raise AnalysisError(
-            "queue_dir only applies with executor='queue'"
+        exec_obj = make_executor(
+            executor, jobs=jobs, queue_dir=queue_dir, broker=broker
         )
+    else:
+        if queue_dir is not None:
+            raise AnalysisError(
+                "queue_dir only applies with executor='queue'"
+            )
+        if broker is not None:
+            raise AnalysisError(
+                "broker only applies with executor='tcp'"
+            )
     if exec_obj is not None or (jobs is not None and jobs != 1):
         from repro.parallel import maybe_parallel, resolve_jobs
 

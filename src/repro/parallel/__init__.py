@@ -16,25 +16,40 @@ turns that observation into a subsystem:
     addressed by circuit structure × backend configuration × fault
     slice, written atomically.
 ``executors``
-    :class:`ShardExecutor` protocol and its three substrates —
+    :class:`ShardExecutor` protocol and its four substrates —
     :class:`InlineExecutor` (in-process), :class:`PoolExecutor` (local
     process pool), :class:`QueueExecutor` (shared-directory work queue
-    drained by independent ``repro worker`` processes on any host).
+    drained by independent ``repro worker`` processes on any host), and
+    :class:`TcpExecutor` (network broker, no shared filesystem).
 ``workqueue``
     :class:`WorkQueue` / :class:`QueueWorker` — the filesystem queue
     behind the queue executor: atomic claim-by-rename leases, heartbeat
     files, requeue on lease expiry, bounded retries, results through
     the content-addressed shard cache.
+``netqueue``
+    :class:`Broker` / :class:`TcpExecutor` / :class:`TcpWorker` — the
+    stdlib TCP transport behind ``--executor tcp``: an asyncio broker
+    (``repro broker``) pushes shard builds to blocking workers (no
+    polling on the hot path), leases are heartbeated over the
+    connection, and deterministic work stealing duplicates stale
+    in-flight shards to idle workers — safe because shard results are
+    content-addressed, so double-completion is a cache hit.
+``backoff``
+    :class:`Backoff` — the deterministic bounded exponential schedule
+    idle wait loops sleep on (reset on progress), replacing
+    fixed-interval polling.
 ``backend``
     :class:`ParallelBackend` — a
     :class:`~repro.faultsim.backends.DetectionBackend` wrapping any base
     engine; merges per-shard results into a table bit-for-bit identical
     to the single-process build, whichever executor ran the shards.
 
-Entry points: ``--jobs N`` / ``--executor {inline,pool,queue}`` on the
-CLI, ``REPRO_JOBS`` / ``REPRO_EXECUTOR`` / ``REPRO_QUEUE_DIR`` in the
-environment, ``FaultUniverse(circuit, jobs=N, executor=...)`` in code,
-and ``repro worker --queue DIR`` to serve a queue.
+Entry points: ``--jobs N`` / ``--executor {inline,pool,queue,tcp}`` on
+the CLI, ``REPRO_JOBS`` / ``REPRO_EXECUTOR`` / ``REPRO_QUEUE_DIR`` /
+``REPRO_BROKER`` in the environment, ``FaultUniverse(circuit, jobs=N,
+executor=...)`` in code, ``repro worker --queue DIR`` /
+``repro worker --broker HOST:PORT`` to serve builds, and
+``repro broker`` to run the TCP broker.
 """
 
 from repro.parallel.backend import (
@@ -42,6 +57,7 @@ from repro.parallel.backend import (
     maybe_parallel,
     resolve_jobs,
 )
+from repro.parallel.backoff import Backoff
 from repro.parallel.executors import (
     EXECUTOR_NAMES,
     InlineExecutor,
@@ -51,6 +67,7 @@ from repro.parallel.executors import (
     make_executor,
     resolve_executor,
     resolve_queue_dir,
+    resolve_wait_timeout,
 )
 from repro.parallel.cache import (
     ShardCache,
@@ -60,6 +77,18 @@ from repro.parallel.cache import (
     default_cache_dir,
     reset_cache_stats,
     shard_key,
+)
+from repro.parallel.netqueue import (
+    BROKER_ENV,
+    STEAL_DELAY_ENV,
+    BackgroundBroker,
+    Broker,
+    TcpExecutor,
+    TcpWorker,
+    broker_clear,
+    broker_stats,
+    resolve_broker,
+    run_broker,
 )
 from repro.parallel.plan import DEFAULT_NUM_SHARDS, Shard, ShardPlan
 from repro.parallel.worker import ShardTask, run_shard
@@ -75,6 +104,7 @@ __all__ = [
     "maybe_parallel",
     "resolve_jobs",
     "EXECUTOR_NAMES",
+    "Backoff",
     "InlineExecutor",
     "PoolExecutor",
     "QueueExecutor",
@@ -82,10 +112,21 @@ __all__ = [
     "make_executor",
     "resolve_executor",
     "resolve_queue_dir",
+    "resolve_wait_timeout",
     "DEFAULT_MAX_ATTEMPTS",
     "Lease",
     "QueueWorker",
     "WorkQueue",
+    "BROKER_ENV",
+    "STEAL_DELAY_ENV",
+    "BackgroundBroker",
+    "Broker",
+    "TcpExecutor",
+    "TcpWorker",
+    "broker_clear",
+    "broker_stats",
+    "resolve_broker",
+    "run_broker",
     "ShardCache",
     "backend_cache_key",
     "cache_stats",

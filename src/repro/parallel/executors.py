@@ -4,7 +4,7 @@
 build computes — a deterministic :class:`~repro.parallel.plan.ShardPlan`
 cut, merged in shard order, bit-for-bit identical to the single-process
 table.  A :class:`ShardExecutor` is the orthogonal axis: the substrate
-the pending shard tasks execute on.  Three implementations:
+the pending shard tasks execute on.  Four implementations:
 
 ``inline`` (:class:`InlineExecutor`)
     Every task runs in the calling process — no pool, no pickling.  The
@@ -22,8 +22,14 @@ the pending shard tasks execute on.  Three implementations:
     survives worker death and re-submission is idempotent; expired
     leases are requeued with bounded retries, and a shard that exhausts
     its budget surfaces as a clean :class:`AnalysisError` naming it.
+``tcp`` (:class:`~repro.parallel.netqueue.TcpExecutor`)
+    Submits the tasks to a ``repro broker`` over TCP and blocks on the
+    socket for pushed results — no shared filesystem, no polling on the
+    hot path, and deterministic work stealing keeps a heterogeneous
+    fleet running at the speed of its fast workers.  Defined in
+    :mod:`repro.parallel.netqueue`; the factory imports it lazily.
 
-All three satisfy ``submit(tasks) -> iterable of (shard_index,
+All four satisfy ``submit(tasks) -> iterable of (shard_index,
 signatures)`` and are small frozen dataclasses (hashable, picklable),
 so backends that embed them stay valid cache keys.  Because every
 executor runs the same :func:`~repro.parallel.worker.run_shard` code on
@@ -40,12 +46,17 @@ from dataclasses import dataclass
 from typing import Iterable, Protocol, runtime_checkable
 
 from repro.errors import AnalysisError
+from repro.parallel.backoff import Backoff
 from repro.parallel.cache import shard_key
 from repro.parallel.worker import ShardTask, run_shard
 from repro.parallel.workqueue import DEFAULT_MAX_ATTEMPTS, WorkQueue
 
 #: Names accepted by :func:`make_executor` (and ``--executor`` on the CLI).
-EXECUTOR_NAMES: tuple[str, ...] = ("inline", "pool", "queue")
+EXECUTOR_NAMES: tuple[str, ...] = ("inline", "pool", "queue", "tcp")
+
+#: Indirection for tests: monkeypatching ``executors._sleep`` pins the
+#: submit-loop backoff schedule without wall-clock waits.
+_sleep = time.sleep
 
 
 @runtime_checkable
@@ -163,24 +174,7 @@ class QueueExecutor:
         return resolve_queue_dir(self.queue_dir)
 
     def _resolved_wait_timeout(self) -> float:
-        if self.wait_timeout is not None:
-            return self.wait_timeout
-        raw = os.environ.get("REPRO_QUEUE_TIMEOUT")
-        if raw:
-            try:
-                value = float(raw)
-            except ValueError:
-                raise AnalysisError(
-                    f"REPRO_QUEUE_TIMEOUT must be a positive number, "
-                    f"got {raw!r}"
-                ) from None
-            if value <= 0:
-                raise AnalysisError(
-                    f"REPRO_QUEUE_TIMEOUT must be a positive number, "
-                    f"got {raw!r}"
-                )
-            return value
-        return 600.0
+        return resolve_wait_timeout(self.wait_timeout)
 
     # -- the submit/wait loop ------------------------------------------
     def submit(
@@ -198,13 +192,19 @@ class QueueExecutor:
         outstanding = set(index_of)
         stall_limit = self._resolved_wait_timeout()
         last_progress = time.monotonic()
+        # Idle polls back off geometrically (capped); any completed
+        # shard resets the schedule, so a steadily-draining queue is
+        # polled at poll_interval and an empty mount is not hammered.
+        backoff = Backoff(self.poll_interval, cap=1.0)
         while outstanding:
+            progressed = False
             for key in sorted(outstanding):
                 signatures = queue.result(key)
                 if signatures is not None:
                     outcomes.append((index_of[key], signatures))
                     outstanding.discard(key)
                     last_progress = time.monotonic()
+                    progressed = True
                     continue
                 error = queue.failure(key)
                 if error is not None:
@@ -214,6 +214,8 @@ class QueueExecutor:
                     )
             if not outstanding:
                 break
+            if progressed:
+                backoff.reset()
             # The submitter scavenges too, so a run never hangs on a
             # worker that died holding the only copy of a lease.
             queue.reclaim_expired(self.lease_timeout)
@@ -225,7 +227,7 @@ class QueueExecutor:
                     f"`repro worker --queue {queue.root}` processes "
                     f"running?"
                 )
-            time.sleep(self.poll_interval)
+            _sleep(backoff.next())
         return outcomes
 
     def describe(self) -> str:
@@ -253,10 +255,39 @@ def resolve_queue_dir(
     return resolved
 
 
+def resolve_wait_timeout(wait_timeout: float | None = None) -> float:
+    """The distributed-submit stall deadline, in seconds.
+
+    An explicit value wins; else ``REPRO_QUEUE_TIMEOUT``; else 600.
+    Shared by the filesystem queue executor and the TCP executor — both
+    treat it as "seconds without *any* shard completing", reset on
+    every completion.
+    """
+    if wait_timeout is not None:
+        return wait_timeout
+    raw = os.environ.get("REPRO_QUEUE_TIMEOUT")
+    if raw:
+        try:
+            value = float(raw)
+        except ValueError:
+            raise AnalysisError(
+                f"REPRO_QUEUE_TIMEOUT must be a positive number, "
+                f"got {raw!r}"
+            ) from None
+        if value <= 0:
+            raise AnalysisError(
+                f"REPRO_QUEUE_TIMEOUT must be a positive number, "
+                f"got {raw!r}"
+            )
+        return value
+    return 600.0
+
+
 def make_executor(
     name: str,
     jobs: int | None = None,
     queue_dir: str | None = None,
+    broker: str | None = None,
 ) -> ShardExecutor:
     """Executor factory behind ``--executor`` / ``REPRO_EXECUTOR``.
 
@@ -264,9 +295,15 @@ def make_executor(
     which degrades to inline execution) is honored as given; ``None``
     falls back to ``REPRO_JOBS`` when that asks for a real pool, else
     2, so ``--executor pool`` alone always means an actual pool.
-    ``queue_dir`` applies only to the queue executor, whose directory is
-    validated eagerly so the CLI fails before any table work starts.
+    ``queue_dir`` applies only to the queue executor and ``broker``
+    only to the tcp executor; each is validated eagerly so the CLI
+    fails before any table work starts.
     """
+    if name != "tcp" and broker is not None:
+        raise AnalysisError(
+            f"--broker only applies to --executor tcp "
+            f"(got --executor {name})"
+        )
     if name == "inline":
         if queue_dir is not None:
             raise AnalysisError(
@@ -288,6 +325,18 @@ def make_executor(
         return PoolExecutor(jobs=jobs)
     if name == "queue":
         return QueueExecutor(queue_dir=resolve_queue_dir(queue_dir))
+    if name == "tcp":
+        if queue_dir is not None:
+            raise AnalysisError(
+                "--queue-dir only applies to --executor queue "
+                "(got --executor tcp)"
+            )
+        # Imported lazily: netqueue imports resolve_wait_timeout from
+        # this module, so a top-level import would be a cycle.
+        from repro.parallel.netqueue import TcpExecutor, resolve_broker
+
+        resolve_broker(broker)  # fail before any table work starts
+        return TcpExecutor(broker=broker)
     raise AnalysisError(
         f"unknown executor {name!r}; choose from "
         f"{', '.join(EXECUTOR_NAMES)}"
@@ -298,6 +347,7 @@ def resolve_executor(
     name: str | None = None,
     jobs: int | None = None,
     queue_dir: str | None = None,
+    broker: str | None = None,
 ) -> ShardExecutor | None:
     """Executor from an explicit name or ``REPRO_EXECUTOR`` (else None).
 
@@ -310,5 +360,11 @@ def resolve_executor(
             raise AnalysisError(
                 "--queue-dir only applies to --executor queue"
             )
+        if broker is not None:
+            raise AnalysisError(
+                "--broker only applies to --executor tcp"
+            )
         return None
-    return make_executor(resolved, jobs=jobs, queue_dir=queue_dir)
+    return make_executor(
+        resolved, jobs=jobs, queue_dir=queue_dir, broker=broker
+    )

@@ -55,8 +55,13 @@ from typing import Any, cast
 from repro import obs
 from repro.errors import AnalysisError
 from repro.obs.tracer import TRACE_FILE_ENV
+from repro.parallel.backoff import Backoff
 from repro.parallel.cache import ShardCache
 from repro.parallel.worker import ShardTask, run_shard
+
+#: Indirection for tests: monkeypatching ``workqueue._sleep`` pins the
+#: worker idle-backoff schedule without wall-clock waits.
+_sleep = time.sleep
 
 #: Bumped whenever the task-payload layout changes; stale payloads from
 #: an older queue format are failed (and re-enqueued fresh) instead of
@@ -590,6 +595,10 @@ class QueueWorker:
         stats = {"built": 0, "skipped": 0, "failed": 0}
         claims = 0
         idle_since = time.monotonic()
+        # Idle polls back off geometrically (capped); claiming a task
+        # resets the schedule, so a busy queue is polled at
+        # poll_interval and an idle mount is not hammered.
+        backoff = Backoff(self.poll_interval, cap=1.0)
         while True:
             self.queue.reclaim_expired(self.lease_timeout)
             lease = self.queue.claim(self.worker_id)
@@ -599,8 +608,9 @@ class QueueWorker:
                     and time.monotonic() - idle_since >= idle_exit
                 ):
                     return stats
-                time.sleep(self.poll_interval)
+                _sleep(backoff.next())
                 continue
+            backoff.reset()
             idle_since = time.monotonic()
             claims += 1
             if self._crash_after and claims >= self._crash_after:

@@ -76,6 +76,7 @@ _BACKEND_KEYS: tuple[str, ...] = (
     "jobs",
     "executor",
     "queue_dir",
+    "broker",
     "target_halfwidth",
     "max_samples",
     "initial_samples",
@@ -183,6 +184,7 @@ class AnalysisService:
         jobs: int | None = None,
         executor: str | None = None,
         queue_dir: str | None = None,
+        broker: str | None = None,
         table_lru: int | None = None,
     ) -> None:
         #: Service-level execution defaults, applied when a request
@@ -191,6 +193,7 @@ class AnalysisService:
         self.default_jobs = jobs
         self.default_executor = executor
         self.default_queue_dir = queue_dir
+        self.default_broker = broker
         capacity = (
             table_lru_capacity() if table_lru is None else table_lru
         )
@@ -228,6 +231,7 @@ class AnalysisService:
             ("jobs", self.default_jobs),
             ("executor", self.default_executor),
             ("queue_dir", self.default_queue_dir),
+            ("broker", self.default_broker),
         ):
             if key not in options and default is not None:
                 options[key] = default

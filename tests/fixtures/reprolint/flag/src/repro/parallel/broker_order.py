@@ -1,0 +1,28 @@
+"""RPL002 flag fixture: hash-ordered dispatch in a broker pump.
+
+The TCP broker's dispatch and steal decisions must not depend on
+``PYTHONHASHSEED``: which idle worker is served first and which
+in-flight shard is duplicated decide who builds what, and the stats
+document is byte-diffed by the CLI tests.  Iterating the raw worker
+and lease dicts makes all three hash-ordered.
+"""
+
+
+def idle_workers(workers):
+    idle = {w for w in workers if workers[w] is None}
+    return [w for w in idle]
+
+
+def next_assignments(pending, workers):
+    plan = []
+    for worker_id in workers:
+        if workers[worker_id] is None and pending:
+            plan.append((worker_id, pending[0]))
+    return plan
+
+
+def steal_candidate(building):
+    stale = set(building)
+    for key in stale:
+        return key
+    return None

@@ -1,0 +1,25 @@
+"""RPL004 flag fixture: probe-then-act in a TCP worker's shard cache.
+
+A stolen shard can complete on two workers sharing a cache directory;
+probing before reading or installing an entry races the other
+completion (and the submitter replaying the same key).
+"""
+
+
+class WorkerCache:
+    def __init__(self, root, writer):
+        self.root = root
+        self._write = writer
+
+    def lookup(self, key: str):
+        path = self.root / f"{key}.sig"
+        if path.exists():
+            return path.read_bytes()
+        return None
+
+    def install(self, key: str, payload: bytes) -> bool:
+        path = self.root / f"{key}.sig"
+        if path.exists():
+            return False
+        self._write(path, payload)
+        return True

@@ -1,0 +1,25 @@
+"""RPL002 ok fixture: broker dispatch iterates sorted views.
+
+Sorted worker ids and lease keys pin who is served first and which
+shard is stolen, independent of ``PYTHONHASHSEED``.
+"""
+
+
+def idle_workers(workers):
+    idle = {w for w in workers if workers[w] is None}
+    return [w for w in sorted(idle)]
+
+
+def next_assignments(pending, workers):
+    plan = []
+    for worker_id in sorted(workers):
+        if workers[worker_id] is None and pending:
+            plan.append((worker_id, pending[0]))
+    return plan
+
+
+def steal_candidate(building):
+    stale = set(building)
+    for key in sorted(stale):
+        return key
+    return None

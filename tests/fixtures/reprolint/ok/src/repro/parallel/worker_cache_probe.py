@@ -1,0 +1,32 @@
+"""RPL004 ok fixture: EAFP reads and atomic create for shard entries.
+
+Double completion of a stolen shard is a cache hit, never a clobber:
+reads are EAFP and installs go through a complete temp file linked
+into place (atomic create-if-absent).
+"""
+
+import os
+
+
+class WorkerCache:
+    def __init__(self, root, writer):
+        self.root = root
+        self._write = writer
+
+    def lookup(self, key: str):
+        try:
+            return (self.root / f"{key}.sig").read_bytes()
+        except FileNotFoundError:
+            return None
+
+    def install(self, key: str, payload: bytes) -> bool:
+        target = self.root / f"{key}.sig"
+        tmp = target.with_name(f".{target.name}.{os.getpid()}.tmp")
+        self._write(tmp, payload)
+        try:
+            os.link(tmp, target)
+        except FileExistsError:
+            return False
+        finally:
+            os.unlink(tmp)
+        return True

@@ -316,6 +316,217 @@ class TestQueueExecutorDifferential:
         )
 
 
+class TestTcpExecutorDifferential:
+    """TCP-broker builds ≡ inline builds, bit for bit.
+
+    The network twin of :class:`TestQueueExecutorDifferential`: every
+    case submits its shards to a live in-process broker and lets real
+    :class:`~repro.parallel.TcpWorker` drain loops (two of them,
+    served push-style off the same broker) produce the results — the
+    exact machinery behind ``repro broker`` + ``repro worker
+    --broker``, minus the process boundary that the netqueue tests and
+    the CI fleet-smoke job cover.  The local shard cache is disabled so
+    each case measures a real distributed construction, not a replay.
+    """
+
+    @pytest.fixture()
+    def broker(self):
+        from repro.parallel import BackgroundBroker
+
+        with BackgroundBroker() as running:
+            yield running
+
+    @staticmethod
+    def _tcp_backend(base, broker):
+        from repro.parallel import TcpExecutor
+
+        return ParallelBackend(
+            base=base,
+            use_cache=False,
+            executor=TcpExecutor(
+                broker=broker.address, wait_timeout=300.0
+            ),
+        )
+
+    @staticmethod
+    def _workers(broker, tmp_path, count=2):
+        import threading
+
+        from repro.parallel import TcpWorker
+
+        threads = []
+        for index in range(count):
+            worker = TcpWorker(
+                broker=broker.address,
+                worker_id=f"diff-{index}",
+                cache_dir=str(tmp_path / f"cache-{index}"),
+                use_cache=False,
+            )
+            threads.append(
+                threading.Thread(
+                    target=lambda w=worker: w.serve(idle_exit=5.0),
+                    daemon=True,
+                )
+            )
+        for thread in threads:
+            thread.start()
+        return threads
+
+    def _assert_equivalent(self, circuit, base, broker, tmp_path):
+        self._workers(broker, tmp_path)
+        inline = FaultUniverse(circuit, backend=base)
+        networked = FaultUniverse(
+            circuit, backend=self._tcp_backend(base, broker)
+        )
+        for mine, theirs in (
+            (networked.target_table, inline.target_table),
+            (networked.untargeted_table, inline.untargeted_table),
+        ):
+            assert mine.faults == theirs.faults
+            assert mine.signatures == theirs.signatures
+            assert mine.universe == theirs.universe
+        tcp_analysis = WorstCaseAnalysis(
+            networked.target_table, networked.untargeted_table
+        )
+        inline_analysis = WorstCaseAnalysis(
+            inline.target_table, inline.untargeted_table
+        )
+        assert tcp_analysis.records == inline_analysis.records
+        assert tcp_analysis.guaranteed_n() == (
+            inline_analysis.guaranteed_n()
+        )
+
+    def test_exhaustive_base(self, broker, tmp_path):
+        circuit = random_circuit(51, num_inputs=5, num_gates=12)
+        self._assert_equivalent(
+            circuit, ExhaustiveBackend(), broker, tmp_path
+        )
+
+    def test_sampled_base(self, broker, tmp_path):
+        circuit = random_circuit(52, num_inputs=7, num_gates=16)
+        self._assert_equivalent(
+            circuit, SampledBackend(24, seed=52), broker, tmp_path
+        )
+
+    def test_packed_base(self, broker, tmp_path):
+        pytest.importorskip("numpy")
+        from repro.faultsim.backends import PackedBackend
+
+        circuit = random_circuit(53, num_inputs=6, num_gates=14)
+        self._assert_equivalent(
+            circuit, PackedBackend(samples=24, seed=9), broker, tmp_path
+        )
+
+    def test_serial_base(self, broker, tmp_path):
+        circuit = random_circuit(54, num_inputs=5, num_gates=12)
+        self._assert_equivalent(
+            circuit, SerialBackend(), broker, tmp_path
+        )
+
+    @pytest.mark.parametrize("name", _suite_circuits()[:2])
+    def test_suite_circuit(self, name, broker, tmp_path):
+        from repro.bench_suite.registry import get_circuit
+
+        self._assert_equivalent(
+            get_circuit(name), ExhaustiveBackend(), broker, tmp_path
+        )
+
+    def test_adaptive_rounds_distribute(self, broker, tmp_path):
+        """Per-round adaptive delta builds through the broker: the
+        trajectory is bit-identical to the single-process run."""
+        from repro.adaptive import AdaptiveSampler, StoppingRule
+        from repro.parallel import TcpExecutor
+
+        circuit = random_circuit(55, num_inputs=6, num_gates=14)
+        rule = StoppingRule(
+            target_halfwidth=0.2, initial_samples=8, max_samples=48,
+            k_smallest=4,
+        )
+
+        def run(executor=None):
+            return AdaptiveSampler(
+                circuit, rule=rule, seed=5, representation="bigint",
+                executor=executor, use_cache=False,
+            ).run()
+
+        self._workers(broker, tmp_path)
+        networked = run(
+            TcpExecutor(broker=broker.address, wait_timeout=300.0)
+        )
+        plain = run()
+        assert [
+            (r.k_total, r.k_new, r.met) for r in plain.rounds
+        ] == [(r.k_total, r.k_new, r.met) for r in networked.rounds]
+        assert plain.universe == networked.universe
+        assert (
+            plain.target_table.signatures
+            == networked.target_table.signatures
+        )
+        assert (
+            plain.untargeted_table.signatures
+            == networked.untargeted_table.signatures
+        )
+
+    def test_stolen_build_is_bit_identical(self):
+        """Equality must also hold when a shard is actually stolen:
+        a straggler sits on its lease while a fast thief finishes."""
+        import threading
+
+        from repro.parallel import BackgroundBroker, TcpExecutor, TcpWorker
+
+        circuit = random_circuit(56, num_inputs=5, num_gates=12)
+        base = ExhaustiveBackend()
+        inline = FaultUniverse(circuit, backend=base)
+        with BackgroundBroker(steal_after=0.1) as running:
+            slow = TcpWorker(
+                broker=running.address, worker_id="a-slow",
+                build_delay=2.0, use_cache=False,
+            )
+            fast = TcpWorker(
+                broker=running.address, worker_id="b-fast",
+                use_cache=False,
+            )
+            stats: dict = {}
+            threads = [
+                threading.Thread(
+                    target=lambda: stats.update(
+                        slow=slow.serve(idle_exit=6.0)
+                    ),
+                    daemon=True,
+                ),
+                threading.Thread(
+                    target=lambda: stats.update(
+                        fast=fast.serve(idle_exit=6.0)
+                    ),
+                    daemon=True,
+                ),
+            ]
+            for thread in threads:
+                thread.start()
+            networked = FaultUniverse(
+                circuit,
+                backend=ParallelBackend(
+                    base=base,
+                    use_cache=False,
+                    executor=TcpExecutor(
+                        broker=running.address, wait_timeout=300.0
+                    ),
+                ),
+            )
+            # The tables are lazy; force both builds while the broker
+            # (and the straggler) are still alive.
+            assert (
+                networked.target_table.signatures
+                == inline.target_table.signatures
+            )
+            assert (
+                networked.untargeted_table.signatures
+                == inline.untargeted_table.signatures
+            )
+            counters = running.stats()["counters"]
+        assert counters["steals"] >= 1
+
+
 class TestAdaptiveDifferential:
     """Adaptive trajectories are seed-deterministic and jobs-invariant."""
 

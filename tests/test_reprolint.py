@@ -64,6 +64,27 @@ SERVE_MIN_FINDINGS = {
     "RPL004": 2,  # probed-read and probed-write windows
 }
 
+#: rule code -> (flag fixture, ok fixture) for the TCP transport.
+#: Distilled from the ``repro.parallel.netqueue`` hazards: hash-ordered
+#: broker dispatch/steal decisions (RPL002) and probe-then-act on the
+#: shard cache two workers share after a steal (RPL004).
+NETQUEUE_PAIRS = {
+    "RPL002": (
+        "repro/parallel/broker_order.py",
+        "repro/parallel/broker_order.py",
+    ),
+    "RPL004": (
+        "repro/parallel/worker_cache_probe.py",
+        "repro/parallel/worker_cache_probe.py",
+    ),
+}
+
+#: minimum finding count the netqueue flag fixture must produce, per rule
+NETQUEUE_MIN_FINDINGS = {
+    "RPL002": 3,  # set comprehension source, dict for-loop, set for-loop
+    "RPL004": 2,  # probed-read and probed-write windows
+}
+
 #: minimum finding count the flag fixture must produce, per rule
 MIN_FINDINGS = {
     "RPL001": 2,  # random.Random() and np.random.default_rng()
@@ -134,6 +155,38 @@ class TestServePairs:
             FLAG / "repro/serve/hub_order.py", select=["RPL005"]
         )
         assert findings == []
+
+
+class TestNetqueuePairs:
+    """The TCP transport is in scope for the determinism rules.
+
+    ``repro.parallel.netqueue`` decides who builds what (dispatch order,
+    steal victims — RPL002) and shares the content-addressed shard
+    cache across workers that may double-complete a stolen shard
+    (RPL004).
+    """
+
+    @pytest.mark.parametrize("code", sorted(NETQUEUE_PAIRS))
+    def test_flag_fixture_is_flagged(self, code):
+        flag_path = FLAG / NETQUEUE_PAIRS[code][0]
+        findings = lint_file(flag_path, select=[code])
+        assert findings, f"{code}: netqueue flag fixture produced no findings"
+        assert all(f.rule == code for f in findings)
+        assert len(findings) >= NETQUEUE_MIN_FINDINGS[code], [
+            f.render() for f in findings
+        ]
+
+    @pytest.mark.parametrize("code", sorted(NETQUEUE_PAIRS))
+    def test_ok_fixture_is_clean(self, code):
+        ok_path = OK / NETQUEUE_PAIRS[code][1]
+        findings = lint_file(ok_path, select=[code])
+        assert findings == [], [f.render() for f in findings]
+
+    def test_netqueue_module_is_in_scope_for_order_and_toctou_rules(self):
+        by_code = {r.code: r for r in ALL_RULES}
+        netqueue_parts = ("repro", "parallel", "netqueue")
+        assert by_code["RPL002"].applies_to(netqueue_parts)
+        assert by_code["RPL004"].applies_to(netqueue_parts)
 
 
 class TestScoping:
