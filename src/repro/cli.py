@@ -387,7 +387,15 @@ def build_parser() -> argparse.ArgumentParser:
         "broker",
         help="run the TCP shard broker (--executor tcp submits to it)",
     )
-    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help=(
+            "bind address (default loopback; bind wider only on a "
+            "trusted network, and set REPRO_BROKER_SECRET on every "
+            "peer to require authenticated frames)"
+        ),
+    )
     p.add_argument(
         "--port",
         type=int,

@@ -42,11 +42,26 @@ Determinism: dispatch order is submission FIFO, idle workers are served
 in sorted id order, and steal victims are chosen by (stalest lease,
 smallest key) — the whole broker is single-threaded asyncio state with
 no hash-order iteration, so a re-run distributes identically.
+
+Trust model
+    Frames are pickles, so the transport defends in two layers.  Every
+    peer (broker, worker, submitter) unpickles through a restricted
+    loader that refuses any global outside the shard-spec allowlist —
+    a crafted pickle naming ``os.system`` is dropped at the frame
+    boundary, never executed.  On top of that, setting
+    ``REPRO_BROKER_SECRET`` (identically on every peer) requires an
+    HMAC-SHA256 tag over each frame's payload, so hosts without the
+    secret cannot inject frames at all.  The broker binds
+    ``127.0.0.1`` by default; expose it more widely only on networks
+    where every reachable host is trusted, and set the shared secret
+    when you do.
 """
 
 from __future__ import annotations
 
 import asyncio
+import hmac
+import io
 import os
 import pickle
 import socket
@@ -74,6 +89,7 @@ from repro.parallel.workqueue import (
 
 __all__ = [
     "BROKER_ENV",
+    "BROKER_SECRET_ENV",
     "STEAL_DELAY_ENV",
     "BackgroundBroker",
     "Broker",
@@ -87,6 +103,13 @@ __all__ = [
 
 #: Environment fallback for ``--broker`` (``HOST:PORT``).
 BROKER_ENV = "REPRO_BROKER"
+
+#: Shared-secret frame authentication.  When set — identically on the
+#: broker, every worker, and every submitter — each frame's payload is
+#: prefixed with an HMAC-SHA256 tag over it, and frames whose tag does
+#: not verify are rejected before a single byte is unpickled.  Set it
+#: whenever the broker is exposed beyond localhost.
+BROKER_SECRET_ENV = "REPRO_BROKER_SECRET"
 
 #: Test hook: a worker whose environment sets this to a float sleeps
 #: that many seconds before every shard build (heartbeats still
@@ -121,12 +144,89 @@ _DECODE_ERRORS = (
     TypeError,
 )
 
+#: The only globals a frame pickle may reference: the shard-spec types
+#: that legitimately ride the wire.  Anything else — ``os.system``,
+#: ``builtins.eval``, any repro callable — is refused before it is
+#: resolved, so a crafted pickle cannot execute code on a peer.
+#: Primitives (dicts, lists, tuples, strings, numbers) have dedicated
+#: opcodes and need no entry here.
+_SAFE_FRAME_GLOBALS = frozenset(
+    {
+        ("repro.parallel.worker", "ShardTask"),
+        ("repro.circuit.netlist", "Circuit"),
+        ("repro.circuit.netlist", "Line"),
+        ("repro.circuit.netlist", "LineKind"),
+        ("repro.circuit.gate", "GateType"),
+        ("repro.faultsim.backends", "ExhaustiveBackend"),
+        ("repro.faultsim.backends", "SampledBackend"),
+        ("repro.faultsim.backends", "PackedBackend"),
+        ("repro.faultsim.backends", "FixedUniverseBackend"),
+        ("repro.faultsim.backends", "SerialBackend"),
+        ("repro.faults.stuck_at", "StuckAtFault"),
+        ("repro.faults.bridging", "BridgingFault"),
+    }
+)
+
+#: HMAC-SHA256 digest length (the frame-payload prefix when a shared
+#: secret is configured).
+_MAC_SIZE = 32
+
+
+class _FrameUnpickler(pickle.Unpickler):
+    """``pickle.Unpickler`` restricted to the frame allowlist."""
+
+    def find_class(self, module: str, name: str) -> Any:
+        if (module, name) not in _SAFE_FRAME_GLOBALS:
+            raise pickle.UnpicklingError(
+                f"frame references forbidden global {module}.{name}"
+            )
+        return super().find_class(module, name)
+
+
+def _loads(payload: bytes) -> Any:
+    return _FrameUnpickler(io.BytesIO(payload)).load()
+
+
+def _secret() -> bytes | None:
+    raw = os.environ.get(BROKER_SECRET_ENV, "")
+    return raw.encode("utf-8") if raw else None
+
+
+def _seal(payload: bytes) -> bytes:
+    secret = _secret()
+    if secret is None:
+        return payload
+    return hmac.new(secret, payload, "sha256").digest() + payload
+
+
+def _unseal(sealed: bytes) -> bytes:
+    secret = _secret()
+    if secret is None:
+        return sealed
+    if len(sealed) < _MAC_SIZE:
+        raise AnalysisError(
+            "broker frame is shorter than its HMAC tag — is the peer "
+            f"running without {BROKER_SECRET_ENV}?"
+        )
+    tag, payload = sealed[:_MAC_SIZE], sealed[_MAC_SIZE:]
+    if not hmac.compare_digest(
+        hmac.new(secret, payload, "sha256").digest(), tag
+    ):
+        raise AnalysisError(
+            "broker frame failed HMAC verification — do all peers "
+            f"share the same {BROKER_SECRET_ENV}?"
+        )
+    return payload
+
 
 # ----------------------------------------------------------------------
-# Wire framing: 8-byte big-endian length prefix + one pickled dict.
+# Wire framing: 8-byte big-endian length prefix + one pickled dict
+# (HMAC-tagged when a shared secret is configured).
 # ----------------------------------------------------------------------
 def send_frame(sock: socket.socket, message: dict[str, Any]) -> None:
-    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    payload = _seal(
+        pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    )
     sock.sendall(_HEADER.pack(len(payload)) + payload)
 
 
@@ -137,8 +237,9 @@ def recv_frame(sock: socket.socket) -> dict[str, Any]:
         raise AnalysisError(
             f"oversized broker frame ({length} bytes); not a repro broker?"
         )
+    payload = _unseal(_recv_exactly(sock, length))
     try:
-        message = pickle.loads(_recv_exactly(sock, length))
+        message = _loads(payload)
     except _DECODE_ERRORS as exc:
         raise AnalysisError(f"undecodable broker frame: {exc}") from exc
     if not isinstance(message, dict):
@@ -172,8 +273,8 @@ async def _read_frame(reader: asyncio.StreamReader) -> dict[str, Any] | None:
     except (asyncio.IncompleteReadError, ConnectionError):
         return None
     try:
-        message = pickle.loads(payload)
-    except _DECODE_ERRORS:
+        message = _loads(_unseal(payload))
+    except (AnalysisError,) + _DECODE_ERRORS:
         return None
     return message if isinstance(message, dict) else None
 
@@ -183,7 +284,9 @@ def _write_frame(
 ) -> None:
     if writer.is_closing():
         return
-    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    payload = _seal(
+        pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    )
     writer.write(_HEADER.pack(len(payload)) + payload)
 
 
@@ -340,8 +443,10 @@ class Broker:
                 if op == "register":
                     worker_id = self._register(message, writer)
                 elif op == "ping":
-                    if worker_id is not None and worker_id in self._workers:
-                        self._workers[worker_id].last_beat = time.monotonic()
+                    if worker_id is not None:
+                        conn = self._workers.get(worker_id)
+                        if conn is not None and conn.writer is writer:
+                            conn.last_beat = time.monotonic()
                 elif op == "done":
                     self._done(worker_id, message)
                 elif op == "error":
@@ -367,7 +472,9 @@ class Broker:
                     break
         finally:
             if worker_id is not None:
-                self._drop_worker(worker_id, "connection lost")
+                self._drop_worker(
+                    worker_id, "connection lost", writer=writer
+                )
             self._drop_waiter(writer)
             writer.close()
             try:
@@ -424,16 +531,33 @@ class Broker:
             conn.current = None
             conn.stolen = False
         signatures = message.get("signatures")
-        if key not in self._specs or not isinstance(signatures, list):
+        if key in self._specs and isinstance(signatures, list):
+            self._resolve(key, list(signatures), worker_id or "?", stolen)
+        else:
             # A late duplicate (the shard was resolved by a faster
-            # builder, or cleared): the first result already stands.
+            # builder, or cleared) or a malformed report: the first
+            # good result stands, but the reporter must still release
+            # its builder slot, or a ghost lease consumes one of the
+            # key's ``max_builders`` forever.
             self.counters["duplicates"] += 1
             obs.metrics().counter(
                 "repro_broker_duplicates_total",
                 help="Late duplicate completions discarded by the broker",
             ).inc()
-        else:
-            self._resolve(key, list(signatures), worker_id or "?", stolen)
+            if worker_id is not None:
+                builders = self._builders.get(key)
+                if builders is not None:
+                    builders.pop(worker_id, None)
+                    if not builders:
+                        del self._builders[key]
+                        if key in self._specs:
+                            # A malformed report was the only build in
+                            # flight: charge the attempt and requeue.
+                            self._attempt_failed(
+                                key,
+                                "malformed done frame (signatures "
+                                "not a list)",
+                            )
         self._pump()
 
     def _build_error(
@@ -453,10 +577,22 @@ class Broker:
                 self._attempt_failed(key, error)
         self._pump()
 
-    def _drop_worker(self, worker_id: str, reason: str) -> None:
-        conn = self._workers.pop(worker_id, None)
+    def _drop_worker(
+        self,
+        worker_id: str,
+        reason: str,
+        *,
+        writer: asyncio.StreamWriter | None = None,
+    ) -> None:
+        conn = self._workers.get(worker_id)
         if conn is None:
             return
+        if writer is not None and conn.writer is not writer:
+            # The id was re-registered by a newer connection (or the
+            # scavenger already dropped this one and the worker came
+            # back): the live registration is not ours to deregister.
+            return
+        del self._workers[worker_id]
         key = conn.current
         if key is not None and key in self._specs:
             builders = self._builders.get(key, {})
@@ -900,7 +1036,10 @@ class BackgroundBroker:
     def stop(self) -> None:
         loop, stop_event = self._loop, self._stop_event
         if loop is not None and stop_event is not None:
-            loop.call_soon_threadsafe(stop_event.set)
+            try:
+                loop.call_soon_threadsafe(stop_event.set)
+            except RuntimeError:
+                pass  # loop already closed: stopping twice is a no-op
         if self._thread is not None:
             self._thread.join(timeout=30.0)
 
@@ -1137,7 +1276,6 @@ class TcpExecutor:
                         )
                         _sleep(backoff.next())
                         continue
-                    backoff.reset()
                 sock.settimeout(1.0)
                 try:
                     message = recv_frame(sock)
@@ -1147,10 +1285,20 @@ class TcpExecutor:
                         len(outstanding),
                     )
                     continue
-                except (ConnectionError, OSError, AnalysisError):
-                    # Broker went away mid-wait: reconnect + resubmit.
+                except (ConnectionError, OSError, AnalysisError) as exc:
+                    # Broker went away — or spoke garbage (wrong
+                    # service, missing shared secret) — mid-wait: back
+                    # off within the stall budget, then reconnect +
+                    # resubmit.  Only completions reset the backoff, so
+                    # a connect-then-garbage loop escalates instead of
+                    # spinning.
                     sock.close()
                     sock = None
+                    self._check_stall(
+                        last_progress, stall_limit, label,
+                        len(outstanding), reason=str(exc),
+                    )
+                    _sleep(backoff.next())
                     continue
                 op = message.get("op")
                 if op == "result":
@@ -1307,13 +1455,19 @@ class TcpWorker:
                         "worker": self.worker_id,
                     },
                 )
-                finished, claims = self._drain(
+                # Registered again: later blips should not keep paying
+                # the full backoff cap accumulated over the lifetime.
+                reconnect.reset()
+                finished, claims, idle_since = self._drain(
                     sock, stats, claims, max_tasks, idle_exit, idle_since
                 )
                 if finished:
                     return stats
             except OSError:
-                pass  # connection died; fall through to reconnect
+                # Connection died mid-build/report (recv-side deaths
+                # return through _drain): the worker was active moments
+                # ago, so restart its idle clock before reconnecting.
+                idle_since = time.monotonic()
             finally:
                 self._sock = None
                 sock.close()
@@ -1341,12 +1495,14 @@ class TcpWorker:
         max_tasks: int | None,
         idle_exit: float | None,
         idle_since: float,
-    ) -> tuple[bool, int]:
+    ) -> tuple[bool, int, float]:
         """The per-connection receive loop.
 
-        Returns ``(finished, claims)``: finished means the worker is
-        done for good (stop, idle-exit, or max-tasks); otherwise the
-        caller reconnects.
+        Returns ``(finished, claims, idle_since)``: finished means the
+        worker is done for good (stop, idle-exit, or max-tasks);
+        otherwise the caller reconnects, judging its own idle-exit
+        against the returned ``idle_since`` (which this loop advances
+        on every build) rather than the stale value it passed in.
         """
         while not self._stop.is_set():
             sock.settimeout(
@@ -1356,10 +1512,10 @@ class TcpWorker:
                 message = recv_frame(sock)
             except TimeoutError:
                 if self._idle_expired(idle_since, idle_exit):
-                    return True, claims
+                    return True, claims, idle_since
                 continue
             except (ConnectionError, OSError, AnalysisError):
-                return False, claims
+                return False, claims, idle_since
             op = message.get("op")
             if op == "rejected":
                 raise AnalysisError(
@@ -1411,8 +1567,8 @@ class TcpWorker:
                 "op": "done", "key": key, "signatures": signatures,
             })
             if max_tasks is not None and stats["built"] >= max_tasks:
-                return True, claims
-        return True, claims
+                return True, claims, idle_since
+        return True, claims, idle_since
 
     def _send(self, sock: socket.socket, message: dict[str, Any]) -> None:
         """Serialize frame writes (the heartbeat thread shares the

@@ -37,6 +37,7 @@ from repro.parallel import (
 )
 from repro.parallel.netqueue import (
     BROKER_ENV,
+    BROKER_SECRET_ENV,
     NET_FORMAT_VERSION,
     BackgroundBroker,
     broker_clear,
@@ -172,6 +173,104 @@ class TestFraming:
         finally:
             a.close()
             b.close()
+
+
+class _EvilPayload:
+    """Pickles to a frame that would run ``os.system`` on load."""
+
+    def __reduce__(self):
+        return (os.system, ("echo pwned",))
+
+
+class TestSecurity:
+    def test_hostile_pickle_is_refused(self):
+        import pickle
+        import struct
+
+        payload = pickle.dumps(_EvilPayload())
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">Q", len(payload)) + payload)
+            with pytest.raises(AnalysisError, match="forbidden global"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_broker_drops_peer_sending_hostile_pickle(self):
+        import pickle
+        import struct
+
+        payload = pickle.dumps(_EvilPayload())
+        with BackgroundBroker() as broker:
+            sock = socket.create_connection(
+                (broker.host, broker.port), timeout=10.0
+            )
+            try:
+                sock.sendall(
+                    struct.pack(">Q", len(payload)) + payload
+                )
+                sock.settimeout(10.0)
+                # The broker hangs up without ever unpickling the
+                # frame; a rejection reply would mean it was parsed.
+                with pytest.raises(ConnectionError):
+                    recv_frame(sock)
+            finally:
+                sock.close()
+
+    def test_shared_secret_roundtrip(self, monkeypatch):
+        monkeypatch.setenv(BROKER_SECRET_ENV, "fleet-secret")
+        a, b = socket.socketpair()
+        try:
+            send_frame(a, {"op": "ping"})
+            assert recv_frame(b) == {"op": "ping"}
+        finally:
+            a.close()
+            b.close()
+
+    def test_mismatched_secret_rejected(self, monkeypatch):
+        a, b = socket.socketpair()
+        try:
+            monkeypatch.setenv(BROKER_SECRET_ENV, "alpha")
+            send_frame(a, {"op": "ping"})
+            monkeypatch.setenv(BROKER_SECRET_ENV, "beta")
+            with pytest.raises(AnalysisError, match=BROKER_SECRET_ENV):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_unauthenticated_sender_rejected(self, monkeypatch):
+        a, b = socket.socketpair()
+        try:
+            monkeypatch.delenv(BROKER_SECRET_ENV, raising=False)
+            send_frame(a, {"op": "ping"})
+            monkeypatch.setenv(BROKER_SECRET_ENV, "fleet-secret")
+            with pytest.raises(AnalysisError, match=BROKER_SECRET_ENV):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_end_to_end_with_shared_secret(self, tmp_path, monkeypatch):
+        """Broker, worker, and submitter all authenticate every frame
+        and the build still completes bit-identically."""
+        monkeypatch.setenv(BROKER_SECRET_ENV, "fleet-secret")
+        task = make_task()
+        with BackgroundBroker() as broker:
+            _worker, thread, out = worker_in_thread(
+                broker.address, tmp_path, idle_exit=1.0
+            )
+            executor = TcpExecutor(
+                broker=broker.address, wait_timeout=60.0
+            )
+            outcomes = executor.submit([task])
+            thread.join(timeout=30)
+            from repro.parallel.worker import run_shard
+
+            _idx, expected = run_shard(task)
+            assert outcomes == [(0, expected)]
+            assert out["stats"]["built"] == 1
 
 
 class TestResolution:
@@ -509,6 +608,234 @@ class TestFaultTolerance:
                 assert result["outcomes"][task.shard_index] == expected
         finally:
             second.stop()
+
+
+class TestStateHygiene:
+    """Connection-identity and lease bookkeeping under ugly peers."""
+
+    @staticmethod
+    def _wait_for(predicate, timeout=10.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return
+            time.sleep(0.05)
+        raise AssertionError("condition not reached in time")
+
+    def test_malformed_done_releases_builder_slot(self):
+        """A 'done' whose signatures are not a list must free the
+        builder slot and requeue the shard (one attempt charged), not
+        wedge it behind a ghost lease."""
+        task = make_task()
+        key = shard_key(
+            task.circuit, task.backend, task.kind, task.faults
+        )
+        with BackgroundBroker(max_builders=1) as broker:
+            worker = socket.create_connection(
+                (broker.host, broker.port), timeout=10.0
+            )
+            submitter = socket.create_connection(
+                (broker.host, broker.port), timeout=10.0
+            )
+            try:
+                send_frame(
+                    worker,
+                    {
+                        "op": "register",
+                        "version": NET_FORMAT_VERSION,
+                        "worker": "clumsy",
+                    },
+                )
+                send_frame(
+                    submitter,
+                    {
+                        "op": "submit",
+                        "version": NET_FORMAT_VERSION,
+                        "shards": [
+                            {"key": key, "task": task, "shard_index": 0}
+                        ],
+                    },
+                )
+                worker.settimeout(10.0)
+                build = recv_frame(worker)
+                assert build["op"] == "build"
+                assert build["attempts"] == 0
+                send_frame(
+                    worker,
+                    {"op": "done", "key": key, "signatures": None},
+                )
+                rebuilt = recv_frame(worker)
+                assert rebuilt["op"] == "build"
+                assert rebuilt["attempts"] == 1  # the bad report cost one
+                from repro.parallel.worker import run_shard
+
+                _idx, signatures = run_shard(task)
+                send_frame(
+                    worker,
+                    {"op": "done", "key": key, "signatures": signatures},
+                )
+                submitter.settimeout(10.0)
+                result = recv_frame(submitter)
+                assert result["op"] == "result"
+                assert result["signatures"] == signatures
+                counters = broker.stats()["counters"]
+                assert counters["duplicates"] == 1
+                assert counters["requeues"] == 1
+            finally:
+                worker.close()
+                submitter.close()
+
+    def test_reconnect_supersede_keeps_new_connection(self):
+        """The old connection's teardown must not deregister the fresh
+        registration that superseded it under the same worker id."""
+        task = make_task()
+        with BackgroundBroker() as broker:
+            first = socket.create_connection(
+                (broker.host, broker.port), timeout=10.0
+            )
+            second = None
+            submitter = None
+            try:
+                send_frame(
+                    first,
+                    {
+                        "op": "register",
+                        "version": NET_FORMAT_VERSION,
+                        "worker": "w",
+                    },
+                )
+                self._wait_for(
+                    lambda: [
+                        w["worker"]
+                        for w in broker.stats()["workers"]
+                    ]
+                    == ["w"]
+                )
+                second = socket.create_connection(
+                    (broker.host, broker.port), timeout=10.0
+                )
+                send_frame(
+                    second,
+                    {
+                        "op": "register",
+                        "version": NET_FORMAT_VERSION,
+                        "worker": "w",
+                    },
+                )
+                self._wait_for(
+                    lambda: broker.stats()["counters"][
+                        "workers_registered"
+                    ]
+                    == 2
+                )
+                # Now the superseded connection unwinds; its teardown
+                # runs _drop_worker for id "w" but must leave the new
+                # connection registered and dispatchable.
+                first.close()
+                time.sleep(0.3)
+                assert [
+                    w["worker"] for w in broker.stats()["workers"]
+                ] == ["w"]
+                submitter = socket.create_connection(
+                    (broker.host, broker.port), timeout=10.0
+                )
+                key = shard_key(
+                    task.circuit, task.backend, task.kind, task.faults
+                )
+                send_frame(
+                    submitter,
+                    {
+                        "op": "submit",
+                        "version": NET_FORMAT_VERSION,
+                        "shards": [
+                            {"key": key, "task": task, "shard_index": 0}
+                        ],
+                    },
+                )
+                second.settimeout(10.0)
+                assert recv_frame(second)["op"] == "build"
+            finally:
+                first.close()
+                if second is not None:
+                    second.close()
+                if submitter is not None:
+                    submitter.close()
+
+    def test_undecodable_broker_backs_off_and_stalls_cleanly(
+        self, monkeypatch
+    ):
+        """A port that answers with garbage (wrong service) must fail
+        via the stall deadline with escalating backoff sleeps between
+        attempts — not spin connect/recv at full speed forever."""
+        import struct
+
+        monkeypatch.delenv(BROKER_SECRET_ENV, raising=False)
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(8)
+        port = int(listener.getsockname()[1])
+        stop = threading.Event()
+
+        def garbage_server() -> None:
+            while not stop.is_set():
+                try:
+                    conn, _ = listener.accept()
+                except OSError:
+                    return
+                with conn:
+                    try:
+                        conn.sendall(struct.pack(">Q", 4) + b"zzzz")
+                        conn.recv(1)  # linger until the client hangs up
+                    except OSError:
+                        pass
+
+        server = threading.Thread(target=garbage_server, daemon=True)
+        server.start()
+        sleeps: list[float] = []
+        monkeypatch.setattr(
+            "repro.parallel.netqueue._sleep", sleeps.append
+        )
+        try:
+            executor = TcpExecutor(
+                broker=f"127.0.0.1:{port}", wait_timeout=0.5
+            )
+            with pytest.raises(AnalysisError, match="no progress"):
+                executor.submit([make_task()])
+            assert sleeps, "decode failures must back off, not spin"
+            assert sleeps[:3] == [0.05, 0.1, 0.2]
+        finally:
+            stop.set()
+            listener.close()
+            server.join(timeout=10)
+
+    def test_busy_worker_survives_disconnect_after_idle_exit(
+        self, tmp_path
+    ):
+        """A worker older than idle_exit that loses its connection
+        right after building must reconnect (its idle clock restarted
+        by the recent build), not exit on the stale start time."""
+        port = free_port()
+        address = f"127.0.0.1:{port}"
+        first = BackgroundBroker(port=port).start()
+        second = None
+        try:
+            _worker, thread, out = worker_in_thread(
+                address, tmp_path, name="long-lived", idle_exit=3.0
+            )
+            executor = TcpExecutor(broker=address, wait_timeout=60.0)
+            time.sleep(2.0)  # most of the idle budget passes unused
+            executor.submit([make_task(0)])  # restarts the idle clock
+            time.sleep(1.5)  # lifetime > idle_exit, idle age ~1.5s
+            first.stop()  # connection drops; worker must reconnect
+            second = BackgroundBroker(port=port).start()
+            outcomes = executor.submit([make_task(1)])
+            assert [index for index, _sigs in outcomes] == [1]
+            thread.join(timeout=30)
+            assert out["stats"]["built"] == 2
+        finally:
+            first.stop()
+            if second is not None:
+                second.stop()
 
 
 class TestEndToEnd:
